@@ -1,0 +1,124 @@
+// Netstream: the deployment split of the paper's prototype (Sec. 4) —
+// the phone streams CSI-probe traffic and its IMU readings over UDP to
+// the in-car receiver, which sanitizes frames and runs the tracker.
+// This example runs both halves over real loopback sockets: a
+// goroutine plays the "phone + CSI extraction" side, the main
+// goroutine plays the head-unit side.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vihot"
+	"vihot/internal/cabin"
+	"vihot/internal/csi"
+	"vihot/internal/driver"
+	"vihot/internal/experiment"
+	"vihot/internal/geom"
+	"vihot/internal/imu"
+	"vihot/internal/stats"
+	"vihot/internal/wifi"
+)
+
+func main() {
+	recv, err := wifi.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer recv.Close()
+
+	// --- receiver side: profile first (in-process for brevity).
+	env, err := experiment.NewEnv(cabin.DefaultConfig(), 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, _, err := env.CollectProfile(driver.DriverA(), experiment.DefaultProfileOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipeline, err := vihot.NewPipeline(profile, vihot.DefaultPipelineConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const driveSeconds = 10.0
+	scenario := driver.DrivingScenario(env.RNG.Fork(), driver.DriverA(), driveSeconds,
+		driver.GlanceOptions{PositionJitter: 0.006})
+
+	// --- sender side: simulate the drive, push raw CSI frames and IMU
+	// readings over UDP (time-compressed: no real-time sleeps needed).
+	go func() {
+		send, err := wifi.Dial(recv.Addr().String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer send.Close()
+		hw := env.HW
+		phone := imu.NewPhoneIMU(env.RNG.Fork())
+		nextIMU := 0.0
+		var buf [][]complex128
+		for i, t := range env.Timing.ArrivalTimes(env.RNG.Fork(), driveSeconds) {
+			if i%200 == 0 {
+				// Pace the burst so loopback socket buffers keep up.
+				time.Sleep(2 * time.Millisecond)
+			}
+			for nextIMU <= t {
+				r := phone.Sample(nextIMU, scenario.CarYawRateDPS(nextIMU), scenario.SpeedMPS)
+				if err := send.SendIMU(&r); err != nil {
+					log.Fatal(err)
+				}
+				nextIMU += 0.01
+			}
+			buf = env.Scene.CleanCSI(scenario.State(t), buf)
+			frame := hw.Corrupt(t, buf)
+			if err := send.SendCSI(frame); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// End-of-stream marker, repeated in case the kernel dropped
+		// datagrams under the burst (UDP offers no delivery promise).
+		time.Sleep(100 * time.Millisecond)
+		end := imu.Reading{Time: -1}
+		for i := 0; i < 20; i++ {
+			_ = send.SendIMU(&end)
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	// --- receiver loop: decode datagrams, sanitize CSI (Eq. 3), feed
+	// the pipeline, score against ground truth.
+	var errs []float64
+	frames, imus := 0, 0
+loop:
+	for {
+		pkt, err := recv.Recv(3 * time.Second)
+		if err != nil {
+			// A quiet socket after the burst means the stream (and
+			// possibly the end marker) ended; treat it as done.
+			break loop
+		}
+		switch pkt.Type {
+		case wifi.TypeIMU:
+			if pkt.IMU.Time < 0 {
+				break loop
+			}
+			imus++
+			pipeline.PushIMU(*pkt.IMU)
+		case wifi.TypeCSI:
+			frames++
+			phi, err := csi.Sanitize(pkt.CSI, 0, 1)
+			if err != nil {
+				continue
+			}
+			if est, ok := pipeline.PushCSI(pkt.CSI.Time, phi); ok {
+				truth := scenario.HeadYaw.At(est.Time)
+				errs = append(errs, geom.AngleDistDeg(est.Yaw, truth))
+			}
+		}
+	}
+	s := stats.Summarize(errs)
+	fmt.Printf("received %d CSI frames + %d IMU readings over UDP\n", frames, imus)
+	fmt.Printf("tracked %d estimates: median %.1f°, p90 %.1f°\n", s.N, s.Median, s.P90)
+}

@@ -1,0 +1,63 @@
+// Steering interference: turning the wheel sweeps the driver's hands
+// through the WiFi field and corrupts the CSI phase (paper Fig. 8).
+// ViHOT's steering identifier (Sec. 3.6) gates tracking on the phone's
+// IMU — only steering redirects the car — and falls back to the camera
+// while the wheel moves. This example runs the same drive with the
+// identifier off and on, reproducing the paper's Fig. 17b contrast.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vihot/internal/cabin"
+	"vihot/internal/core"
+	"vihot/internal/driver"
+	"vihot/internal/experiment"
+	"vihot/internal/stats"
+)
+
+func main() {
+	env, err := experiment.NewEnv(cabin.DefaultConfig(), 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, _, err := env.CollectProfile(driver.DriverA(), experiment.DefaultProfileOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One drive with frequent intersection turns, tracked twice.
+	scenario := driver.DrivingScenario(env.RNG.Fork(), driver.DriverA(), 60,
+		driver.GlanceOptions{Steering: true, SteerProb: 0.6, PositionJitter: 0.006})
+
+	run := func(identifier bool) stats.Summary {
+		cfg := core.DefaultPipelineConfig()
+		cfg.SteeringIdentifier = identifier
+		res, err := env.Track(profile, scenario, experiment.TrackOptions{
+			Pipeline: cfg,
+			Camera:   identifier, // the fallback needs the camera feed
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if identifier {
+			fmt.Printf("  (%.0f%% of estimates served by the camera fallback)\n",
+				res.FallbackFraction*100)
+		}
+		return stats.Summarize(res.Errors)
+	}
+
+	fmt.Println("60 s drive with intersection turns")
+	fmt.Println()
+	fmt.Println("steering identifier OFF (wheel motion pollutes the matcher):")
+	off := run(false)
+	fmt.Printf("  median %.1f°  p90 %.1f°  max %.1f°\n\n", off.Median, off.P90, off.Max)
+
+	fmt.Println("steering identifier ON (IMU-gated, camera fallback during turns):")
+	on := run(true)
+	fmt.Printf("  median %.1f°  p90 %.1f°  max %.1f°\n\n", on.Median, on.P90, on.Max)
+
+	fmt.Printf("the paper's Fig. 17b shows the same shape: errors reaching ≈80°\n")
+	fmt.Printf("without the identifier, restored to baseline with it.\n")
+}

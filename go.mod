@@ -1,0 +1,3 @@
+module vihot
+
+go 1.22

@@ -1,0 +1,287 @@
+// Package cabin models the car interior as an RF scene: the phone
+// transmitter on the dashboard, the receiver antennas (five candidate
+// layouts, Sec. 5.2.2), the driver's head as a moving scatterer, the
+// passenger, the steering wheel and hands, cabin micro-motions
+// (Sec. 5.3.1), and antenna vibration on bumpy roads (Sec. 5.3.2).
+//
+// Frame conventions follow package geom: +X from the car's back to
+// its front (a 0°-orientation driver faces +X), +Y toward the
+// passenger side, +Z up. Units are meters and degrees.
+package cabin
+
+import (
+	"math"
+
+	"vihot/internal/geom"
+)
+
+// Head models the driver's (or passenger's) head as a quasi-specular
+// ellipsoidal scatterer. The dominant return comes from the skull
+// surface facing the transmitter; for a perfect sphere that point
+// would not move under rotation at all, so what actually modulates the
+// CSI phase is the head's asphericity: the face bulges a few
+// centimeters beyond the mean radius, so as the head yaws toward or
+// away from the phone the effective reflection point advances and
+// recedes (and the flat face reflects more strongly than hair). A
+// weak secondary scatterer (nose/chin ridge) rotates with the face and
+// adds a small distinctive ripple. Together they give the
+// centimeter-scale, smoothly non-injective path modulation behind the
+// curves of Fig. 3.
+type Head struct {
+	Radius       float64 // mean skull radius, ≈ 9 cm
+	FaceBulge    float64 // extra radius presented when facing the TX
+	Lateral      float64 // sideways drift of the specular point with yaw
+	Reflectivity float64 // main return reflection coefficient
+	NoseRadius   float64 // lever arm of the secondary (nose) scatterer
+	NoseRefl     float64 // secondary reflectivity
+	BlockRadius  float64 // radius used for LOS blockage tests
+	// DiffractionSkew is the peak extra creeping-wave detour (meters)
+	// the rotated face adds to a shadowed path; see BlockEffect.
+	DiffractionSkew float64
+	// ShadowAmp is the residual amplitude of a path whose straight
+	// line passes dead-center through the head.
+	ShadowAmp float64
+	// GeoDetour scales the yaw-independent part of the creeping-wave
+	// detour (relative to BlockRadius).
+	GeoDetour float64
+}
+
+// DefaultHead returns the head model used throughout the evaluation.
+func DefaultHead() Head {
+	return Head{
+		Radius:          0.09,
+		FaceBulge:       0.010,
+		Lateral:         0.025,
+		Reflectivity:    0.22,
+		NoseRadius:      0.10,
+		NoseRefl:        0.02,
+		BlockRadius:     0.11,
+		DiffractionSkew: 0.055,
+		ShadowAmp:       0.55,
+		GeoDetour:       0.35,
+	}
+}
+
+// facingCos returns cos(α) where α is the horizontal angle between the
+// facing direction at yawDeg and the direction from center toward the
+// observer point.
+func facingCos(center geom.Vec3, yawDeg float64, toward geom.Vec3) float64 {
+	dir := toward.Sub(center)
+	dir.Z = 0
+	u := geom.HeadingXY(yawDeg)
+	n := dir.Norm()
+	if n == 0 {
+		return 1
+	}
+	return u.Dot(dir) / n
+}
+
+// Scatter returns the dominant scatter point and its effective
+// reflectivity for a head centered at center facing yaw degrees, as
+// seen from the transmitter at tx. The point sits on the head surface
+// toward the TX, pushed outward by the face bulge when the driver
+// faces the phone and drifting slightly sideways with the face.
+func (h Head) Scatter(center geom.Vec3, yawDeg float64, tx geom.Vec3) (geom.Vec3, float64) {
+	return h.Scatter3D(center, yawDeg, 0, tx)
+}
+
+// Scatter3D extends Scatter with head pitch (degrees, positive = chin
+// up): nodding tilts the face bulge and slides the scatter point
+// vertically — the third tracking dimension the paper defers to
+// future work (Sec. 7). The 2-D tracker treats pitch as a
+// disturbance; ext-pitch quantifies the cost.
+func (h Head) Scatter3D(center geom.Vec3, yawDeg, pitchDeg float64, tx geom.Vec3) (geom.Vec3, float64) {
+	dir := tx.Sub(center).Unit()
+	cosA := facingCos(center, yawDeg, tx)
+	cosP := math.Cos(geom.Radians(pitchDeg))
+	dist := h.Radius + h.FaceBulge*cosA*cosP
+	pt := center.
+		Add(dir.Scale(dist)).
+		Add(geom.HeadingXY(yawDeg).Scale(h.Lateral * cosP)).
+		Add(geom.Vec3{Z: h.Lateral * math.Sin(geom.Radians(pitchDeg))})
+	// The flat face reflects better than the hair-covered back.
+	refl := h.Reflectivity * (0.7 + 0.3*cosA*cosP)
+	if refl < 0 {
+		refl = 0
+	}
+	return pt, refl
+}
+
+// NoseScatter returns the secondary scatter point, which rotates
+// rigidly with the face.
+func (h Head) NoseScatter(center geom.Vec3, yawDeg float64) geom.Vec3 {
+	return center.Add(geom.HeadingXY(yawDeg).Scale(h.NoseRadius))
+}
+
+// Blocks reports how much a head centered at center attenuates the
+// segment a→b: 1 means clear, values below 1 mean the line of sight
+// passes within BlockRadius of the head center. The returned factor
+// fades smoothly from deep shadow at the center to clear at the edge
+// so small head movements do not cause discontinuous CSI jumps.
+func (h Head) Blocks(center, a, b geom.Vec3) float64 {
+	amp, _ := h.BlockEffect(center, a, b, 0)
+	return amp
+}
+
+// BlockEffect returns the amplitude factor and the diffraction detour
+// (extra electrical path length, meters) a head centered at center
+// imposes on segment a→b when the head faces yawDeg.
+//
+// A wave whose straight line is shadowed does not stop — it creeps
+// around the skull, arriving attenuated and with a longer electrical
+// path. The detour has two parts: a geometric term (deeper shadow ⇒
+// longer way around) and an orientation term, because the silhouette
+// the wave grazes rotates with the face: the protruding face/jaw
+// lengthens the detour on the side the driver turns toward. The
+// orientation term is what makes the shadowed antenna of Layout 1 a
+// sensitive, monotone observer of head yaw — a scatterer sitting
+// directly between TX and RX would otherwise be nearly blind to
+// rotation (forward-path stationarity).
+func (h Head) BlockEffect(center, a, b geom.Vec3, yawDeg float64) (amp, extra float64) {
+	d := distPointSegment(center, a, b)
+	if d >= h.BlockRadius {
+		return 1, 0
+	}
+	shadow := h.ShadowAmp
+	if shadow <= 0 {
+		shadow = 0.25
+	}
+	frac := d / h.BlockRadius
+	amp = shadow + (1-shadow)*frac
+	depth := 1 - frac // 1 at dead center, 0 at the shadow edge
+	geoDetour := h.GeoDetour * h.BlockRadius * depth
+	// The angular argument is compressed so the detour keeps changing
+	// out to ±90° and beyond — the silhouette the wave grazes keeps
+	// rotating past the point where a pure sine would flatten.
+	faceDetour := h.DiffractionSkew * math.Sin(geom.Radians(0.72*yawDeg)) * depth
+	return amp, geoDetour + faceDetour
+}
+
+// distPointSegment returns the distance from point p to segment ab.
+func distPointSegment(p, a, b geom.Vec3) float64 {
+	ab := b.Sub(a)
+	denom := ab.Norm2()
+	if denom == 0 {
+		return p.Dist(a)
+	}
+	t := p.Sub(a).Dot(ab) / denom
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return p.Dist(a.Add(ab.Scale(t)))
+}
+
+// SteeringWheel models the wheel rim plus the driver's hands as a
+// scatterer whose position rotates with the steering angle. A large
+// steering input moves the hands by tens of centimeters — the strong
+// CSI disturbance of Fig. 8 that the steering identifier (Sec. 3.6)
+// must reject.
+type SteeringWheel struct {
+	Center       geom.Vec3 // wheel hub position
+	Radius       float64   // hand grip radius, ≈ 18 cm
+	Tilt         float64   // wheel plane tilt from vertical, degrees
+	Reflectivity float64
+}
+
+// DefaultSteeringWheel positions the wheel between the driver and the
+// dashboard.
+func DefaultSteeringWheel() SteeringWheel {
+	return SteeringWheel{
+		Center:       geom.Vec3{X: 0.35, Y: 0, Z: 0.95},
+		Radius:       0.18,
+		Tilt:         25,
+		Reflectivity: 0.45,
+	}
+}
+
+// HandScatter returns the dominant hand/rim scatter point at the given
+// wheel angle (degrees; 0 = hands at the top of the wheel).
+func (w SteeringWheel) HandScatter(wheelDeg float64) geom.Vec3 {
+	// The wheel plane is the YZ plane tilted about Y by Tilt degrees.
+	s, c := math.Sincos(geom.Radians(wheelDeg))
+	inPlane := geom.Vec3{Y: s * w.Radius, Z: c * w.Radius}
+	tilted := inPlane.RotateAbout(geom.Vec3{Y: 1}, w.Tilt)
+	return w.Center.Add(tilted)
+}
+
+// MicroMotion is a small oscillating scatterer: breathing chest, eye
+// movement, a music-vibrated surface. Its displacement is sinusoidal
+// with millimeter-scale amplitude, which Sec. 5.3.1 shows produces
+// phase variations far below head turning.
+type MicroMotion struct {
+	Name         string
+	Base         geom.Vec3 // rest position of the scatter point
+	Dir          geom.Vec3 // oscillation direction (unit)
+	AmplitudeM   float64   // oscillation amplitude, meters
+	FreqHz       float64
+	Reflectivity float64
+}
+
+// Pos returns the scatter position at time t.
+func (m MicroMotion) Pos(t float64) geom.Vec3 {
+	disp := m.AmplitudeM * math.Sin(2*math.Pi*m.FreqHz*t)
+	return m.Base.Add(m.Dir.Unit().Scale(disp))
+}
+
+// Standard micro-motion sources of Fig. 15, positioned relative to the
+// default driver seat.
+func MicroBreathing() MicroMotion {
+	return MicroMotion{
+		Name:         "breathing+blinking",
+		Base:         geom.Vec3{X: -0.05, Y: 0, Z: 0.95}, // chest
+		Dir:          geom.Vec3{X: 1},
+		AmplitudeM:   0.0015,
+		FreqHz:       0.25,
+		Reflectivity: 0.03,
+	}
+}
+
+func MicroEyeMotion() MicroMotion {
+	return MicroMotion{
+		Name:         "intense eye motion",
+		Base:         geom.Vec3{X: 0.07, Y: 0, Z: 1.22}, // eyes
+		Dir:          geom.Vec3{Y: 1},
+		AmplitudeM:   0.0012,
+		FreqHz:       2.5,
+		Reflectivity: 0.15,
+	}
+}
+
+func MicroMusicVibration() MicroMotion {
+	return MicroMotion{
+		Name:         "music vibration",
+		Base:         geom.Vec3{X: 0.5, Y: 0.3, Z: 0.85}, // dash speaker
+		Dir:          geom.Vec3{Z: 1},
+		AmplitudeM:   0.0006,
+		FreqHz:       40,
+		Reflectivity: 0.2,
+	}
+}
+
+// Vibration models antenna shake on a bumpy road (Sec. 5.3.2): a
+// regular oscillation of the RX antenna positions. The paper observes
+// the resulting phase curves stay parallel with a small gap — the
+// vibration has a regular pattern — so a sinusoid with mild amplitude
+// captures the measured behaviour. The evaluation uses the paper's
+// worst case: long soft coil antennas.
+type Vibration struct {
+	AmplitudeM float64   // displacement amplitude, meters
+	FreqHz     float64   // dominant shake frequency
+	Dir        geom.Vec3 // shake direction
+}
+
+// DefaultVibration matches the soft coil antennas of Fig. 9 on a
+// campus road: millimeter-scale shake around 12 Hz.
+func DefaultVibration() Vibration {
+	return Vibration{AmplitudeM: 0.003, FreqHz: 12, Dir: geom.Vec3{Z: 1}}
+}
+
+// Offset returns the antenna displacement at time t for the antenna
+// with the given index (antennas shake out of phase).
+func (v Vibration) Offset(t float64, antenna int) geom.Vec3 {
+	phase := 2*math.Pi*v.FreqHz*t + float64(antenna)*math.Pi/3
+	return v.Dir.Unit().Scale(v.AmplitudeM * math.Sin(phase))
+}

@@ -1,0 +1,139 @@
+package camera
+
+import (
+	"math"
+	"testing"
+
+	"vihot/internal/stats"
+)
+
+func TestFrameRate(t *testing.T) {
+	c := NewTracker(stats.NewRNG(1))
+	frames := 0
+	for ts := 0.0; ts < 10; ts += 0.001 {
+		if _, ok := c.Sample(ts, 0, 0); ok {
+			frames++
+		}
+	}
+	if frames < 280 || frames > 320 {
+		t.Errorf("frames in 10 s = %d, want ≈300 at 30 FPS", frames)
+	}
+}
+
+func TestFrameIntervalGuard(t *testing.T) {
+	c := &Tracker{FPS: 0}
+	if got := c.FrameInterval(); math.Abs(got-1.0/30) > 1e-12 {
+		t.Errorf("FPS=0 interval = %v", got)
+	}
+}
+
+func TestAccuracySlowMotion(t *testing.T) {
+	c := NewTracker(stats.NewRNG(2))
+	var errs []float64
+	for ts := 0.0; ts < 20; ts += 0.001 {
+		truth := 30 * math.Sin(ts*0.5)
+		if est, ok := c.Sample(ts, truth, 15*math.Cos(ts*0.5)); ok && est.Valid {
+			errs = append(errs, math.Abs(est.Yaw-truth))
+		}
+	}
+	if m := stats.Mean(errs); m > 3 {
+		t.Errorf("slow-motion mean error = %v°, want small", m)
+	}
+}
+
+func TestMotionBlurGrowsError(t *testing.T) {
+	rng := stats.NewRNG(3)
+	slow := NewTracker(rng.Fork())
+	fast := NewTracker(rng.Fork())
+	var slowErrs, fastErrs []float64
+	for ts := 0.0; ts < 30; ts += 0.001 {
+		if est, ok := slow.Sample(ts, 0, 20); ok && est.Valid {
+			slowErrs = append(slowErrs, math.Abs(est.Yaw))
+		}
+		if est, ok := fast.Sample(ts, 0, 180); ok && est.Valid {
+			fastErrs = append(fastErrs, math.Abs(est.Yaw))
+		}
+	}
+	if stats.Mean(fastErrs) <= stats.Mean(slowErrs) {
+		t.Errorf("fast motion not blurrier: %v vs %v",
+			stats.Mean(fastErrs), stats.Mean(slowErrs))
+	}
+}
+
+func TestLosesTrackAtHighSpeed(t *testing.T) {
+	c := NewTracker(stats.NewRNG(4))
+	lost := false
+	for ts := 0.0; ts < 2; ts += 0.001 {
+		if est, ok := c.Sample(ts, 0, 300); ok && !est.Valid {
+			lost = true
+			break
+		}
+	}
+	if !lost {
+		t.Error("camera never lost track at 300°/s")
+	}
+}
+
+func TestReacquiresAfterLoss(t *testing.T) {
+	c := NewTracker(stats.NewRNG(5))
+	// Fast motion to lose track.
+	for ts := 0.0; ts < 0.5; ts += 0.01 {
+		c.Sample(ts, 0, 300)
+	}
+	// Then still: must become valid again within ReacquireS + margin.
+	recovered := false
+	for ts := 0.5; ts < 2; ts += 0.01 {
+		if est, ok := c.Sample(ts, 0, 0); ok && est.Valid {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Error("camera never reacquired the face")
+	}
+}
+
+func TestNightNoiseWorse(t *testing.T) {
+	rng := stats.NewRNG(6)
+	day := NewTracker(rng.Fork())
+	night := NewTracker(rng.Fork())
+	night.Light = Night
+	var dayErrs, nightErrs []float64
+	for ts := 0.0; ts < 30; ts += 0.001 {
+		if est, ok := day.Sample(ts, 0, 0); ok && est.Valid {
+			dayErrs = append(dayErrs, math.Abs(est.Yaw))
+		}
+		if est, ok := night.Sample(ts, 0, 0); ok && est.Valid {
+			nightErrs = append(nightErrs, math.Abs(est.Yaw))
+		}
+	}
+	if stats.Mean(nightErrs) <= 2*stats.Mean(dayErrs) {
+		t.Errorf("night not clearly worse: %v vs %v",
+			stats.Mean(nightErrs), stats.Mean(dayErrs))
+	}
+}
+
+func TestLightString(t *testing.T) {
+	if Daylight.String() != "daylight" || Dusk.String() != "dusk" || Night.String() != "night" {
+		t.Error("Light.String labels wrong")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewTracker(stats.NewRNG(7))
+	for ts := 0.0; ts < 0.5; ts += 0.01 {
+		c.Sample(ts, 0, 300) // lose track
+	}
+	c.Reset()
+	if est, ok := c.Sample(0, 5, 0); !ok || !est.Valid {
+		t.Error("Reset did not clear loss state")
+	}
+}
+
+func TestNilRNGDeterministic(t *testing.T) {
+	c := &Tracker{FPS: 30}
+	est, ok := c.Sample(0, 42, 0)
+	if !ok || !est.Valid || est.Yaw != 42 {
+		t.Errorf("nil-RNG estimate = %+v", est)
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Profile persistence: a driver profiles once (≈100 s) and reuses the
+// profile across trips (Sec. 5.2.4 shows a week-old profile still
+// tracks), so the profile must outlive the process.
+
+// WriteProfile serializes a profile with encoding/gob.
+func WriteProfile(w io.Writer, p *Profile) error {
+	if p == nil || len(p.Positions) == 0 {
+		return ErrEmptyProfile
+	}
+	return gob.NewEncoder(w).Encode(p)
+}
+
+// ReadProfile deserializes a profile and validates its shape.
+func ReadProfile(r io.Reader) (*Profile, error) {
+	var p Profile
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("core: decode profile: %w", err)
+	}
+	if len(p.Positions) == 0 {
+		return nil, ErrEmptyProfile
+	}
+	if p.MatchRateHz <= 0 {
+		return nil, fmt.Errorf("core: profile has invalid match rate %v", p.MatchRateHz)
+	}
+	for i, pos := range p.Positions {
+		if len(pos.PhiGrid) != len(pos.ThetaGrid) {
+			return nil, fmt.Errorf("core: profile position %d grids misaligned (%d vs %d)",
+				i, len(pos.PhiGrid), len(pos.ThetaGrid))
+		}
+		if len(pos.PhiGrid) == 0 {
+			return nil, fmt.Errorf("core: profile position %d is empty", i)
+		}
+	}
+	return &p, nil
+}
+
+// SaveProfile writes a profile to a file.
+func SaveProfile(path string, p *Profile) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteProfile(f, p); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadProfile reads a profile from a file.
+func LoadProfile(path string) (*Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadProfile(f)
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+func TestProfileRoundTrip(t *testing.T) {
+	p := synthProfile(t, 3)
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MatchRateHz != p.MatchRateHz || len(got.Positions) != len(p.Positions) {
+		t.Fatalf("shape mismatch: %+v", got)
+	}
+	for i := range got.Positions {
+		if got.Positions[i].Fingerprint != p.Positions[i].Fingerprint {
+			t.Errorf("fingerprint %d mismatch", i)
+		}
+		for k := range got.Positions[i].PhiGrid {
+			if got.Positions[i].PhiGrid[k] != p.Positions[i].PhiGrid[k] {
+				t.Fatalf("phi grid %d/%d mismatch", i, k)
+			}
+		}
+	}
+	// A loaded profile must be directly trackable.
+	if _, err := NewTracker(got, DefaultConfig()); err != nil {
+		t.Errorf("loaded profile rejected by tracker: %v", err)
+	}
+}
+
+func TestWriteProfileRejectsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, nil); !errors.Is(err, ErrEmptyProfile) {
+		t.Errorf("nil err = %v", err)
+	}
+	if err := WriteProfile(&buf, &Profile{MatchRateHz: 100}); !errors.Is(err, ErrEmptyProfile) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestReadProfileRejectsGarbage(t *testing.T) {
+	if _, err := ReadProfile(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestReadProfileValidatesShape(t *testing.T) {
+	bad := &Profile{
+		MatchRateHz: 100,
+		Positions: []PositionProfile{{
+			PhiGrid:   []float64{1, 2},
+			ThetaGrid: []float64{1}, // misaligned
+		}},
+	}
+	var buf bytes.Buffer
+	if err := gobEncode(&buf, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadProfile(&buf); err == nil {
+		t.Error("misaligned grids accepted")
+	}
+
+	badRate := &Profile{
+		MatchRateHz: -5,
+		Positions:   []PositionProfile{{PhiGrid: []float64{1}, ThetaGrid: []float64{1}}},
+	}
+	buf.Reset()
+	if err := gobEncode(&buf, badRate); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadProfile(&buf); err == nil {
+		t.Error("invalid match rate accepted")
+	}
+}
+
+func TestSaveLoadProfileFile(t *testing.T) {
+	p := synthProfile(t, 2)
+	path := filepath.Join(t.TempDir(), "driver.profile")
+	if err := SaveProfile(path, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Positions) != 2 {
+		t.Errorf("positions = %d", len(got.Positions))
+	}
+	if _, err := LoadProfile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// gobEncode writes raw gob without WriteProfile's validation, to test
+// ReadProfile's own checks.
+func gobEncode(buf *bytes.Buffer, p *Profile) error {
+	return gob.NewEncoder(buf).Encode(p)
+}

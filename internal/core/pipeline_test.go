@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"vihot/internal/camera"
+	"vihot/internal/imu"
+)
+
+func newTestPipeline(t *testing.T, cfg PipelineConfig) *Pipeline {
+	t.Helper()
+	pl, err := NewPipeline(synthProfile(t, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestNewPipelineValidation(t *testing.T) {
+	if _, err := NewPipeline(nil, DefaultPipelineConfig()); err == nil {
+		t.Error("nil profile accepted")
+	}
+}
+
+func TestPipelinePassesThroughWhenStraight(t *testing.T) {
+	pl := newTestPipeline(t, DefaultPipelineConfig())
+	// Straight driving: the IMU sees no turn, CSI flows to the tracker.
+	count := 0
+	for ts := 0.0; ts < 4; ts += 0.002 {
+		if int(ts*100)%2 == 0 {
+			pl.PushIMU(imu.Reading{Time: ts, GyroZ: 0.1})
+		}
+		theta := 80 * math.Sin(2*math.Pi*ts/4)
+		if _, ok := pl.PushCSI(ts, -1+0.8*math.Sin(theta*math.Pi/180)); ok {
+			count++
+		}
+	}
+	if count == 0 {
+		t.Error("no estimates while driving straight")
+	}
+	if pl.Steering() {
+		t.Error("steering flagged under straight driving")
+	}
+}
+
+func TestPipelineFallsBackDuringTurn(t *testing.T) {
+	pl := newTestPipeline(t, DefaultPipelineConfig())
+	// Prime the camera estimate.
+	pl.PushCamera(camera.Estimate{Time: 0, Yaw: 12, Valid: true})
+	// Car turning hard: gyro high.
+	for ts := 0.0; ts < 1; ts += 0.01 {
+		pl.PushIMU(imu.Reading{Time: ts, GyroZ: 25})
+	}
+	if !pl.Steering() {
+		t.Fatal("turn not detected")
+	}
+	got, ok := pl.PushCSI(1.0, 0.3)
+	if !ok {
+		t.Fatal("no fallback estimate during turn")
+	}
+	if got.Source != SourceCamera || got.Yaw != 12 {
+		t.Errorf("fallback estimate = %+v", got)
+	}
+}
+
+func TestPipelineNoFallbackWithoutCamera(t *testing.T) {
+	pl := newTestPipeline(t, DefaultPipelineConfig())
+	for ts := 0.0; ts < 1; ts += 0.01 {
+		pl.PushIMU(imu.Reading{Time: ts, GyroZ: 25})
+	}
+	if _, ok := pl.PushCSI(1.0, 0.3); ok {
+		t.Error("estimate emitted during turn without camera data")
+	}
+}
+
+func TestPipelineIgnoresInvalidCameraFrames(t *testing.T) {
+	pl := newTestPipeline(t, DefaultPipelineConfig())
+	pl.PushCamera(camera.Estimate{Time: 0, Yaw: 50, Valid: false})
+	for ts := 0.0; ts < 1; ts += 0.01 {
+		pl.PushIMU(imu.Reading{Time: ts, GyroZ: 25})
+	}
+	if _, ok := pl.PushCSI(1.0, 0.3); ok {
+		t.Error("invalid camera frame used for fallback")
+	}
+}
+
+func TestPipelineQuarantineAfterTurn(t *testing.T) {
+	cfg := DefaultPipelineConfig()
+	cfg.QuarantineS = 0.5
+	pl := newTestPipeline(t, cfg)
+	pl.PushCamera(camera.Estimate{Time: 0, Yaw: 5, Valid: true})
+	for ts := 0.0; ts < 1; ts += 0.01 {
+		pl.PushIMU(imu.Reading{Time: ts, GyroZ: 25})
+	}
+	// Turn ends.
+	for ts := 1.0; ts < 2.5; ts += 0.01 {
+		pl.PushIMU(imu.Reading{Time: ts, GyroZ: 0})
+		if !pl.Steering() {
+			break
+		}
+	}
+	if pl.Steering() {
+		t.Fatal("steering never cleared")
+	}
+	// Immediately after: still quarantined → camera estimates.
+	est, ok := pl.PushCSI(2.0, 0.3)
+	if ok && est.Source != SourceCamera {
+		t.Errorf("expected camera source during quarantine, got %v", est.Source)
+	}
+}
+
+func TestPipelineIdentifierDisabled(t *testing.T) {
+	cfg := DefaultPipelineConfig()
+	cfg.SteeringIdentifier = false
+	pl := newTestPipeline(t, cfg)
+	for ts := 0.0; ts < 1; ts += 0.01 {
+		pl.PushIMU(imu.Reading{Time: ts, GyroZ: 50})
+	}
+	if pl.Steering() {
+		t.Error("identifier disabled but steering flagged")
+	}
+	// CSI flows to the tracker regardless.
+	count := 0
+	for ts := 1.0; ts < 4; ts += 0.002 {
+		theta := 80 * math.Sin(2*math.Pi*ts/4)
+		if _, ok := pl.PushCSI(ts, -1+0.8*math.Sin(theta*math.Pi/180)); ok {
+			count++
+		}
+	}
+	if count == 0 {
+		t.Error("no estimates with identifier disabled")
+	}
+}
+
+func TestPipelineTrackerAccessor(t *testing.T) {
+	pl := newTestPipeline(t, DefaultPipelineConfig())
+	if pl.Tracker() == nil {
+		t.Error("Tracker() returned nil")
+	}
+}
+
+func TestPipelineCameraFusion(t *testing.T) {
+	cfg := DefaultPipelineConfig()
+	cfg.CameraFusion = true
+	cfg.FusionCSIWeight = 0.5
+	pl := newTestPipeline(t, cfg)
+	// Warm the tracker on the synthetic curve.
+	var csiEst Estimate
+	for ts := 0.0; ts < 4; ts += 0.002 {
+		theta := 80 * math.Sin(2*math.Pi*ts/4)
+		if est, ok := pl.PushCSI(ts, -1+0.8*math.Sin(theta*math.Pi/180)); ok && est.Source == SourceCSI {
+			csiEst = est
+		}
+	}
+	if csiEst.Time == 0 {
+		t.Fatal("no CSI estimates")
+	}
+	// A fresh camera frame must blend.
+	pl.PushCamera(camera.Estimate{Time: 4.0, Yaw: 0, Valid: true})
+	fusedSeen := false
+	for ts := 4.0; ts < 4.1; ts += 0.002 {
+		theta := 80 * math.Sin(2*math.Pi*ts/4)
+		if est, ok := pl.PushCSI(ts, -1+0.8*math.Sin(theta*math.Pi/180)); ok && est.Source == SourceFused {
+			fusedSeen = true
+		}
+	}
+	if !fusedSeen {
+		t.Error("fusion never engaged with a fresh camera frame")
+	}
+	// A stale camera frame must not blend.
+	staleSeen := false
+	for ts := 6.0; ts < 6.3; ts += 0.002 {
+		theta := 80 * math.Sin(2*math.Pi*ts/4)
+		if est, ok := pl.PushCSI(ts, -1+0.8*math.Sin(theta*math.Pi/180)); ok && est.Source == SourceFused {
+			staleSeen = true
+		}
+	}
+	if staleSeen {
+		t.Error("fusion engaged with a stale camera frame")
+	}
+}

@@ -1,0 +1,197 @@
+// Package core implements ViHOT itself: position-orientation joint
+// profiling (Sec. 3.3), the two-level position-orientation joint
+// tracker with DTW series matching (Sec. 3.4, Algorithm 1), head
+// orientation forecasting (Sec. 3.4.6), and the steering identifier
+// with camera fallback (Sec. 3.6).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"vihot/internal/dsp"
+	"vihot/internal/geom"
+)
+
+// Errors returned by profile construction and tracking.
+var (
+	ErrEmptyProfile   = errors.New("core: profile has no positions")
+	ErrShortRecording = errors.New("core: recording too short to profile")
+	ErrNotReady       = errors.New("core: tracker window not yet filled")
+)
+
+// SweepRecording is the raw material of one profiling pass: the CSI
+// phase stream recorded while the driver swept the head back and
+// forth at one head position, the time-aligned ground-truth
+// orientation stream (from the phone camera or headset), and the
+// front-facing fingerprint phase φ⁰c(i) captured before the sweep.
+type SweepRecording struct {
+	Position    int
+	Fingerprint float64    // φ⁰c(i), radians
+	Phase       dsp.Series // Φ*c: CSI phase vs time
+	Orientation dsp.Series // Θ*c: head yaw (deg) vs time
+}
+
+// PositionProfile is the processed profile of one head position: the
+// phase and orientation series resampled onto the common match grid.
+type PositionProfile struct {
+	Position    int
+	Fingerprint float64
+
+	// Grids resampled at the profile's MatchRate; equal length, index-
+	// aligned: ThetaGrid[k] is the head orientation when the CSI phase
+	// was PhiGrid[k].
+	PhiGrid   []float64
+	ThetaGrid []float64
+}
+
+// Profile is a driver's full CSI profile P = {C₁ … Cₙ} (Sec. 3.3).
+type Profile struct {
+	MatchRateHz float64
+	Positions   []PositionProfile
+}
+
+// DefaultMatchRateHz is the uniform grid both the profile and the
+// run-time window are resampled to before DTW.
+const DefaultMatchRateHz = 100
+
+// BuildProfile processes raw sweep recordings into a matchable
+// profile. Each recording must span at least minDuration of data;
+// shorter ones yield ErrShortRecording.
+func BuildProfile(recs []SweepRecording, matchRateHz float64) (*Profile, error) {
+	if matchRateHz <= 0 {
+		matchRateHz = DefaultMatchRateHz
+	}
+	if len(recs) == 0 {
+		return nil, ErrEmptyProfile
+	}
+	const minDuration = 0.5 // seconds of usable sweep
+	p := &Profile{MatchRateHz: matchRateHz}
+	for _, r := range recs {
+		if r.Phase.Duration() < minDuration || r.Orientation.Duration() < minDuration {
+			return nil, fmt.Errorf("%w: position %d has %.2fs of phase and %.2fs of orientation",
+				ErrShortRecording, r.Position, r.Phase.Duration(), r.Orientation.Duration())
+		}
+		// Unwrap the phase stream before resampling: linear
+		// interpolation across the ±π seam would otherwise invent
+		// values on the wrong side of the circle. Grid values are
+		// wrapped back afterwards.
+		unwrapped := make(dsp.Series, len(r.Phase))
+		uv := dsp.Unwrap(r.Phase.Values())
+		for k := range r.Phase {
+			unwrapped[k] = dsp.Sample{T: r.Phase[k].T, V: uv[k]}
+		}
+		phi, err := unwrapped.ResampleValues(matchRateHz, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: resample phase for position %d: %w", r.Position, err)
+		}
+		for k := range phi {
+			phi[k] = geom.WrapRad(phi[k])
+		}
+		// Resample orientation onto the phase grid timestamps so the
+		// two stay index-aligned even though the camera/headset labels
+		// arrive on their own clock.
+		theta := make([]float64, len(phi))
+		t0 := r.Phase[0].T
+		dt := 1 / matchRateHz
+		for k := range theta {
+			v, err := r.Orientation.At(t0 + float64(k)*dt)
+			if err != nil {
+				return nil, fmt.Errorf("core: align orientation for position %d: %w", r.Position, err)
+			}
+			theta[k] = v
+		}
+		p.Positions = append(p.Positions, PositionProfile{
+			Position:    r.Position,
+			Fingerprint: geom.WrapRad(r.Fingerprint),
+			PhiGrid:     phi,
+			ThetaGrid:   theta,
+		})
+	}
+	return p, nil
+}
+
+// NearestPosition implements Eq. (4): it returns the index into
+// Positions whose front-facing fingerprint φ⁰c(i) is circularly
+// closest to the observed stable phase φ⁰r.
+func (p *Profile) NearestPosition(phi0r float64) (int, error) {
+	c, err := p.NearestPositions(phi0r, 1)
+	if err != nil {
+		return 0, err
+	}
+	return c[0], nil
+}
+
+// NearestPositions returns up to k position indices ordered by
+// circular fingerprint distance to φ⁰r — the Eq. (4) shortlist.
+//
+// At 2.4 GHz the fingerprint phase wraps every ≈12.5 cm of path
+// change, so across the ≈18 cm lean range several head positions can
+// share similar φ⁰ values (aliasing). A single nearest match is then
+// ambiguous; the tracker resolves the shortlist by DTW match quality.
+func (p *Profile) NearestPositions(phi0r float64, k int) ([]int, error) {
+	if len(p.Positions) == 0 {
+		return nil, ErrEmptyProfile
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(p.Positions) {
+		k = len(p.Positions)
+	}
+	type cand struct {
+		idx  int
+		dist float64
+	}
+	cands := make([]cand, len(p.Positions))
+	for i, pos := range p.Positions {
+		cands[i] = cand{i, math.Abs(geom.PhaseDiff(pos.Fingerprint, phi0r))}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].idx
+	}
+	return out, nil
+}
+
+// Merge appends the positions of other onto p, supporting the paper's
+// "keep updating a driver's CSI profile by adding new traces after
+// each trip" (Sec. 3.3). Match rates must agree.
+func (p *Profile) Merge(other *Profile) error {
+	if other == nil || len(other.Positions) == 0 {
+		return nil
+	}
+	if other.MatchRateHz != p.MatchRateHz {
+		return fmt.Errorf("core: cannot merge profiles with match rates %v and %v",
+			p.MatchRateHz, other.MatchRateHz)
+	}
+	p.Positions = append(p.Positions, other.Positions...)
+	return nil
+}
+
+// GridSamples returns the total number of profile grid samples, a
+// proxy for matching cost.
+func (p *Profile) GridSamples() int {
+	n := 0
+	for _, pos := range p.Positions {
+		n += len(pos.PhiGrid)
+	}
+	return n
+}
+
+// MeanPhase returns the circular mean of a position's phase grid,
+// used to recentre phases away from the ±π seam before matching.
+func (pp *PositionProfile) MeanPhase() float64 {
+	var sum complex128
+	for _, phi := range pp.PhiGrid {
+		sum += cmplx.Rect(1, phi)
+	}
+	if sum == 0 {
+		return 0
+	}
+	return cmplx.Phase(sum)
+}

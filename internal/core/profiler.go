@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"vihot/internal/dsp"
+	"vihot/internal/geom"
+)
+
+// Profiler is the streaming front end of position-orientation joint
+// profiling (Sec. 3.3). During a profiling session the caller:
+//
+//  1. calls StartPosition(i) when the driver settles at head position
+//     i facing the road,
+//  2. feeds CSI phases via AddPhase and ground-truth orientations via
+//     AddTruth (both in real time, in any interleaving),
+//  3. calls MarkFingerprint once the pre-sweep phase is stable,
+//  4. lets the driver sweep, then calls EndPosition,
+//
+// and finally Build() to obtain the matchable Profile. The whole
+// session fits in the paper's ≤100 s budget because data collection is
+// continuous — no dwelling at discrete orientations.
+type Profiler struct {
+	matchRate float64
+
+	recs    []SweepRecording
+	cur     *SweepRecording
+	stable  *dsp.StabilityDetector
+	haveFpr bool
+}
+
+// NewProfiler returns a Profiler targeting the given match-grid rate
+// (0 uses DefaultMatchRateHz).
+func NewProfiler(matchRateHz float64) *Profiler {
+	if matchRateHz <= 0 {
+		matchRateHz = DefaultMatchRateHz
+	}
+	return &Profiler{
+		matchRate: matchRateHz,
+		stable:    dsp.NewStabilityDetector(0.3, 0.06, 0.2),
+	}
+}
+
+// StartPosition begins recording head position i. An unfinished
+// previous position is discarded.
+func (p *Profiler) StartPosition(i int) {
+	p.cur = &SweepRecording{Position: i}
+	p.stable.Reset()
+	p.haveFpr = false
+}
+
+// AddPhase feeds one sanitized CSI phase sample.
+func (p *Profiler) AddPhase(t, phi float64) {
+	if p.cur == nil {
+		return
+	}
+	p.cur.Phase = append(p.cur.Phase, dsp.Sample{T: t, V: phi})
+	if !p.haveFpr {
+		if p.stable.Push(t, phi) {
+			p.cur.Fingerprint = geom.WrapRad(p.stable.Mean())
+			p.haveFpr = true
+		}
+	}
+}
+
+// AddTruth feeds one ground-truth head orientation (degrees) from the
+// phone camera or headset.
+func (p *Profiler) AddTruth(t, yawDeg float64) {
+	if p.cur == nil {
+		return
+	}
+	p.cur.Orientation = append(p.cur.Orientation, dsp.Sample{T: t, V: yawDeg})
+}
+
+// MarkFingerprint forces the front-facing fingerprint to the given
+// phase, for callers that track stability themselves.
+func (p *Profiler) MarkFingerprint(phi float64) {
+	if p.cur == nil {
+		return
+	}
+	p.cur.Fingerprint = geom.WrapRad(phi)
+	p.haveFpr = true
+}
+
+// FingerprintCaptured reports whether the current position's
+// fingerprint has been established (either automatically from stable
+// CSI or via MarkFingerprint).
+func (p *Profiler) FingerprintCaptured() bool { return p.haveFpr }
+
+// EndPosition finishes the current position's recording. It returns
+// an error when no position is active or the fingerprint was never
+// captured — a profile without φ⁰c(i) cannot support Eq. (4).
+func (p *Profiler) EndPosition() error {
+	if p.cur == nil {
+		return fmt.Errorf("core: EndPosition without StartPosition")
+	}
+	if !p.haveFpr {
+		p.cur = nil
+		return fmt.Errorf("core: position fingerprint never stabilized; re-profile this position")
+	}
+	p.recs = append(p.recs, *p.cur)
+	p.cur = nil
+	return nil
+}
+
+// Recordings returns the completed sweep recordings so far.
+func (p *Profiler) Recordings() []SweepRecording { return p.recs }
+
+// Build processes every completed position into a Profile.
+func (p *Profiler) Build() (*Profile, error) {
+	return BuildProfile(p.recs, p.matchRate)
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"vihot/internal/geom"
+)
+
+// QualityReport summarizes how fit a profile is for tracking. A real
+// deployment runs this right after profiling and asks the driver to
+// redo positions that come back with warnings — far cheaper than
+// discovering a bad profile through tracking errors on the road.
+type QualityReport struct {
+	Positions int
+	// OrientationSpanDeg is the smallest yaw range covered by any
+	// position's sweep; tracking beyond the profiled span extrapolates.
+	OrientationSpanDeg float64
+	// PhaseSwingRad is the smallest peak-to-peak (unwrapped) phase
+	// swing of any position — a nearly flat curve cannot disambiguate
+	// orientations.
+	PhaseSwingRad float64
+	// MinGridSamples is the shortest position grid; short sweeps give
+	// the matcher little to slide over.
+	MinGridSamples int
+	// FingerprintGapRad is the smallest circular distance between any
+	// two position fingerprints: small gaps mean Eq. (4) aliasing and
+	// heavier reliance on the shortlist disambiguation.
+	FingerprintGapRad float64
+	Warnings          []string
+}
+
+// Quality analyses the profile. Thresholds reflect the paper's
+// operating point: ±60° sweeps, ~10 s per position.
+func (p *Profile) Quality() QualityReport {
+	r := QualityReport{
+		Positions:          len(p.Positions),
+		OrientationSpanDeg: math.Inf(1),
+		PhaseSwingRad:      math.Inf(1),
+		MinGridSamples:     math.MaxInt,
+		FingerprintGapRad:  math.Inf(1),
+	}
+	if len(p.Positions) == 0 {
+		r.OrientationSpanDeg, r.PhaseSwingRad, r.FingerprintGapRad = 0, 0, 0
+		r.MinGridSamples = 0
+		r.Warnings = append(r.Warnings, "profile has no positions")
+		return r
+	}
+	for i, pos := range p.Positions {
+		lo, hi := pos.ThetaGrid[0], pos.ThetaGrid[0]
+		for _, th := range pos.ThetaGrid {
+			lo = math.Min(lo, th)
+			hi = math.Max(hi, th)
+		}
+		span := hi - lo
+		if span < r.OrientationSpanDeg {
+			r.OrientationSpanDeg = span
+		}
+		if span < 90 {
+			r.Warnings = append(r.Warnings,
+				fmt.Sprintf("position %d sweeps only %.0f° of yaw; re-profile with wider head turns", pos.Position, span))
+		}
+
+		swing := phaseSwing(pos.PhiGrid)
+		if swing < r.PhaseSwingRad {
+			r.PhaseSwingRad = swing
+		}
+		if swing < 0.3 {
+			r.Warnings = append(r.Warnings,
+				fmt.Sprintf("position %d phase swings only %.2f rad; check antenna placement (Sec. 5.2.2)", pos.Position, swing))
+		}
+
+		if n := len(pos.PhiGrid); n < r.MinGridSamples {
+			r.MinGridSamples = n
+		}
+		if len(pos.PhiGrid) < int(2*p.MatchRateHz) {
+			r.Warnings = append(r.Warnings,
+				fmt.Sprintf("position %d has under 2 s of sweep data", pos.Position))
+		}
+
+		for j := 0; j < i; j++ {
+			gap := math.Abs(geom.PhaseDiff(pos.Fingerprint, p.Positions[j].Fingerprint))
+			if gap < r.FingerprintGapRad {
+				r.FingerprintGapRad = gap
+			}
+		}
+	}
+	if len(p.Positions) == 1 {
+		r.FingerprintGapRad = math.Pi // nothing to collide with
+	} else if r.FingerprintGapRad < 0.05 {
+		r.Warnings = append(r.Warnings,
+			fmt.Sprintf("two positions share fingerprints within %.3f rad; position estimation will rely on shortlist disambiguation", r.FingerprintGapRad))
+	}
+	return r
+}
+
+// phaseSwing returns the unwrapped peak-to-peak phase range.
+func phaseSwing(phis []float64) float64 {
+	if len(phis) == 0 {
+		return 0
+	}
+	unw, lo, hi := phis[0], phis[0], phis[0]
+	for i := 1; i < len(phis); i++ {
+		unw += geom.PhaseDiff(phis[i], phis[i-1])
+		lo = math.Min(lo, unw)
+		hi = math.Max(hi, unw)
+	}
+	return hi - lo
+}
+
+// OK reports whether the profile produced no warnings.
+func (r QualityReport) OK() bool { return len(r.Warnings) == 0 }
+
+// String renders the report for CLI display.
+func (r QualityReport) String() string {
+	s := fmt.Sprintf("profile quality: %d positions, ≥%.0f° span, ≥%.2f rad swing, ≥%d samples, %.2f rad min fingerprint gap",
+		r.Positions, r.OrientationSpanDeg, r.PhaseSwingRad, r.MinGridSamples, r.FingerprintGapRad)
+	for _, w := range r.Warnings {
+		s += "\n  warning: " + w
+	}
+	return s
+}

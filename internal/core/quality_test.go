@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vihot/internal/dsp"
+)
+
+func TestQualityGoodProfile(t *testing.T) {
+	p := synthProfile(t, 4)
+	r := p.Quality()
+	if !r.OK() {
+		t.Errorf("good profile flagged: %v", r.Warnings)
+	}
+	if r.Positions != 4 {
+		t.Errorf("positions = %d", r.Positions)
+	}
+	if r.OrientationSpanDeg < 140 {
+		t.Errorf("span = %v, synth sweeps ±80", r.OrientationSpanDeg)
+	}
+	if r.PhaseSwingRad < 1 {
+		t.Errorf("swing = %v, synth swings 1.6 rad", r.PhaseSwingRad)
+	}
+	if r.MinGridSamples < 700 {
+		t.Errorf("grid = %d", r.MinGridSamples)
+	}
+	if !strings.Contains(r.String(), "4 positions") {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestQualityEmptyProfile(t *testing.T) {
+	var p Profile
+	r := p.Quality()
+	if r.OK() {
+		t.Error("empty profile passed")
+	}
+}
+
+func TestQualityNarrowSweepWarns(t *testing.T) {
+	// A sweep covering only ±20°.
+	rec := SweepRecording{Position: 0, Fingerprint: 0}
+	for ts := 0.0; ts < 4; ts += 0.002 {
+		theta := 20 * math.Sin(ts)
+		rec.Phase = append(rec.Phase, dsp.Sample{T: ts, V: 0.8 * math.Sin(theta*3.14159/180)})
+	}
+	for ts := 0.0; ts < 4; ts += 1.0 / 60 {
+		rec.Orientation = append(rec.Orientation, dsp.Sample{T: ts, V: 20 * math.Sin(ts)})
+	}
+	p, err := BuildProfile([]SweepRecording{rec}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Quality()
+	if r.OK() {
+		t.Error("narrow sweep not flagged")
+	}
+	found := false
+	for _, w := range r.Warnings {
+		if strings.Contains(w, "sweeps only") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing narrow-sweep warning: %v", r.Warnings)
+	}
+}
+
+func TestQualityFlatPhaseWarns(t *testing.T) {
+	rec := synthRecording(0, 0, 0.02, 6) // 0.04 rad p-p: nearly flat
+	p, err := BuildProfile([]SweepRecording{rec}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Quality()
+	found := false
+	for _, w := range r.Warnings {
+		if strings.Contains(w, "phase swings only") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing flat-phase warning: %v", r.Warnings)
+	}
+}
+
+func TestQualityAliasedFingerprintsWarn(t *testing.T) {
+	recs := []SweepRecording{
+		synthRecording(0, 0.5, 0.8, 6),
+		synthRecording(1, 0.51, 0.8, 6), // nearly identical fingerprint
+	}
+	p, err := BuildProfile(recs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Quality()
+	found := false
+	for _, w := range r.Warnings {
+		if strings.Contains(w, "share fingerprints") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing aliasing warning: %v", r.Warnings)
+	}
+}
+
+func TestQualitySinglePositionNoAliasWarning(t *testing.T) {
+	p, err := BuildProfile([]SweepRecording{synthRecording(0, 0, 0.8, 6)}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range p.Quality().Warnings {
+		if strings.Contains(w, "share fingerprints") {
+			t.Error("single position cannot alias")
+		}
+	}
+}

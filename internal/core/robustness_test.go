@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vihot/internal/geom"
+	"vihot/internal/imu"
+)
+
+// Failure-injection tests: the tracker is fed hostile streams and must
+// neither panic nor emit non-finite estimates.
+
+func pushAll(t *testing.T, tk *Tracker, feed func(i int) (float64, float64), n int) int {
+	t.Helper()
+	emitted := 0
+	for i := 0; i < n; i++ {
+		ts, phi := feed(i)
+		est, ok := tk.Push(ts, phi)
+		if !ok {
+			continue
+		}
+		emitted++
+		if math.IsNaN(est.Yaw) || math.IsInf(est.Yaw, 0) {
+			t.Fatalf("non-finite estimate at sample %d: %+v", i, est)
+		}
+	}
+	return emitted
+}
+
+func TestTrackerSurvivesNaNPhases(t *testing.T) {
+	tk := newTestTracker(t, 2, DefaultConfig())
+	pushAll(t, tk, func(i int) (float64, float64) {
+		phi := -1 + 0.8*math.Sin(float64(i)*0.01)
+		if i%97 == 0 {
+			phi = math.NaN() // a corrupted CSI frame
+		}
+		return float64(i) * 0.002, phi
+	}, 4000)
+}
+
+func TestTrackerSurvivesHugeGaps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive integration test")
+	}
+	// Packet stream with multi-second dropouts.
+	tk := newTestTracker(t, 2, DefaultConfig())
+	ts := 0.0
+	pushAll(t, tk, func(i int) (float64, float64) {
+		ts += 0.002
+		if i%500 == 499 {
+			ts += 5 // link outage
+		}
+		theta := 80 * math.Sin(ts)
+		return ts, -1 + 0.8*math.Sin(theta*math.Pi/180)
+	}, 4000)
+}
+
+func TestTrackerSurvivesConstantStream(t *testing.T) {
+	// A dead sensor pinned at one value: only front-facing estimates
+	// (the stability premise) should come out.
+	tk := newTestTracker(t, 2, DefaultConfig())
+	for i := 0; i < 3000; i++ {
+		est, ok := tk.Push(float64(i)*0.002, 0.42)
+		if ok && est.Source == SourceCSI && i > 1000 {
+			t.Fatal("CSI estimates from a frozen stream after stability should not happen")
+		}
+	}
+}
+
+func TestTrackerSurvivesWhiteNoise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive integration test")
+	}
+	tk := newTestTracker(t, 2, DefaultConfig())
+	seed := uint64(12345)
+	rnd := func() float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(seed>>11) / float64(1<<53)
+	}
+	pushAll(t, tk, func(i int) (float64, float64) {
+		return float64(i) * 0.002, (rnd() - 0.5) * 2 * math.Pi
+	}, 4000)
+}
+
+func TestTrackerOutOfOrderTimestamps(t *testing.T) {
+	tk := newTestTracker(t, 1, DefaultConfig())
+	pushAll(t, tk, func(i int) (float64, float64) {
+		ts := float64(i) * 0.002
+		if i%50 == 25 {
+			ts -= 0.01 // clock jitter: slightly out of order
+		}
+		theta := 80 * math.Sin(ts)
+		return ts, -1 + 0.8*math.Sin(theta*math.Pi/180)
+	}, 3000)
+}
+
+func TestPipelineSurvivesIMUGarbage(t *testing.T) {
+	pl := newTestPipeline(t, DefaultPipelineConfig())
+	for i := 0; i < 500; i++ {
+		r := imu.Reading{Time: float64(i) * 0.01}
+		switch i % 3 {
+		case 0:
+			r.GyroZ = 1e9
+		case 1:
+			r.GyroZ = math.NaN()
+		default:
+			r.GyroZ = -1e9
+		}
+		pl.PushIMU(r)
+	}
+	// Still serves estimates afterwards.
+	emitted := 0
+	for ts := 10.0; ts < 14; ts += 0.002 {
+		theta := 80 * math.Sin(ts)
+		if _, ok := pl.PushCSI(ts, -1+0.8*math.Sin(theta*math.Pi/180)); ok {
+			emitted++
+		}
+	}
+	if emitted == 0 {
+		t.Error("pipeline dead after IMU garbage")
+	}
+}
+
+func TestForecastPropertyWithinProfileRange(t *testing.T) {
+	// For any estimate produced by tracking, any forecast horizon must
+	// return an orientation inside the profile's orientation range.
+	tk := newTestTracker(t, 1, DefaultConfig())
+	theta := tk.profile.Positions[0].ThetaGrid
+	lo, hi := theta[0], theta[0]
+	for _, v := range theta {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var ests []Estimate
+	for ts := 0.0; ts < 10; ts += 0.002 {
+		th := 80 * math.Sin(2*math.Pi*ts/4)
+		if est, ok := tk.Push(ts, -1+0.8*math.Sin(th*math.Pi/180)); ok && est.Source == SourceCSI {
+			ests = append(ests, est)
+		}
+	}
+	if len(ests) == 0 {
+		t.Fatal("no estimates")
+	}
+	f := func(idx uint, horizon float64) bool {
+		est := ests[idx%uint(len(ests))]
+		h := math.Mod(math.Abs(horizon), 1.0)
+		got := tk.Forecast(est, h)
+		return got >= lo-1e-9 && got <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateErrorsAlwaysFinite(t *testing.T) {
+	// Angular distance of any produced estimate is in [0, 180].
+	tk := newTestTracker(t, 3, DefaultConfig())
+	for ts := 0.0; ts < 10; ts += 0.002 {
+		th := 80 * math.Sin(2*math.Pi*ts/4)
+		if est, ok := tk.Push(ts, -1+0.8*math.Sin(th*math.Pi/180)); ok {
+			d := geom.AngleDistDeg(est.Yaw, th)
+			if d < 0 || d > 180 || math.IsNaN(d) {
+				t.Fatalf("bad angular distance %v", d)
+			}
+		}
+	}
+}

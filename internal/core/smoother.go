@@ -1,0 +1,114 @@
+package core
+
+import "math"
+
+// Smoother is an optional constant-velocity Kalman filter over the
+// estimate stream. The paper reports raw per-window estimates; an AR
+// renderer consuming them benefits from a smooth, jitter-free pose
+// stream, and the filter's velocity state gives an alternative
+// short-horizon predictor to Eq. (6). Measurement trust is scaled by
+// each estimate's DTW match distance, so confident matches correct
+// the state quickly while marginal ones barely nudge it.
+type Smoother struct {
+	// ProcessVar is the yaw-acceleration variance ((°/s²)²) driving
+	// state uncertainty growth between estimates.
+	ProcessVar float64
+	// BaseMeasVar is the measurement variance (°²) of a perfect-match
+	// estimate; it grows linearly with MatchDist via DistVarScale.
+	BaseMeasVar  float64
+	DistVarScale float64
+
+	yaw, rate  float64 // state: orientation (°) and angular rate (°/s)
+	pYY, pYR   float64 // covariance entries
+	pRR        float64
+	lastT      float64
+	initalized bool
+}
+
+// NewSmoother returns a smoother tuned for head motion: heads
+// accelerate at hundreds of °/s², and a clean match is worth ≈2°.
+func NewSmoother() *Smoother {
+	return &Smoother{
+		ProcessVar:   400 * 400, // (°/s²)²
+		BaseMeasVar:  4,
+		DistVarScale: 2000,
+	}
+}
+
+// Update feeds one estimate and returns the smoothed yaw.
+func (s *Smoother) Update(est Estimate) float64 {
+	if !s.initalized {
+		s.yaw, s.rate = est.Yaw, 0
+		s.pYY, s.pYR, s.pRR = 25, 0, 100
+		s.lastT = est.Time
+		s.initalized = true
+		return s.yaw
+	}
+	dt := est.Time - s.lastT
+	if dt < 0 {
+		return s.yaw // out-of-order estimate: ignore
+	}
+	s.lastT = est.Time
+
+	// Predict: constant-velocity model.
+	s.yaw += s.rate * dt
+	q := s.ProcessVar
+	// Covariance propagation for F = [[1, dt], [0, 1]], Q from white
+	// acceleration noise.
+	pYY := s.pYY + 2*dt*s.pYR + dt*dt*s.pRR + q*dt*dt*dt*dt/4
+	pYR := s.pYR + dt*s.pRR + q*dt*dt*dt/2
+	pRR := s.pRR + q*dt*dt
+	s.pYY, s.pYR, s.pRR = pYY, pYR, pRR
+
+	// Measurement update on yaw only. Camera/fused/front estimates use
+	// the base variance; CSI estimates scale with match distance; held
+	// estimates carry no new information and are skipped.
+	if est.Source == SourceHeld {
+		return s.yaw
+	}
+	r := s.BaseMeasVar
+	if est.Source == SourceCSI {
+		r += s.DistVarScale * est.MatchDist
+	}
+	innov := est.Yaw - s.yaw
+	denom := s.pYY + r
+	if denom <= 0 {
+		return s.yaw
+	}
+	kY := s.pYY / denom
+	kR := s.pYR / denom
+	s.yaw += kY * innov
+	s.rate += kR * innov
+	s.pRR -= kR * s.pYR
+	s.pYR -= kY * s.pYR
+	s.pYY -= kY * s.pYY
+	return s.yaw
+}
+
+// Yaw returns the current smoothed orientation.
+func (s *Smoother) Yaw() float64 { return s.yaw }
+
+// Rate returns the current angular-rate state (°/s).
+func (s *Smoother) Rate() float64 { return s.rate }
+
+// Predict extrapolates the smoothed state horizonS seconds ahead — a
+// model-based alternative to the profile-replay forecast of Eq. (6).
+func (s *Smoother) Predict(horizonS float64) float64 {
+	if !s.initalized || horizonS <= 0 {
+		return s.yaw
+	}
+	return s.yaw + s.rate*horizonS
+}
+
+// Uncertainty returns the 1σ yaw uncertainty in degrees.
+func (s *Smoother) Uncertainty() float64 {
+	if s.pYY <= 0 {
+		return 0
+	}
+	return math.Sqrt(s.pYY)
+}
+
+// Reset clears the filter state.
+func (s *Smoother) Reset() {
+	*s = Smoother{ProcessVar: s.ProcessVar, BaseMeasVar: s.BaseMeasVar, DistVarScale: s.DistVarScale}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"vihot/internal/stats"
+)
+
+func TestSmootherReducesJitter(t *testing.T) {
+	s := NewSmoother()
+	rng := stats.NewRNG(1)
+	var rawErr, smoothErr []float64
+	for i := 0; i < 2000; i++ {
+		ts := float64(i) * 0.01
+		truth := 60 * math.Sin(ts)
+		noisy := truth + rng.Normal(0, 4)
+		got := s.Update(Estimate{Time: ts, Yaw: noisy, Source: SourceCSI, MatchDist: 0.001})
+		if i > 100 {
+			rawErr = append(rawErr, math.Abs(noisy-truth))
+			smoothErr = append(smoothErr, math.Abs(got-truth))
+		}
+	}
+	if stats.Mean(smoothErr) >= stats.Mean(rawErr) {
+		t.Errorf("smoother did not help: %.2f vs %.2f", stats.Mean(smoothErr), stats.Mean(rawErr))
+	}
+}
+
+func TestSmootherTracksRamp(t *testing.T) {
+	s := NewSmoother()
+	var got float64
+	for i := 0; i < 500; i++ {
+		ts := float64(i) * 0.01
+		got = s.Update(Estimate{Time: ts, Yaw: 50 * ts, Source: SourceCSI})
+	}
+	if math.Abs(got-50*4.99) > 3 {
+		t.Errorf("ramp tracking = %v, want ≈%v", got, 50*4.99)
+	}
+	if math.Abs(s.Rate()-50) > 8 {
+		t.Errorf("rate state = %v, want ≈50", s.Rate())
+	}
+}
+
+func TestSmootherPredict(t *testing.T) {
+	s := NewSmoother()
+	for i := 0; i < 500; i++ {
+		ts := float64(i) * 0.01
+		s.Update(Estimate{Time: ts, Yaw: 40 * ts, Source: SourceCSI})
+	}
+	now := s.Yaw()
+	future := s.Predict(0.2)
+	if future <= now {
+		t.Errorf("prediction (%v) should lead a rising ramp (%v)", future, now)
+	}
+	if got := s.Predict(0); got != now {
+		t.Error("zero-horizon prediction must be current yaw")
+	}
+}
+
+func TestSmootherDistrustsPoorMatches(t *testing.T) {
+	good := NewSmoother()
+	poor := NewSmoother()
+	for i := 0; i < 200; i++ {
+		ts := float64(i) * 0.01
+		good.Update(Estimate{Time: ts, Yaw: 0, Source: SourceCSI, MatchDist: 0.001})
+		poor.Update(Estimate{Time: ts, Yaw: 0, Source: SourceCSI, MatchDist: 0.001})
+	}
+	// Identical outlier, different confidence.
+	g := good.Update(Estimate{Time: 2.01, Yaw: 40, Source: SourceCSI, MatchDist: 0.001})
+	p := poor.Update(Estimate{Time: 2.01, Yaw: 40, Source: SourceCSI, MatchDist: 0.2})
+	if math.Abs(p) >= math.Abs(g) {
+		t.Errorf("poor match moved the state as much as a good one: %v vs %v", p, g)
+	}
+}
+
+func TestSmootherSkipsHeld(t *testing.T) {
+	s := NewSmoother()
+	s.Update(Estimate{Time: 0, Yaw: 10, Source: SourceCSI})
+	before := s.Yaw()
+	s.Update(Estimate{Time: 0.01, Yaw: 99, Source: SourceHeld})
+	// Held estimates predict only; the 99 must not have been measured.
+	if math.Abs(s.Yaw()-before) > 1 {
+		t.Errorf("held estimate moved state from %v to %v", before, s.Yaw())
+	}
+}
+
+func TestSmootherOutOfOrder(t *testing.T) {
+	s := NewSmoother()
+	s.Update(Estimate{Time: 1, Yaw: 5, Source: SourceCSI})
+	got := s.Update(Estimate{Time: 0.5, Yaw: 50, Source: SourceCSI})
+	if math.IsNaN(got) {
+		t.Error("out-of-order estimate produced NaN")
+	}
+}
+
+func TestSmootherUncertaintyShrinks(t *testing.T) {
+	s := NewSmoother()
+	s.Update(Estimate{Time: 0, Yaw: 0, Source: SourceCSI})
+	early := s.Uncertainty()
+	for i := 1; i < 300; i++ {
+		s.Update(Estimate{Time: float64(i) * 0.01, Yaw: 0, Source: SourceCSI, MatchDist: 0.001})
+	}
+	if s.Uncertainty() >= early {
+		t.Errorf("uncertainty did not shrink: %v -> %v", early, s.Uncertainty())
+	}
+}
+
+func TestSmootherReset(t *testing.T) {
+	s := NewSmoother()
+	s.Update(Estimate{Time: 1, Yaw: 30, Source: SourceCSI})
+	s.Reset()
+	if s.Yaw() != 0 || s.Rate() != 0 {
+		t.Error("Reset kept state")
+	}
+	if s.ProcessVar != NewSmoother().ProcessVar {
+		t.Error("Reset lost tuning")
+	}
+}

@@ -1,0 +1,168 @@
+// Package csi models what commodity WiFi hardware actually hands to a
+// CSI tool — the clean channel response of package rf corrupted by the
+// carrier frequency offset (CFO), sampling frequency offset (SFO), and
+// thermal noise of Eq. (2):
+//
+//	φ̂_f(t) = φ_f(t) + 2π·(f/N)·Δt + β(t) + Z_f
+//
+// and implements the paper's noise-cancellation sanitizer (Eq. 3): the
+// two RX chains share one oscillator and sampling clock, so the
+// per-subcarrier phase difference between antennas cancels β(t) and Δt
+// exactly, and averaging across subcarriers suppresses Z_f.
+package csi
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+
+	"vihot/internal/stats"
+)
+
+// Frame is one CSI measurement extracted from one received WiFi
+// packet: the noisy complex channel response per RX antenna per
+// subcarrier, as the Intel 5300 CSI tool would report it.
+type Frame struct {
+	Time float64        // receive timestamp, seconds
+	H    [][]complex128 // [antenna][subcarrier]
+}
+
+// NAntennas returns the number of RX antennas in the frame.
+func (f *Frame) NAntennas() int { return len(f.H) }
+
+// NSubcarriers returns the number of subcarriers (0 for empty frames).
+func (f *Frame) NSubcarriers() int {
+	if len(f.H) == 0 {
+		return 0
+	}
+	return len(f.H[0])
+}
+
+// Hardware models the oscillator and ADC imperfections of one WiFi
+// receiver. Both RX chains share the oscillator, so one Hardware
+// instance corrupts every antenna of a frame identically — the
+// physical fact Eq. (3) exploits.
+type Hardware struct {
+	// CFOWalkStd is the per-frame random-walk step (radians) of the
+	// CFO-induced phase offset β(t).
+	CFOWalkStd float64
+	// SFOWalkStd is the per-frame random-walk step of the SFO time
+	// lag Δt, expressed in sample periods.
+	SFOWalkStd float64
+	// NoiseStd is the std-dev of the additive complex thermal noise
+	// per subcarrier, relative to unit signal amplitude.
+	NoiseStd float64
+	// NFFT is the FFT size used for the SFO slope (64 for 20 MHz
+	// 802.11n).
+	NFFT int
+
+	rng    *stats.RNG
+	beta   float64 // current CFO phase offset
+	deltaT float64 // current SFO lag in sample periods
+}
+
+// DefaultHardware returns a hardware model with offsets typical of
+// commodity 802.11n chains: CFO walking a few degrees per frame and a
+// slowly wandering SFO lag.
+func DefaultHardware(rng *stats.RNG) *Hardware {
+	return &Hardware{
+		CFOWalkStd: 0.05,
+		SFOWalkStd: 0.002,
+		NoiseStd:   0.02,
+		NFFT:       64,
+		rng:        rng,
+	}
+}
+
+// NewHardware returns a hardware model with explicit parameters.
+func NewHardware(rng *stats.RNG, cfoStd, sfoStd, noiseStd float64, nfft int) *Hardware {
+	if nfft < 1 {
+		nfft = 64
+	}
+	return &Hardware{
+		CFOWalkStd: cfoStd,
+		SFOWalkStd: sfoStd,
+		NoiseStd:   noiseStd,
+		NFFT:       nfft,
+		rng:        rng,
+	}
+}
+
+// Offsets returns the current CFO phase offset (radians) and SFO lag
+// (sample periods), exposed for tests and diagnostics.
+func (hw *Hardware) Offsets() (beta, deltaT float64) { return hw.beta, hw.deltaT }
+
+// Corrupt applies Eq. (2) to a clean per-antenna channel response and
+// returns the Frame a CSI tool would report. clean is indexed
+// [antenna][subcarrier] and is not modified. Each call advances the
+// CFO/SFO random walks by one frame.
+func (hw *Hardware) Corrupt(t float64, clean [][]complex128) *Frame {
+	if hw.rng != nil {
+		hw.beta += hw.rng.Normal(0, hw.CFOWalkStd)
+		hw.deltaT += hw.rng.Normal(0, hw.SFOWalkStd)
+	}
+	f := &Frame{Time: t, H: make([][]complex128, len(clean))}
+	for a := range clean {
+		row := make([]complex128, len(clean[a]))
+		for k := range clean[a] {
+			// SFO phase error grows linearly with subcarrier index.
+			sfo := 2 * math.Pi * float64(k) / float64(hw.NFFT) * hw.deltaT
+			rot := cmplx.Rect(1, hw.beta+sfo)
+			h := clean[a][k] * rot
+			if hw.rng != nil && hw.NoiseStd > 0 {
+				h += complex(hw.rng.Normal(0, hw.NoiseStd), hw.rng.Normal(0, hw.NoiseStd))
+			}
+			row[k] = h
+		}
+		f.H[a] = row
+	}
+	return f
+}
+
+// Errors returned by the sanitizer.
+var (
+	ErrTooFewAntennas = errors.New("csi: sanitizer needs at least 2 RX antennas")
+	ErrNoSubcarriers  = errors.New("csi: frame has no subcarriers")
+)
+
+// Sanitize implements Eq. (3): it computes the per-subcarrier phase
+// difference between RX antennas a1 and a2 — which cancels the common
+// CFO and SFO offsets exactly — and averages across subcarriers to
+// suppress thermal noise. The average is circular (a resultant-vector
+// mean) because phases live on the circle; an arithmetic mean would
+// tear at the ±π seam.
+func Sanitize(f *Frame, a1, a2 int) (float64, error) {
+	if a1 < 0 || a2 < 0 || a1 >= len(f.H) || a2 >= len(f.H) || a1 == a2 {
+		return 0, ErrTooFewAntennas
+	}
+	n := len(f.H[a1])
+	if n == 0 || len(f.H[a2]) != n {
+		return 0, ErrNoSubcarriers
+	}
+	var sum complex128
+	for k := 0; k < n; k++ {
+		// arg(H1·conj(H2)) is the phase difference φ1-φ2 on
+		// subcarrier k; summing unit phasors averages circularly.
+		d := f.H[a1][k] * cmplx.Conj(f.H[a2][k])
+		if d != 0 {
+			sum += d / complex(cmplx.Abs(d), 0)
+		}
+	}
+	if sum == 0 {
+		return 0, ErrNoSubcarriers
+	}
+	return cmplx.Phase(sum), nil
+}
+
+// Amplitude returns the mean CSI magnitude across subcarriers for one
+// antenna, a coarse link-quality indicator.
+func Amplitude(f *Frame, ant int) float64 {
+	if ant < 0 || ant >= len(f.H) || len(f.H[ant]) == 0 {
+		return 0
+	}
+	var s float64
+	for _, h := range f.H[ant] {
+		s += cmplx.Abs(h)
+	}
+	return s / float64(len(f.H[ant]))
+}

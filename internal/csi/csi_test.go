@@ -1,0 +1,207 @@
+package csi
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"vihot/internal/geom"
+	"vihot/internal/stats"
+)
+
+func cleanCSI(phase1, phase2 float64, n int) [][]complex128 {
+	h := make([][]complex128, 2)
+	h[0] = make([]complex128, n)
+	h[1] = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		h[0][k] = cmplx.Rect(1, phase1)
+		h[1][k] = cmplx.Rect(1, phase2)
+	}
+	return h
+}
+
+func TestFrameAccessors(t *testing.T) {
+	f := &Frame{H: cleanCSI(0, 0, 30)}
+	if f.NAntennas() != 2 || f.NSubcarriers() != 30 {
+		t.Errorf("accessors = %d/%d", f.NAntennas(), f.NSubcarriers())
+	}
+	var empty Frame
+	if empty.NSubcarriers() != 0 {
+		t.Error("empty frame subcarriers != 0")
+	}
+}
+
+func TestCorruptAddsSharedOffsets(t *testing.T) {
+	hw := NewHardware(stats.NewRNG(1), 0.1, 0.01, 0, 64)
+	clean := cleanCSI(0.3, -0.4, 30)
+	f := hw.Corrupt(0, clean)
+	beta, _ := hw.Offsets()
+	// Subcarrier 0 has zero SFO slope, so its phase error is exactly β.
+	got0 := cmplx.Phase(f.H[0][0])
+	if math.Abs(geom.WrapRad(got0-(0.3+beta))) > 1e-9 {
+		t.Errorf("antenna0 phase = %v, want %v", got0, 0.3+beta)
+	}
+	got1 := cmplx.Phase(f.H[1][0])
+	if math.Abs(geom.WrapRad(got1-(-0.4+beta))) > 1e-9 {
+		t.Errorf("antenna1 phase = %v, want %v", got1, -0.4+beta)
+	}
+}
+
+func TestCorruptSFOSlopeLinear(t *testing.T) {
+	hw := NewHardware(stats.NewRNG(2), 0, 0.5, 0, 64)
+	clean := cleanCSI(0, 0, 30)
+	f := hw.Corrupt(0, clean)
+	_, dt := hw.Offsets()
+	// Phase error at subcarrier k must be 2π·k/64·Δt.
+	for k := 0; k < 30; k++ {
+		want := geom.WrapRad(2 * math.Pi * float64(k) / 64 * dt)
+		got := cmplx.Phase(f.H[0][k])
+		if math.Abs(geom.WrapRad(got-want)) > 1e-9 {
+			t.Fatalf("subcarrier %d: phase %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestCorruptDoesNotModifyInput(t *testing.T) {
+	hw := DefaultHardware(stats.NewRNG(3))
+	clean := cleanCSI(0.5, 0.5, 10)
+	orig := clean[0][3]
+	hw.Corrupt(0, clean)
+	if clean[0][3] != orig {
+		t.Error("Corrupt mutated its input")
+	}
+}
+
+func TestSanitizeCancelsCFOSFO(t *testing.T) {
+	// The core claim of Sec. 3.2: with zero thermal noise, arbitrary
+	// CFO/SFO must cancel exactly in the antenna difference.
+	hw := NewHardware(stats.NewRNG(4), 0.5, 0.1, 0, 64)
+	truthDiff := geom.WrapRad(0.7 - (-0.9))
+	for i := 0; i < 50; i++ {
+		f := hw.Corrupt(float64(i)*0.002, cleanCSI(0.7, -0.9, 30))
+		got, err := Sanitize(f, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(geom.WrapRad(got-truthDiff)) > 1e-9 {
+			t.Fatalf("frame %d: sanitized = %v, want %v", i, got, truthDiff)
+		}
+	}
+}
+
+func TestSanitizeSuppressesThermalNoise(t *testing.T) {
+	// Averaging across 30 subcarriers should shrink phase noise by
+	// roughly sqrt(30).
+	rng := stats.NewRNG(5)
+	singleSub := NewHardware(rng.Fork(), 0, 0, 0.05, 64)
+	multiSub := NewHardware(rng.Fork(), 0, 0, 0.05, 64)
+	var errs1, errs30 []float64
+	for i := 0; i < 400; i++ {
+		f1 := singleSub.Corrupt(0, cleanCSI(0.3, -0.2, 1))
+		f30 := multiSub.Corrupt(0, cleanCSI(0.3, -0.2, 30))
+		p1, err := Sanitize(f1, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p30, err := Sanitize(f30, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs1 = append(errs1, math.Abs(geom.WrapRad(p1-0.5)))
+		errs30 = append(errs30, math.Abs(geom.WrapRad(p30-0.5)))
+	}
+	m1, m30 := stats.Mean(errs1), stats.Mean(errs30)
+	if m30 > m1/2 {
+		t.Errorf("subcarrier averaging did not help: 1-sub err %v vs 30-sub err %v", m1, m30)
+	}
+}
+
+func TestSanitizeSeamSafety(t *testing.T) {
+	// Phase differences near ±π must not average to garbage.
+	h := make([][]complex128, 2)
+	n := 10
+	h[0] = make([]complex128, n)
+	h[1] = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// Differences alternate between π-0.01 and -π+0.01, which are
+		// only 0.02 rad apart on the circle.
+		d := math.Pi - 0.01
+		if k%2 == 1 {
+			d = -math.Pi + 0.01
+		}
+		h[0][k] = cmplx.Rect(1, d)
+		h[1][k] = cmplx.Rect(1, 0)
+	}
+	got, err := Sanitize(&Frame{H: h}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(math.Abs(got)-math.Pi) > 0.02 {
+		t.Errorf("circular mean near seam = %v, want ≈ ±π", got)
+	}
+}
+
+func TestSanitizeErrors(t *testing.T) {
+	f := &Frame{H: cleanCSI(0, 0, 5)}
+	if _, err := Sanitize(f, 0, 0); err != ErrTooFewAntennas {
+		t.Errorf("same antenna err = %v", err)
+	}
+	if _, err := Sanitize(f, 0, 5); err != ErrTooFewAntennas {
+		t.Errorf("out-of-range err = %v", err)
+	}
+	empty := &Frame{H: [][]complex128{{}, {}}}
+	if _, err := Sanitize(empty, 0, 1); err != ErrNoSubcarriers {
+		t.Errorf("no subcarriers err = %v", err)
+	}
+	zero := &Frame{H: [][]complex128{{0}, {0}}}
+	if _, err := Sanitize(zero, 0, 1); err != ErrNoSubcarriers {
+		t.Errorf("all-zero err = %v", err)
+	}
+}
+
+func TestSanitizeMismatchedRows(t *testing.T) {
+	f := &Frame{H: [][]complex128{make([]complex128, 5), make([]complex128, 3)}}
+	if _, err := Sanitize(f, 0, 1); err == nil {
+		t.Error("mismatched subcarrier counts must error")
+	}
+}
+
+func TestAmplitude(t *testing.T) {
+	f := &Frame{H: [][]complex128{{2, 2i, -2}, {1, 1, 1}}}
+	if got := Amplitude(f, 0); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Amplitude = %v", got)
+	}
+	if Amplitude(f, 5) != 0 || Amplitude(f, -1) != 0 {
+		t.Error("out-of-range antenna must return 0")
+	}
+}
+
+func TestNilRNGHardware(t *testing.T) {
+	hw := &Hardware{NFFT: 64}
+	f := hw.Corrupt(0, cleanCSI(0.1, 0.2, 4))
+	// Without an RNG the hardware must be transparent.
+	if math.Abs(geom.WrapRad(cmplx.Phase(f.H[0][0])-0.1)) > 1e-12 {
+		t.Error("nil-RNG hardware altered phases")
+	}
+}
+
+func TestHardwareWalksAreRandomWalks(t *testing.T) {
+	hw := NewHardware(stats.NewRNG(6), 0.1, 0.01, 0, 64)
+	var betas []float64
+	for i := 0; i < 200; i++ {
+		hw.Corrupt(0, cleanCSI(0, 0, 1))
+		b, _ := hw.Offsets()
+		betas = append(betas, b)
+	}
+	// A random walk wanders: late values should differ from early.
+	if math.Abs(betas[199]-betas[0]) < 1e-9 && stats.StdDev(betas) < 1e-9 {
+		t.Error("CFO walk did not move")
+	}
+}
+
+func TestNewHardwareNFFTGuard(t *testing.T) {
+	hw := NewHardware(stats.NewRNG(7), 0, 0, 0, 0)
+	if hw.NFFT != 64 {
+		t.Errorf("NFFT guard = %d", hw.NFFT)
+	}
+}

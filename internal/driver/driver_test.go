@@ -1,0 +1,373 @@
+package driver
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vihot/internal/geom"
+	"vihot/internal/stats"
+)
+
+func TestTrackInterpolation(t *testing.T) {
+	tr := NewTrack(Key{T: 0, V: 0}, Key{T: 1, V: 10})
+	if got := tr.At(-1); got != 0 {
+		t.Errorf("before-first = %v", got)
+	}
+	if got := tr.At(2); got != 10 {
+		t.Errorf("after-last = %v", got)
+	}
+	if got := tr.At(0.5); got != 5 {
+		t.Errorf("midpoint = %v (smoothstep is symmetric)", got)
+	}
+	// Smoothstep: zero slope at keyframes.
+	if r := tr.Rate(0.001); math.Abs(r) > 0.5 {
+		t.Errorf("rate at keyframe = %v, want ≈0", r)
+	}
+	// Peak rate at midpoint = 1.5·Δv/Δt.
+	if r := tr.Rate(0.5); math.Abs(r-15) > 0.1 {
+		t.Errorf("peak rate = %v, want 15", r)
+	}
+}
+
+func TestTrackEmpty(t *testing.T) {
+	tr := NewTrack()
+	if tr.At(5) != 0 || tr.Rate(5) != 0 {
+		t.Error("empty track must evaluate to 0")
+	}
+	if tr.End() != 0 || tr.Keys() != 0 {
+		t.Error("empty track accessors")
+	}
+}
+
+func TestTrackSortsKeys(t *testing.T) {
+	tr := NewTrack(Key{T: 2, V: 20}, Key{T: 0, V: 0}, Key{T: 1, V: 10})
+	if got := tr.At(1); got != 10 {
+		t.Errorf("At(1) = %v after sort", got)
+	}
+}
+
+func TestTrackAppendClampsTime(t *testing.T) {
+	tr := NewTrack(Key{T: 5, V: 1})
+	tr.Append(3, 2) // earlier than last: clamped to 5
+	if tr.End() != 5 {
+		t.Errorf("End = %v", tr.End())
+	}
+	if tr.Keys() != 2 {
+		t.Errorf("Keys = %d", tr.Keys())
+	}
+}
+
+func TestTrackMonotoneBetweenKeys(t *testing.T) {
+	f := func(v1, v2 float64) bool {
+		if math.Abs(v1) > 1e6 || math.Abs(v2) > 1e6 {
+			return true
+		}
+		tr := NewTrack(Key{T: 0, V: v1}, Key{T: 1, V: v2})
+		prev := tr.At(0)
+		for x := 0.05; x <= 1; x += 0.05 {
+			cur := tr.At(x)
+			if v2 >= v1 && cur < prev-1e-9 {
+				return false
+			}
+			if v2 <= v1 && cur > prev+1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPosTrack(t *testing.T) {
+	tr := NewPosTrack()
+	if tr.At(1) != (geom.Vec3{}) {
+		t.Error("empty PosTrack must return zero")
+	}
+	tr.Append(0, geom.Vec3{X: 1})
+	tr.Append(1, geom.Vec3{X: 3})
+	if got := tr.At(0.5); math.Abs(got.X-2) > 1e-9 {
+		t.Errorf("midpoint = %v", got)
+	}
+	if got := tr.At(-1); got.X != 1 {
+		t.Errorf("clamp before = %v", got)
+	}
+	if got := tr.At(9); got.X != 3 {
+		t.Errorf("clamp after = %v", got)
+	}
+	tr.Append(0.5, geom.Vec3{X: 9}) // out of order: clamped
+	if tr.Keys() != 3 {
+		t.Errorf("Keys = %d", tr.Keys())
+	}
+}
+
+func TestDriverProfiles(t *testing.T) {
+	for _, p := range []Profile{DriverA(), DriverB(), DriverC()} {
+		if p.TurnSpeedDPS < 100 || p.TurnSpeedDPS > 150 {
+			t.Errorf("%s: turn speed %v outside the paper's range", p.Name, p.TurnSpeedDPS)
+		}
+		if p.HeightCM < 170 || p.HeightCM > 182 {
+			t.Errorf("%s: height %v outside 170–182 cm", p.Name, p.HeightCM)
+		}
+	}
+	// Taller drivers sit higher.
+	if DriverC().headBase().Z <= DriverA().headBase().Z {
+		t.Error("taller driver must sit higher")
+	}
+}
+
+func TestSweepScenarioSegments(t *testing.T) {
+	sc, segs := SweepScenario(DriverA(), 5, 6, 110)
+	if len(segs) != 5 {
+		t.Fatalf("segments = %d", len(segs))
+	}
+	for i, seg := range segs {
+		if seg.Position != i {
+			t.Errorf("segment %d position = %d", i, seg.Position)
+		}
+		if !(seg.Start < seg.SettleEnd && seg.SettleEnd < seg.End) {
+			t.Errorf("segment %d times out of order: %+v", i, seg)
+		}
+		// Facing front during settle.
+		mid := (seg.Start + seg.SettleEnd) / 2
+		if yaw := sc.HeadYaw.At(mid); math.Abs(yaw) > 1 {
+			t.Errorf("segment %d yaw during settle = %v", i, yaw)
+		}
+	}
+	if sc.Duration <= segs[4].End-0.5 {
+		t.Error("scenario shorter than its segments")
+	}
+}
+
+func TestSweepScenarioReachesExtremes(t *testing.T) {
+	p := DriverA()
+	sc, segs := SweepScenario(p, 1, 10, 110)
+	seg := segs[0]
+	lo, hi := 0.0, 0.0
+	for ts := seg.SettleEnd; ts < seg.End; ts += 0.01 {
+		y := sc.HeadYaw.At(ts)
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	if lo > -p.MaxYawDeg+2 || hi < p.MaxYawDeg-2 {
+		t.Errorf("sweep range [%v, %v], want ±%v", lo, hi, p.MaxYawDeg)
+	}
+}
+
+func TestSweepScenarioSpeed(t *testing.T) {
+	sc, segs := SweepScenario(DriverA(), 1, 10, 120)
+	var peak float64
+	for ts := segs[0].SettleEnd; ts < segs[0].End; ts += 0.005 {
+		if r := math.Abs(sc.HeadYaw.Rate(ts)); r > peak {
+			peak = r
+		}
+	}
+	if peak < 100 || peak > 145 {
+		t.Errorf("peak head speed = %v, want ≈120", peak)
+	}
+}
+
+func TestSweepScenarioPositionsDistinct(t *testing.T) {
+	sc, segs := SweepScenario(DriverA(), 3, 4, 110)
+	p0 := sc.HeadPos.At((segs[0].Start + segs[0].End) / 2)
+	p2 := sc.HeadPos.At((segs[2].Start + segs[2].End) / 2)
+	if p0.Dist(p2) < 0.05 {
+		t.Errorf("positions too close: %v", p0.Dist(p2))
+	}
+}
+
+func TestDrivingScenarioBasics(t *testing.T) {
+	rng := stats.NewRNG(3)
+	sc := DrivingScenario(rng, DriverA(), 30, GlanceOptions{})
+	if sc.Duration != 30 {
+		t.Errorf("duration = %v", sc.Duration)
+	}
+	// The driver glances: yaw must leave zero at some point.
+	moved := false
+	for ts := 0.0; ts < 30; ts += 0.05 {
+		if math.Abs(sc.HeadYaw.At(ts)) > 20 {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Error("driver never glanced in 30 s")
+	}
+	// Without steering the wheel stays at zero.
+	for ts := 0.0; ts < 30; ts += 0.5 {
+		if sc.Wheel.At(ts) != 0 {
+			t.Error("wheel moved without Steering option")
+			break
+		}
+	}
+}
+
+func TestDrivingScenarioSteering(t *testing.T) {
+	rng := stats.NewRNG(4)
+	sc := DrivingScenario(rng, DriverA(), 60, GlanceOptions{Steering: true, SteerProb: 1})
+	var wheelMax float64
+	for ts := 0.0; ts < 60; ts += 0.02 {
+		if w := math.Abs(sc.Wheel.At(ts)); w > wheelMax {
+			wheelMax = w
+		}
+	}
+	if wheelMax < 60 {
+		t.Errorf("no real steering event: max wheel %v°", wheelMax)
+	}
+	// Car yaw rate follows the wheel at speed.
+	var rateMax float64
+	for ts := 0.0; ts < 60; ts += 0.02 {
+		if r := math.Abs(sc.CarYawRateDPS(ts)); r > rateMax {
+			rateMax = r
+		}
+	}
+	if rateMax < 5 {
+		t.Errorf("car never turned: max yaw rate %v°/s", rateMax)
+	}
+}
+
+func TestSteeringPrecededByHeadTurn(t *testing.T) {
+	// Sec. 3.6.1: the head turn comes before the steering input.
+	rng := stats.NewRNG(5)
+	sc := DrivingScenario(rng, DriverA(), 120, GlanceOptions{Steering: true, SteerProb: 1})
+	// Find the first large steering event.
+	for ts := 0.0; ts < 120; ts += 0.01 {
+		if math.Abs(sc.Wheel.At(ts)) > 40 {
+			// Within the preceding two seconds the head must have been
+			// turned away from the front.
+			turned := false
+			for back := ts - 2.5; back < ts; back += 0.02 {
+				if math.Abs(sc.HeadYaw.At(back)) > 15 {
+					turned = true
+					break
+				}
+			}
+			if !turned {
+				t.Error("steering event without preparatory head turn")
+			}
+			return
+		}
+	}
+	t.Skip("no steering event found")
+}
+
+func TestDrivingScenarioPassenger(t *testing.T) {
+	rng := stats.NewRNG(6)
+	sc := DrivingScenario(rng, DriverA(), 60, GlanceOptions{PassengerTurns: true})
+	if sc.PassengerYaw == nil {
+		t.Fatal("passenger track missing")
+	}
+	moved := false
+	for ts := 0.0; ts < 60; ts += 0.1 {
+		if math.Abs(sc.PassengerYaw.At(ts)) > 20 {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Error("passenger never moved")
+	}
+}
+
+func TestCarYawRateZeroWithoutWheel(t *testing.T) {
+	sc := &Scenario{SpeedMPS: 10}
+	if sc.CarYawRateDPS(1) != 0 {
+		t.Error("no wheel track must mean zero yaw rate")
+	}
+}
+
+func TestSteeringOnlyScenario(t *testing.T) {
+	sc := SteeringOnlyScenario(10)
+	// Head perfectly still.
+	for ts := 0.0; ts < 10; ts += 0.1 {
+		if sc.HeadYaw.At(ts) != 0 {
+			t.Fatal("head moved in steering-only scenario")
+		}
+	}
+	// Wheel busy.
+	var wheelMax float64
+	for ts := 0.0; ts < 10; ts += 0.02 {
+		if w := math.Abs(sc.Wheel.At(ts)); w > wheelMax {
+			wheelMax = w
+		}
+	}
+	if wheelMax < 100 {
+		t.Errorf("wheel max = %v", wheelMax)
+	}
+}
+
+func TestHeadOnlyScenario(t *testing.T) {
+	sc := HeadOnlyScenario(DriverA(), 10)
+	var wheelMax float64
+	if sc.Wheel != nil {
+		for ts := 0.0; ts < 10; ts += 0.05 {
+			if w := math.Abs(sc.Wheel.At(ts)); w > wheelMax {
+				wheelMax = w
+			}
+		}
+	}
+	if wheelMax != 0 {
+		t.Error("wheel moved in head-only scenario")
+	}
+}
+
+func TestStateDefaults(t *testing.T) {
+	sc := &Scenario{}
+	st := sc.State(1)
+	if st.HeadPos == (geom.Vec3{}) {
+		t.Error("state must default the head position to the seat base")
+	}
+}
+
+func TestAddPositionDrift(t *testing.T) {
+	rng := stats.NewRNG(9)
+	sc, _ := SweepScenario(DriverA(), 1, 20, 110)
+	orig := sc.HeadPos.At(10)
+	AddPositionDrift(sc, rng, 0.01)
+	// The drifted track must wander but stay bounded by 3·std per axis.
+	var maxDev float64
+	for ts := 0.0; ts < 20; ts += 0.5 {
+		d := sc.HeadPos.At(ts).Sub(orig)
+		for _, v := range []float64{d.X, d.Y, d.Z} {
+			if math.Abs(v) > maxDev {
+				maxDev = math.Abs(v)
+			}
+		}
+	}
+	if maxDev == 0 {
+		t.Error("drift had no effect")
+	}
+	if maxDev > 0.031 {
+		t.Errorf("drift exceeded the 3·std clamp: %v", maxDev)
+	}
+	// No-ops must be safe.
+	AddPositionDrift(sc, rng, 0)
+	AddPositionDrift(&Scenario{}, rng, 0.01)
+}
+
+func TestLaneWobble(t *testing.T) {
+	sc := &Scenario{SpeedMPS: 6, LaneWobbleDeg: 2, LaneWobbleHz: 0.5, Duration: 10}
+	var maxWheel, maxRate float64
+	for ts := 0.0; ts < 10; ts += 0.01 {
+		if w := math.Abs(sc.State(ts).WheelDeg); w > maxWheel {
+			maxWheel = w
+		}
+		if r := math.Abs(sc.CarYawRateDPS(ts)); r > maxRate {
+			maxRate = r
+		}
+	}
+	if maxWheel < 1.5 || maxWheel > 2.5 {
+		t.Errorf("wobble amplitude = %v", maxWheel)
+	}
+	// Lane keeping must stay below the turn detector's threshold.
+	if maxRate > 3 {
+		t.Errorf("lane wobble yaw rate = %v°/s, would trip the identifier", maxRate)
+	}
+}

@@ -1,0 +1,410 @@
+package driver
+
+import (
+	"math"
+
+	"vihot/internal/cabin"
+	"vihot/internal/geom"
+	"vihot/internal/stats"
+)
+
+// Profile captures one driver's habits and physique — the per-driver
+// differences behind Fig. 13d.
+type Profile struct {
+	Name         string
+	HeightCM     float64 // maps to head height in the cabin
+	TurnSpeedDPS float64 // typical peak head-turning speed
+	MaxYawDeg    float64 // how far they turn to check mirrors
+	GlanceHoldS  float64 // dwell at the glance target
+	GlanceRateHz float64 // how often they glance away from the road
+}
+
+// The three test drivers of Sec. 5.2.5 (heights 170–182 cm).
+func DriverA() Profile {
+	return Profile{Name: "Driver A", HeightCM: 170, TurnSpeedDPS: 120, MaxYawDeg: 75, GlanceHoldS: 0.5, GlanceRateHz: 0.25}
+}
+func DriverB() Profile {
+	return Profile{Name: "Driver B", HeightCM: 176, TurnSpeedDPS: 110, MaxYawDeg: 80, GlanceHoldS: 0.7, GlanceRateHz: 0.2}
+}
+func DriverC() Profile {
+	return Profile{Name: "Driver C", HeightCM: 182, TurnSpeedDPS: 135, MaxYawDeg: 70, GlanceHoldS: 0.4, GlanceRateHz: 0.3}
+}
+
+// headBase returns the profile's head rest position: taller drivers
+// sit higher and slightly further back.
+func (p Profile) headBase() geom.Vec3 {
+	base := cabin.DriverHeadBase
+	if p.HeightCM > 0 {
+		dh := (p.HeightCM - 176) / 100 * 0.35
+		base = base.Add(geom.Vec3{X: -dh * 0.3, Z: dh})
+	}
+	return base
+}
+
+// Scenario bundles every behavioural track the simulator needs to
+// drive a cabin.Scene over time.
+type Scenario struct {
+	Name     string
+	Duration float64
+	SpeedMPS float64 // vehicle speed (≤ 15 mph in the paper's tests)
+
+	HeadYaw      *Track
+	HeadPitch    *Track // small nods; zero for typical driving (Fig. 2)
+	HeadPos      *PosTrack
+	Wheel        *Track // steering wheel angle, degrees
+	PassengerYaw *Track
+
+	// SteerFactor converts wheel angle (deg) × speed (m/s) into car
+	// yaw rate (deg/s); depends on steering ratio and wheelbase.
+	SteerFactor float64
+
+	// LaneWobbleDeg/LaneWobbleHz superpose the continuous small
+	// steering corrections of lane keeping on the wheel track — the
+	// "small & bursty steering motion to keep the car straight" whose
+	// CSI glitches Sec. 3.6 says the continuity filter absorbs.
+	LaneWobbleDeg float64
+	LaneWobbleHz  float64
+}
+
+// wheelAt returns the wheel angle including lane-keeping wobble.
+func (sc *Scenario) wheelAt(t float64) float64 {
+	w := 0.0
+	if sc.Wheel != nil {
+		w = sc.Wheel.At(t)
+	}
+	if sc.LaneWobbleDeg > 0 && sc.LaneWobbleHz > 0 {
+		w += sc.LaneWobbleDeg * math.Sin(2*math.Pi*sc.LaneWobbleHz*t)
+	}
+	return w
+}
+
+// State returns the cabin state at time t.
+func (sc *Scenario) State(t float64) cabin.State {
+	st := cabin.State{Time: t}
+	if sc.HeadYaw != nil {
+		st.HeadYaw = sc.HeadYaw.At(t)
+	}
+	if sc.HeadPitch != nil {
+		st.HeadPitch = sc.HeadPitch.At(t)
+	}
+	if sc.HeadPos != nil {
+		st.HeadPos = sc.HeadPos.At(t)
+	}
+	if st.HeadPos == (geom.Vec3{}) {
+		st.HeadPos = cabin.DriverHeadBase
+	}
+	st.WheelDeg = sc.wheelAt(t)
+	if sc.PassengerYaw != nil {
+		st.PassengerYaw = sc.PassengerYaw.At(t)
+	}
+	return st
+}
+
+// CarYawRateDPS returns the vehicle body yaw rate at time t: zero
+// when driving straight, proportional to wheel angle and speed while
+// steering — what the phone IMU senses.
+func (sc *Scenario) CarYawRateDPS(t float64) float64 {
+	if sc.Wheel == nil && sc.LaneWobbleDeg == 0 {
+		return 0
+	}
+	f := sc.SteerFactor
+	if f == 0 {
+		f = defaultSteerFactor
+	}
+	return sc.wheelAt(t) * sc.SpeedMPS * f
+}
+
+// defaultSteerFactor approximates a sedan: wheel 120° at 6.7 m/s
+// (15 mph) yields ≈ 20 deg/s body yaw.
+const defaultSteerFactor = 0.025
+
+// TrueYawRateDPS returns the head angular speed at time t.
+func (sc *Scenario) TrueYawRateDPS(t float64) float64 {
+	if sc.HeadYaw == nil {
+		return 0
+	}
+	return sc.HeadYaw.Rate(t)
+}
+
+// sweepDuration returns the keyframe spacing needed for a smoothstep
+// sweep across delta degrees to peak at speed deg/s.
+func sweepDuration(deltaDeg, speedDPS float64) float64 {
+	if speedDPS <= 0 {
+		speedDPS = 110
+	}
+	return 1.5 * math.Abs(deltaDeg) / speedDPS
+}
+
+// Segment marks the time span of one head position during a profiling
+// sweep: the driver settles facing front during [Start, SettleEnd] —
+// when the CSI fingerprint φ⁰c(i) should be captured — then sweeps
+// until End.
+type Segment struct {
+	Position         int
+	Start, SettleEnd float64
+	End              float64
+}
+
+// SweepScenario produces the continuous left-right head scanning used
+// during profiling (Sec. 3.3) and in the controlled accuracy tests: at
+// each of n head positions the driver settles facing front, then
+// sweeps between ±maxYaw for perPosition seconds. Returns the
+// scenario plus the per-position time segments.
+func SweepScenario(p Profile, nPositions int, perPosition float64, speedDPS float64) (*Scenario, []Segment) {
+	if nPositions < 1 {
+		nPositions = 1
+	}
+	if speedDPS <= 0 {
+		speedDPS = p.TurnSpeedDPS
+	}
+	yaw := NewTrack()
+	pos := NewPosTrack()
+	var segs []Segment
+	t := 0.0
+	base := p.headBase()
+	for i := 0; i < nPositions; i++ {
+		headPos := base.Add(cabin.HeadPosition(i, nPositions).Sub(cabin.DriverHeadBase))
+		pos.Append(t, headPos)
+		seg := Segment{Position: i, Start: t}
+		// Settle facing front so the position fingerprint φ⁰c(i) can
+		// be recorded from stable CSI.
+		yaw.Append(t, 0)
+		yaw.Append(t+1.6, 0)
+		t += 1.6
+		seg.SettleEnd = t
+		// Sweep out to -max, then back and forth until the per-
+		// position budget is used.
+		end := t + perPosition
+		cur := 0.0
+		target := -p.MaxYawDeg
+		for t < end {
+			d := sweepDuration(target-cur, speedDPS)
+			t += d
+			yaw.Append(t, target)
+			cur, target = target, -target
+		}
+		// Return to front before shifting position.
+		d := sweepDuration(cur, speedDPS)
+		t += d
+		yaw.Append(t, 0)
+		pos.Append(t, headPos)
+		seg.End = t
+		segs = append(segs, seg)
+		t += 0.2
+	}
+	sc := &Scenario{
+		Name:     "profiling-sweep",
+		Duration: t,
+		SpeedMPS: 0,
+		HeadYaw:  yaw,
+		HeadPos:  pos,
+	}
+	return sc, segs
+}
+
+// GlanceOptions configures DrivingScenario.
+type GlanceOptions struct {
+	Steering  bool    // include intersection turns
+	SteerProb float64 // fraction of glances followed by steering (default 0.3)
+	// LaneWobbleDeg adds continuous small lane-keeping wheel
+	// corrections (0 = hands still between turns). Even sub-degree
+	// wobble is a measurable slow CSI confound; see DESIGN.md
+	// "Known deviations".
+	LaneWobbleDeg  float64
+	PassengerTurns bool    // passenger occasionally looks sideways
+	PositionJitter float64 // std-dev (m) of slow head-position drift
+	ReseatOffset   geom.Vec3
+	SpeedMPS       float64
+	TurnSpeedDPS   float64 // overrides the profile's head-turn speed
+}
+
+// DrivingScenario generates a realistic run-time trip: the driver
+// faces the road, glances at mirrors/roadside with the profile's
+// cadence, and (optionally) executes steering events each preceded by
+// a preparatory head turn about one second earlier, matching the
+// timing studies cited in Sec. 3.6.1.
+func DrivingScenario(rng *stats.RNG, p Profile, duration float64, opt GlanceOptions) *Scenario {
+	if duration <= 0 {
+		duration = 60
+	}
+	speed := opt.SpeedMPS
+	if speed == 0 {
+		speed = 6.0 // ≈ 13 mph campus driving
+	}
+	turnSpeed := opt.TurnSpeedDPS
+	if turnSpeed == 0 {
+		turnSpeed = p.TurnSpeedDPS
+	}
+
+	yaw := NewTrack()
+	wheel := NewTrack()
+	pos := NewPosTrack()
+	base := p.headBase().Add(opt.ReseatOffset)
+
+	yaw.Append(0, 0)
+	wheel.Append(0, 0)
+	pos.Append(0, base)
+
+	t := 0.0
+	for t < duration {
+		// Dwell on the road.
+		gap := rng.Exp(1 / math.Max(p.GlanceRateHz, 0.05))
+		if gap < 0.8 {
+			gap = 0.8
+		}
+		t += gap
+		if t >= duration {
+			break
+		}
+
+		steerProb := opt.SteerProb
+		if steerProb <= 0 {
+			steerProb = 0.3
+		}
+		steer := opt.Steering && rng.Bool(steerProb)
+		target := rng.Uniform(0.45, 1.0) * p.MaxYawDeg
+		if rng.Bool(0.5) {
+			target = -target
+		}
+
+		// Head turn out.
+		d := sweepDuration(target, turnSpeed)
+		yaw.Append(t, 0)
+		t += d
+		yaw.Append(t, target)
+		// Hold at the glance target.
+		hold := math.Max(p.GlanceHoldS*rng.Uniform(0.7, 1.4), 0.15)
+		t += hold
+		yaw.Append(t, target)
+		// Return to front.
+		t += d
+		yaw.Append(t, 0)
+
+		if steer {
+			// Steering follows the preparatory head turn by ≈ 1 s:
+			// ramp the wheel toward the glanced direction.
+			wheelTarget := math.Copysign(rng.Uniform(80, 140), target)
+			ts := t + rng.Uniform(0.15, 0.5)
+			wheel.Append(ts, 0)
+			wheel.Append(ts+1.0, wheelTarget)
+			wheel.Append(ts+2.2, wheelTarget)
+			wheel.Append(ts+3.4, 0)
+			t = ts + 3.6
+		}
+
+		// Slow head-position drift.
+		if opt.PositionJitter > 0 {
+			drift := geom.Vec3{
+				X: rng.Normal(0, opt.PositionJitter),
+				Y: rng.Normal(0, opt.PositionJitter*0.4),
+				Z: rng.Normal(0, opt.PositionJitter*0.3),
+			}
+			pos.Append(t, base.Add(drift))
+		}
+	}
+	yaw.Append(duration, yaw.At(duration))
+	pos.Append(duration, pos.At(duration))
+
+	sc := &Scenario{
+		Name:          "driving",
+		Duration:      duration,
+		SpeedMPS:      speed,
+		HeadYaw:       yaw,
+		HeadPos:       pos,
+		Wheel:         wheel,
+		LaneWobbleDeg: opt.LaneWobbleDeg,
+		LaneWobbleHz:  0.3,
+	}
+	if opt.PassengerTurns {
+		sc.PassengerYaw = passengerTrack(rng.Fork(), duration)
+	}
+	return sc
+}
+
+// passengerTrack generates the front passenger's occasional sideways
+// looks (Sec. 5.3.4: "turns his head infrequently to look at roadside
+// scenes").
+func passengerTrack(rng *stats.RNG, duration float64) *Track {
+	tr := NewTrack()
+	tr.Append(0, 0)
+	t := 0.0
+	for t < duration {
+		t += rng.Uniform(4, 10)
+		if t >= duration {
+			break
+		}
+		target := rng.Uniform(40, 90)
+		if rng.Bool(0.5) {
+			target = -target
+		}
+		d := sweepDuration(target, 90)
+		tr.Append(t, 0)
+		tr.Append(t+d, target)
+		tr.Append(t+d+rng.Uniform(0.5, 2), target)
+		tr.Append(t+2*d+rng.Uniform(0.5, 2), 0)
+		t += 2*d + 2
+	}
+	return tr
+}
+
+// SteeringOnlyScenario reproduces the Fig. 8 experiment: the driver
+// keeps the head still while turning the wheel back and forth.
+func SteeringOnlyScenario(duration float64) *Scenario {
+	wheel := NewTrack()
+	wheel.Append(0, 0)
+	t := 1.0
+	target := 120.0
+	for t < duration {
+		wheel.Append(t, 0)
+		wheel.Append(t+1.2, target)
+		wheel.Append(t+2.4, 0)
+		t += 2.6
+		target = -target
+	}
+	return &Scenario{
+		Name:     "steering-only",
+		Duration: duration,
+		SpeedMPS: 6,
+		HeadYaw:  NewTrack(Key{T: 0, V: 0}),
+		HeadPos:  constPos(cabin.DriverHeadBase),
+		Wheel:    wheel,
+	}
+}
+
+// HeadOnlyScenario is the complementary Fig. 8 segment: continuous
+// head sweeps with hands still.
+func HeadOnlyScenario(p Profile, duration float64) *Scenario {
+	sc, _ := SweepScenario(p, 1, duration, p.TurnSpeedDPS)
+	sc.Name = "head-only"
+	sc.Duration = duration
+	return sc
+}
+
+func constPos(p geom.Vec3) *PosTrack {
+	tr := NewPosTrack()
+	tr.Append(0, p)
+	return tr
+}
+
+// AddPositionDrift overlays a bounded random walk on the scenario's
+// head-position track: the slow postural sway of a real driver, which
+// keeps the run-time head slightly off every profiled position. std
+// is the per-step (≈2 s) displacement standard deviation in meters;
+// the walk is clamped to ±3·std per axis.
+func AddPositionDrift(sc *Scenario, rng *stats.RNG, std float64) {
+	if sc.HeadPos == nil || std <= 0 {
+		return
+	}
+	old := sc.HeadPos
+	drifted := NewPosTrack()
+	var dx, dy, dz float64
+	clamp := func(v float64) float64 { return geom.ClampDeg(v, -3*std, 3*std) }
+	const step = 2.0
+	for t := 0.0; t <= sc.Duration+step; t += step {
+		drifted.Append(t, old.At(t).Add(geom.Vec3{X: dx, Y: dy, Z: dz}))
+		dx = clamp(dx + rng.Normal(0, std))
+		dy = clamp(dy + rng.Normal(0, std*0.4))
+		dz = clamp(dz + rng.Normal(0, std*0.4))
+	}
+	sc.HeadPos = drifted
+}

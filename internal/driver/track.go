@@ -1,0 +1,143 @@
+// Package driver generates the human behaviour the simulator feeds
+// the cabin scene: head-turning trajectories at realistic speeds,
+// glance patterns anchored on the road ahead, steering events that
+// follow a preparatory head turn by about a second (the Land & Tatler
+// timing the paper cites in Sec. 3.6.1), passenger movements, and the
+// slow head-position drift that makes position-orientation joint
+// profiling necessary.
+package driver
+
+import (
+	"sort"
+
+	"vihot/internal/geom"
+)
+
+// Key is a keyframe of a scalar track.
+type Key struct {
+	T float64 // seconds
+	V float64
+}
+
+// Track is a piecewise-smooth scalar signal defined by keyframes with
+// smoothstep interpolation between them. Smoothstep has zero slope at
+// every keyframe, which matches how heads move: dwell, accelerate,
+// coast, decelerate, dwell. The peak rate between two keyframes is
+// 1.5·Δv/Δt, which generators use to hit target head-turning speeds.
+type Track struct {
+	keys []Key
+}
+
+// NewTrack builds a track from keyframes, sorting them by time.
+// Tracks with no keyframes evaluate to 0 everywhere.
+func NewTrack(keys ...Key) *Track {
+	ks := append([]Key(nil), keys...)
+	sort.Slice(ks, func(i, j int) bool { return ks[i].T < ks[j].T })
+	return &Track{keys: ks}
+}
+
+// Append adds a keyframe at or after the last existing key; earlier
+// timestamps are clamped to the end to preserve ordering.
+func (tr *Track) Append(t, v float64) {
+	if n := len(tr.keys); n > 0 && t < tr.keys[n-1].T {
+		t = tr.keys[n-1].T
+	}
+	tr.keys = append(tr.keys, Key{T: t, V: v})
+}
+
+// Keys returns the number of keyframes.
+func (tr *Track) Keys() int { return len(tr.keys) }
+
+// End returns the time of the last keyframe (0 for an empty track).
+func (tr *Track) End() float64 {
+	if len(tr.keys) == 0 {
+		return 0
+	}
+	return tr.keys[len(tr.keys)-1].T
+}
+
+// smoothstep is the classic 3t²-2t³ easing on [0,1].
+func smoothstep(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if t >= 1 {
+		return 1
+	}
+	return t * t * (3 - 2*t)
+}
+
+// At evaluates the track at time t, clamping before the first and
+// after the last keyframe.
+func (tr *Track) At(t float64) float64 {
+	n := len(tr.keys)
+	if n == 0 {
+		return 0
+	}
+	if t <= tr.keys[0].T {
+		return tr.keys[0].V
+	}
+	if t >= tr.keys[n-1].T {
+		return tr.keys[n-1].V
+	}
+	i := sort.Search(n, func(i int) bool { return tr.keys[i].T >= t })
+	a, b := tr.keys[i-1], tr.keys[i]
+	if b.T == a.T {
+		return b.V
+	}
+	frac := smoothstep((t - a.T) / (b.T - a.T))
+	return a.V + (b.V-a.V)*frac
+}
+
+// Rate returns the numerical time derivative of the track at t in
+// units/second (central difference over 2 ms).
+func (tr *Track) Rate(t float64) float64 {
+	const h = 1e-3
+	return (tr.At(t+h) - tr.At(t-h)) / (2 * h)
+}
+
+// PosTrack is a piecewise-smooth 3-D position signal, used for the
+// driver's head center.
+type PosTrack struct {
+	times []float64
+	pts   []geom.Vec3
+}
+
+// NewPosTrack builds a position track; keyframes must be provided in
+// ascending time order (generators always do).
+func NewPosTrack() *PosTrack { return &PosTrack{} }
+
+// Append adds a keyframe; earlier timestamps are clamped to the end.
+func (tr *PosTrack) Append(t float64, p geom.Vec3) {
+	if n := len(tr.times); n > 0 && t < tr.times[n-1] {
+		t = tr.times[n-1]
+	}
+	tr.times = append(tr.times, t)
+	tr.pts = append(tr.pts, p)
+}
+
+// Keys returns the number of keyframes.
+func (tr *PosTrack) Keys() int { return len(tr.times) }
+
+// At evaluates the position at time t with smoothstep easing,
+// clamping outside the keyframe span. An empty track returns the zero
+// vector.
+func (tr *PosTrack) At(t float64) geom.Vec3 {
+	n := len(tr.times)
+	if n == 0 {
+		return geom.Vec3{}
+	}
+	if t <= tr.times[0] {
+		return tr.pts[0]
+	}
+	if t >= tr.times[n-1] {
+		return tr.pts[n-1]
+	}
+	i := sort.SearchFloat64s(tr.times, t)
+	if tr.times[i] == t {
+		return tr.pts[i]
+	}
+	a, b := tr.times[i-1], tr.times[i]
+	frac := smoothstep((t - a) / (b - a))
+	return tr.pts[i-1].Lerp(tr.pts[i], frac)
+}

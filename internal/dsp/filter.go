@@ -1,0 +1,132 @@
+package dsp
+
+import (
+	"math"
+	"sort"
+)
+
+// EMA is an exponential moving average filter. The zero value is not
+// usable; construct with NewEMA.
+type EMA struct {
+	alpha  float64
+	value  float64
+	primed bool
+}
+
+// NewEMA returns an EMA with smoothing factor alpha in (0, 1]; alpha=1
+// passes input through unchanged. Out-of-range alphas are clamped.
+func NewEMA(alpha float64) *EMA {
+	if alpha <= 0 {
+		alpha = 1e-6
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return &EMA{alpha: alpha}
+}
+
+// Update feeds one sample and returns the filtered value. The first
+// sample primes the filter.
+func (f *EMA) Update(x float64) float64 {
+	if !f.primed {
+		f.value = x
+		f.primed = true
+		return x
+	}
+	f.value += f.alpha * (x - f.value)
+	return f.value
+}
+
+// Value returns the current filter output (0 before priming).
+func (f *EMA) Value() float64 { return f.value }
+
+// Reset clears the filter state.
+func (f *EMA) Reset() { f.value, f.primed = 0, false }
+
+// MedianFilter applies a sliding median of odd window size w to xs and
+// returns a new slice. Edges use a shrunken window. It returns an
+// error when w is not positive and odd.
+func MedianFilter(xs []float64, w int) ([]float64, error) {
+	if w < 1 || w%2 == 0 {
+		return nil, ErrBadWindowSize
+	}
+	out := make([]float64, len(xs))
+	half := w / 2
+	buf := make([]float64, 0, w)
+	for i := range xs {
+		// Shrink the window symmetrically near the edges so it stays
+		// odd-length and centered on i; the filter is then the
+		// identity on monotone inputs everywhere.
+		h := half
+		if i < h {
+			h = i
+		}
+		if len(xs)-1-i < h {
+			h = len(xs) - 1 - i
+		}
+		buf = append(buf[:0], xs[i-h:i+h+1]...)
+		sort.Float64s(buf)
+		out[i] = buf[len(buf)/2]
+	}
+	return out, nil
+}
+
+// Unwrap removes 2π discontinuities from a phase sequence in place
+// semantics-free: it returns a new slice where consecutive samples
+// never jump by more than π.
+func Unwrap(phases []float64) []float64 {
+	out := make([]float64, len(phases))
+	if len(phases) == 0 {
+		return out
+	}
+	out[0] = phases[0]
+	offset := 0.0
+	for i := 1; i < len(phases); i++ {
+		d := phases[i] - phases[i-1]
+		if d > math.Pi {
+			offset -= 2 * math.Pi
+		} else if d < -math.Pi {
+			offset += 2 * math.Pi
+		}
+		out[i] = phases[i] + offset
+	}
+	return out
+}
+
+// RollingStd computes the standard deviation over a centered window of
+// w samples at every index (shrunken at the edges). w < 1 returns nil.
+func RollingStd(xs []float64, w int) []float64 {
+	if w < 1 {
+		return nil
+	}
+	out := make([]float64, len(xs))
+	half := w / 2
+	for i := range xs {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(xs) {
+			hi = len(xs) - 1
+		}
+		out[i] = stdOf(xs[lo : hi+1])
+	}
+	return out
+}
+
+func stdOf(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var m float64
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}

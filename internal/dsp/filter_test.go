@@ -1,0 +1,242 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEMAPriming(t *testing.T) {
+	f := NewEMA(0.5)
+	if got := f.Update(10); got != 10 {
+		t.Errorf("first sample = %v, want pass-through", got)
+	}
+	if got := f.Update(20); got != 15 {
+		t.Errorf("second sample = %v, want 15", got)
+	}
+	if f.Value() != 15 {
+		t.Errorf("Value = %v", f.Value())
+	}
+	f.Reset()
+	if f.Value() != 0 {
+		t.Error("Reset did not clear value")
+	}
+	if got := f.Update(7); got != 7 {
+		t.Error("Reset did not clear priming")
+	}
+}
+
+func TestEMAAlphaClamping(t *testing.T) {
+	f := NewEMA(5) // clamps to 1: pure pass-through
+	f.Update(1)
+	if got := f.Update(100); got != 100 {
+		t.Errorf("alpha=1 should track input exactly, got %v", got)
+	}
+	g := NewEMA(-1) // clamps to tiny: nearly frozen
+	g.Update(0)
+	if got := g.Update(1000); got > 0.1 {
+		t.Errorf("tiny alpha should barely move, got %v", got)
+	}
+}
+
+func TestEMAConvergesToConstant(t *testing.T) {
+	f := NewEMA(0.2)
+	var got float64
+	for i := 0; i < 200; i++ {
+		got = f.Update(42)
+	}
+	if math.Abs(got-42) > 1e-9 {
+		t.Errorf("EMA did not converge: %v", got)
+	}
+}
+
+func TestMedianFilterRejectsBadWindow(t *testing.T) {
+	for _, w := range []int{0, -3, 2, 4} {
+		if _, err := MedianFilter([]float64{1, 2, 3}, w); err != ErrBadWindowSize {
+			t.Errorf("w=%d err = %v", w, err)
+		}
+	}
+}
+
+func TestMedianFilterRemovesSpike(t *testing.T) {
+	xs := []float64{1, 1, 1, 100, 1, 1, 1}
+	out, err := MedianFilter(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != 1 {
+			t.Errorf("spike survived at %d: %v", i, v)
+		}
+	}
+}
+
+func TestMedianFilterIdentityOnMonotone(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	out, err := MedianFilter(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if out[i] != xs[i] {
+			t.Errorf("monotone distorted at %d: %v", i, out[i])
+		}
+	}
+}
+
+func TestMedianFilterWindowOne(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	out, err := MedianFilter(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if out[i] != xs[i] {
+			t.Error("w=1 must be identity")
+		}
+	}
+}
+
+func TestUnwrapContinuity(t *testing.T) {
+	// A phase ramp that wraps at ±π must unwrap to a straight line.
+	var wrapped []float64
+	for i := 0; i < 100; i++ {
+		phi := 0.2 * float64(i)
+		wrapped = append(wrapped, math.Atan2(math.Sin(phi), math.Cos(phi)))
+	}
+	un := Unwrap(wrapped)
+	for i := 1; i < len(un); i++ {
+		if math.Abs(un[i]-un[i-1]-0.2) > 1e-9 {
+			t.Fatalf("unwrap jump at %d: %v", i, un[i]-un[i-1])
+		}
+	}
+}
+
+func TestUnwrapEmpty(t *testing.T) {
+	if got := Unwrap(nil); len(got) != 0 {
+		t.Error("Unwrap(nil) must be empty")
+	}
+}
+
+func TestUnwrapNoJumpIsIdentity(t *testing.T) {
+	f := func(deltas []float64) bool {
+		phases := []float64{0}
+		for _, d := range deltas {
+			if math.IsNaN(d) || math.IsInf(d, 0) {
+				continue
+			}
+			step := math.Mod(math.Abs(d), 3.0) // always < π
+			phases = append(phases, phases[len(phases)-1]+step-1.5)
+		}
+		// keep in range to avoid legitimate wraps
+		for i := range phases {
+			phases[i] = math.Mod(phases[i], 3.0)
+		}
+		un := Unwrap(phases)
+		for i := range phases {
+			if math.Abs(un[i]-phases[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRollingStd(t *testing.T) {
+	if RollingStd([]float64{1, 2}, 0) != nil {
+		t.Error("w<1 must return nil")
+	}
+	xs := []float64{0, 0, 0, 10, 0, 0, 0}
+	out := RollingStd(xs, 3)
+	if out[0] != 0 {
+		t.Errorf("flat region std = %v", out[0])
+	}
+	if out[3] == 0 {
+		t.Error("spike region std must be nonzero")
+	}
+}
+
+func TestStabilityDetectorBasics(t *testing.T) {
+	d := NewStabilityDetector(0.1, 0.01, 0.05)
+	// Feed a flat signal at 100 Hz for 0.2s: must become stable.
+	stable := false
+	for i := 0; i < 20; i++ {
+		stable = d.Push(float64(i)*0.01, 1.0)
+	}
+	if !stable {
+		t.Fatal("flat signal not detected stable")
+	}
+	if math.Abs(d.Mean()-1.0) > 1e-9 {
+		t.Errorf("Mean = %v", d.Mean())
+	}
+	// A large excursion must break stability immediately.
+	if d.Push(0.21, 5.0) {
+		t.Error("excursion did not break stability")
+	}
+}
+
+func TestStabilityDetectorHold(t *testing.T) {
+	d := NewStabilityDetector(0.05, 0.01, 0.2)
+	// Stable signal but shorter than minHold: not yet stable.
+	for i := 0; i < 10; i++ {
+		if d.Push(float64(i)*0.01, 0) && float64(i)*0.01 < 0.2 {
+			t.Fatal("declared stable before minHold elapsed")
+		}
+	}
+	// Keep going past the hold.
+	ok := false
+	for i := 10; i < 40; i++ {
+		ok = d.Push(float64(i)*0.01, 0)
+	}
+	if !ok {
+		t.Error("never declared stable after minHold")
+	}
+}
+
+func TestStabilityDetectorNoisySignal(t *testing.T) {
+	d := NewStabilityDetector(0.1, 0.01, 0.0)
+	for i := 0; i < 50; i++ {
+		v := float64(i % 2) // alternating 0/1: std 0.5 >> threshold
+		if d.Push(float64(i)*0.01, v) {
+			t.Fatal("noisy signal declared stable")
+		}
+	}
+}
+
+func TestStabilityDetectorOutOfOrder(t *testing.T) {
+	d := NewStabilityDetector(0.1, 0.01, 0)
+	for i := 0; i < 20; i++ {
+		d.Push(float64(i)*0.01, 0)
+	}
+	was := d.Stable(0.19)
+	// An out-of-order sample must be ignored, not corrupt state.
+	got := d.Push(0.05, 99)
+	if got != was {
+		t.Error("out-of-order sample changed stability")
+	}
+}
+
+func TestStabilityDetectorReset(t *testing.T) {
+	d := NewStabilityDetector(0.1, 0.01, 0)
+	for i := 0; i < 20; i++ {
+		d.Push(float64(i)*0.01, 3)
+	}
+	d.Reset()
+	if d.Stable(1) {
+		t.Error("Reset did not clear stability")
+	}
+	if d.Mean() != 0 {
+		t.Error("Reset did not clear mean")
+	}
+}
+
+func TestStabilityDetectorDefaults(t *testing.T) {
+	d := NewStabilityDetector(-1, -1, -1)
+	// Must not panic and must behave sanely.
+	for i := 0; i < 10; i++ {
+		d.Push(float64(i)*0.001, 0)
+	}
+}

@@ -1,0 +1,209 @@
+// Package dsp provides the signal-processing primitives ViHOT needs:
+// timestamped series, uniform resampling of CSMA-jittered samples,
+// moving windows, stability detection, smoothing filters, and phase
+// unwrapping.
+//
+// Time is represented as float64 seconds on the simulation clock.
+package dsp
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Sample is one timestamped scalar measurement.
+type Sample struct {
+	T float64 // seconds
+	V float64
+}
+
+// Series is a time-ordered sequence of samples.
+type Series []Sample
+
+// Errors returned by series operations.
+var (
+	ErrEmptySeries   = errors.New("dsp: empty series")
+	ErrUnsorted      = errors.New("dsp: series timestamps not ascending")
+	ErrBadRate       = errors.New("dsp: non-positive sample rate")
+	ErrShortSeries   = errors.New("dsp: series too short")
+	ErrBadWindowSize = errors.New("dsp: window size must be positive and odd")
+)
+
+// Times returns the timestamps of s as a new slice.
+func (s Series) Times() []float64 {
+	ts := make([]float64, len(s))
+	for i, smp := range s {
+		ts[i] = smp.T
+	}
+	return ts
+}
+
+// Values returns the values of s as a new slice.
+func (s Series) Values() []float64 {
+	vs := make([]float64, len(s))
+	for i, smp := range s {
+		vs[i] = smp.V
+	}
+	return vs
+}
+
+// Duration returns the time span covered by s, or 0 for fewer than
+// two samples.
+func (s Series) Duration() float64 {
+	if len(s) < 2 {
+		return 0
+	}
+	return s[len(s)-1].T - s[0].T
+}
+
+// IsSorted reports whether timestamps are non-decreasing.
+func (s Series) IsSorted() bool {
+	return sort.SliceIsSorted(s, func(i, j int) bool { return s[i].T < s[j].T })
+}
+
+// MaxGap returns the largest interval between consecutive samples, or
+// 0 for fewer than two samples.
+func (s Series) MaxGap() float64 {
+	var g float64
+	for i := 1; i < len(s); i++ {
+		if d := s[i].T - s[i-1].T; d > g {
+			g = d
+		}
+	}
+	return g
+}
+
+// MeanRate returns the average sampling rate in Hz, or 0 when the
+// series spans no time.
+func (s Series) MeanRate() float64 {
+	d := s.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return float64(len(s)-1) / d
+}
+
+// Window returns the sub-series with timestamps in [from, to]. The
+// result aliases s.
+func (s Series) Window(from, to float64) Series {
+	lo := sort.Search(len(s), func(i int) bool { return s[i].T >= from })
+	hi := sort.Search(len(s), func(i int) bool { return s[i].T > to })
+	if lo >= hi {
+		return nil
+	}
+	return s[lo:hi]
+}
+
+// At linearly interpolates the series value at time t, clamping to the
+// first/last sample outside the covered span. It returns an error for
+// an empty series.
+func (s Series) At(t float64) (float64, error) {
+	if len(s) == 0 {
+		return 0, ErrEmptySeries
+	}
+	if t <= s[0].T {
+		return s[0].V, nil
+	}
+	if t >= s[len(s)-1].T {
+		return s[len(s)-1].V, nil
+	}
+	i := sort.Search(len(s), func(i int) bool { return s[i].T >= t })
+	a, b := s[i-1], s[i]
+	if b.T == a.T {
+		return b.V, nil
+	}
+	frac := (t - a.T) / (b.T - a.T)
+	return a.V + (b.V-a.V)*frac, nil
+}
+
+// Resample converts an irregular series to a uniform grid at the
+// given rate (Hz) spanning the series duration, linearly interpolating
+// between samples. This is the resampling step of Sec. 3.4.3 Step 1:
+// CSMA makes CSI arrival times random, so the run-time window and the
+// profile must be brought to a common grid before DTW. Large gaps are
+// bridged by interpolation, which is exactly why heavy interfering
+// traffic (Fig. 17d) degrades matching accuracy.
+func (s Series) Resample(rateHz float64) (Series, error) {
+	if len(s) == 0 {
+		return nil, ErrEmptySeries
+	}
+	if rateHz <= 0 {
+		return nil, ErrBadRate
+	}
+	if !s.IsSorted() {
+		return nil, ErrUnsorted
+	}
+	dt := 1 / rateHz
+	n := int(math.Floor(s.Duration()/dt)) + 1
+	if n < 1 {
+		n = 1
+	}
+	out := make(Series, n)
+	for i := 0; i < n; i++ {
+		t := s[0].T + float64(i)*dt
+		v, _ := s.At(t)
+		out[i] = Sample{T: t, V: v}
+	}
+	return out, nil
+}
+
+// ResampleValues is Resample returning only the value grid, for hot
+// paths that do not need timestamps. It appends into out (reusing its
+// capacity) and performs no allocation when out is large enough.
+func (s Series) ResampleValues(rateHz float64, out []float64) ([]float64, error) {
+	if len(s) == 0 {
+		return nil, ErrEmptySeries
+	}
+	if rateHz <= 0 {
+		return nil, ErrBadRate
+	}
+	n := int(math.Floor(s.Duration()*rateHz)) + 1
+	if n < 1 {
+		n = 1
+	}
+	return s.resampleGrid(1/rateHz, n, out), nil
+}
+
+// ResampleValuesN resamples the series onto exactly n evenly spaced
+// points spanning its full duration, appending into out. Unlike
+// ResampleValues it never drops below the requested point count, so a
+// window slightly shorter than its nominal length (CSMA gaps shave
+// the edges) still yields a fixed-size query for the matcher.
+func (s Series) ResampleValuesN(n int, out []float64) ([]float64, error) {
+	if len(s) == 0 {
+		return nil, ErrEmptySeries
+	}
+	if n < 1 {
+		return nil, ErrBadRate
+	}
+	step := 0.0
+	if n > 1 {
+		step = s.Duration() / float64(n-1)
+	}
+	return s.resampleGrid(step, n, out), nil
+}
+
+// resampleGrid interpolates s at n points starting at s[0].T with the
+// given step, appending into out.
+func (s Series) resampleGrid(step float64, n int, out []float64) []float64 {
+	out = out[:0]
+	j := 0
+	for i := 0; i < n; i++ {
+		t := s[0].T + float64(i)*step
+		for j+1 < len(s) && s[j+1].T < t {
+			j++
+		}
+		v := s[j].V
+		if j+1 < len(s) && t > s[j].T {
+			a, b := s[j], s[j+1]
+			if b.T > a.T {
+				v = a.V + (b.V-a.V)*(t-a.T)/(b.T-a.T)
+			} else {
+				v = b.V
+			}
+		}
+		out = append(out, v)
+	}
+	return out
+}

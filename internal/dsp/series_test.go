@@ -1,0 +1,210 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mkSeries(ts, vs []float64) Series {
+	s := make(Series, len(ts))
+	for i := range ts {
+		s[i] = Sample{T: ts[i], V: vs[i]}
+	}
+	return s
+}
+
+func TestTimesValuesDuration(t *testing.T) {
+	s := mkSeries([]float64{0, 1, 3}, []float64{5, 6, 7})
+	ts, vs := s.Times(), s.Values()
+	if ts[2] != 3 || vs[0] != 5 {
+		t.Errorf("Times/Values = %v / %v", ts, vs)
+	}
+	if s.Duration() != 3 {
+		t.Errorf("Duration = %v", s.Duration())
+	}
+	if (Series{}).Duration() != 0 {
+		t.Error("empty Duration must be 0")
+	}
+}
+
+func TestMaxGapMeanRate(t *testing.T) {
+	s := mkSeries([]float64{0, 0.1, 0.5, 0.6}, []float64{0, 0, 0, 0})
+	if g := s.MaxGap(); math.Abs(g-0.4) > 1e-12 {
+		t.Errorf("MaxGap = %v", g)
+	}
+	if r := s.MeanRate(); math.Abs(r-5) > 1e-9 {
+		t.Errorf("MeanRate = %v", r)
+	}
+	if (Series{{T: 1, V: 1}}).MeanRate() != 0 {
+		t.Error("single-sample MeanRate must be 0")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	s := mkSeries([]float64{0, 1, 2, 3, 4}, []float64{10, 11, 12, 13, 14})
+	w := s.Window(1, 3)
+	if len(w) != 3 || w[0].V != 11 || w[2].V != 13 {
+		t.Errorf("Window = %v", w)
+	}
+	if s.Window(10, 20) != nil {
+		t.Error("out-of-range window must be nil")
+	}
+	if s.Window(3, 1) != nil {
+		t.Error("inverted window must be nil")
+	}
+}
+
+func TestAtInterpolation(t *testing.T) {
+	s := mkSeries([]float64{0, 2}, []float64{0, 10})
+	if _, err := (Series{}).At(1); err != ErrEmptySeries {
+		t.Errorf("empty At err = %v", err)
+	}
+	cases := []struct{ t, want float64 }{
+		{-1, 0}, {0, 0}, {1, 5}, {2, 10}, {3, 10},
+	}
+	for _, c := range cases {
+		got, err := s.At(c.t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestAtDuplicateTimestamps(t *testing.T) {
+	s := mkSeries([]float64{0, 1, 1, 2}, []float64{0, 4, 8, 8})
+	got, err := s.At(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(got) {
+		t.Error("At over duplicate timestamps produced NaN")
+	}
+}
+
+func TestResampleErrors(t *testing.T) {
+	if _, err := (Series{}).Resample(100); err != ErrEmptySeries {
+		t.Errorf("empty err = %v", err)
+	}
+	s := mkSeries([]float64{0, 1}, []float64{0, 1})
+	if _, err := s.Resample(0); err != ErrBadRate {
+		t.Errorf("rate err = %v", err)
+	}
+	bad := mkSeries([]float64{1, 0}, []float64{0, 1})
+	if _, err := bad.Resample(10); err != ErrUnsorted {
+		t.Errorf("unsorted err = %v", err)
+	}
+}
+
+func TestResampleUniformGrid(t *testing.T) {
+	s := mkSeries([]float64{0, 0.13, 0.29, 0.55, 1.0}, []float64{0, 1, 2, 3, 4})
+	rs, err := s.Resample(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 11 {
+		t.Fatalf("len = %d, want 11", len(rs))
+	}
+	for i := 1; i < len(rs); i++ {
+		if math.Abs((rs[i].T-rs[i-1].T)-0.1) > 1e-9 {
+			t.Fatalf("grid not uniform at %d: %v", i, rs[i].T-rs[i-1].T)
+		}
+	}
+	if rs[0].V != 0 {
+		t.Errorf("first value = %v", rs[0].V)
+	}
+	if math.Abs(rs[len(rs)-1].V-4) > 1e-9 {
+		t.Errorf("last value = %v", rs[len(rs)-1].V)
+	}
+}
+
+func TestResamplePreservesLinearSignal(t *testing.T) {
+	// A linear signal resampled at any rate must stay linear.
+	s := mkSeries(
+		[]float64{0, 0.07, 0.21, 0.33, 0.5},
+		[]float64{0, 0.14, 0.42, 0.66, 1.0},
+	)
+	rs, err := s.Resample(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, smp := range rs {
+		if math.Abs(smp.V-2*smp.T) > 1e-9 {
+			t.Fatalf("linear signal distorted at t=%v: %v", smp.T, smp.V)
+		}
+	}
+}
+
+func TestResampleValuesMatchesResample(t *testing.T) {
+	s := mkSeries([]float64{0, 0.3, 0.8, 1.1}, []float64{1, -1, 2, 0})
+	rs, err := s.Resample(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := s.ResampleValues(25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != len(rs) {
+		t.Fatalf("len mismatch %d vs %d", len(vals), len(rs))
+	}
+	for i := range vals {
+		if math.Abs(vals[i]-rs[i].V) > 1e-12 {
+			t.Fatalf("value %d: %v vs %v", i, vals[i], rs[i].V)
+		}
+	}
+}
+
+func TestResampleValuesReusesBuffer(t *testing.T) {
+	s := mkSeries([]float64{0, 1}, []float64{0, 1})
+	buf := make([]float64, 0, 256)
+	out, err := s.ResampleValues(100, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[:1][0] != &buf[:1][0] {
+		t.Error("ResampleValues did not reuse provided buffer")
+	}
+}
+
+func TestResampleSingleSample(t *testing.T) {
+	s := Series{{T: 5, V: 42}}
+	rs, err := s.Resample(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].V != 42 {
+		t.Errorf("single-sample resample = %v", rs)
+	}
+}
+
+func TestResamplePropertySortedOutput(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		s := make(Series, 0, len(raw))
+		t0 := 0.0
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			t0 += 0.01 + math.Mod(math.Abs(v), 0.02)
+			s = append(s, Sample{T: t0, V: v})
+		}
+		if len(s) < 2 {
+			return true
+		}
+		rs, err := s.Resample(50)
+		if err != nil {
+			return false
+		}
+		return rs.IsSorted()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

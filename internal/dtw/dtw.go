@@ -1,0 +1,183 @@
+// Package dtw implements Dynamic Time Warping, the series-matching
+// metric at the heart of ViHOT's head-orientation tracker (Sec. 3.4.4
+// of the paper). DTW aligns two series that traverse the same shape at
+// different speeds — exactly the mismatch between the slow profiling
+// head sweep and fast run-time head turns.
+//
+// The implementation uses the classic two-row dynamic program with an
+// optional Sakoe-Chiba band and early abandoning, and exposes a
+// Matcher that reuses its scratch rows so the tracker's hot loop runs
+// allocation-free.
+package dtw
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrEmptyInput is returned when either input series is empty.
+var ErrEmptyInput = errors.New("dtw: empty input series")
+
+// Options configures a DTW computation.
+type Options struct {
+	// Window is the Sakoe-Chiba band half-width in samples. Cells with
+	// |i·m/n - j| > Window are excluded from the alignment. Zero or
+	// negative means no band (full DTW).
+	Window int
+
+	// AbandonAbove enables early abandoning: if every reachable cell
+	// of a row exceeds this cumulative cost, the computation stops and
+	// returns +Inf. Zero or negative disables abandoning.
+	AbandonAbove float64
+
+	// Circular treats samples as angles in radians and uses the
+	// shortest distance around the circle as the local cost, so series
+	// that cross the ±π seam still match. CSI phases are circular.
+	Circular bool
+
+	// Derivative matches on first differences instead of raw values
+	// (derivative DTW): shape-only matching that is immune to constant
+	// offsets between query and profile, at the cost of discarding the
+	// absolute level that anchors position disambiguation. Exposed for
+	// the ablation study.
+	Derivative bool
+}
+
+// localCost returns |a-b|, or the shortest angular distance when
+// circular.
+func localCost(a, b float64, circular bool) float64 {
+	d := math.Abs(a - b)
+	if circular {
+		d = math.Mod(d, 2*math.Pi)
+		if d > math.Pi {
+			d = 2*math.Pi - d
+		}
+	}
+	return d
+}
+
+// Matcher computes DTW distances while reusing internal scratch
+// buffers across calls. A Matcher is not safe for concurrent use; use
+// one per goroutine.
+type Matcher struct {
+	prev, cur []float64
+	da, db    []float64 // derivative scratch
+}
+
+// NewMatcher returns a Matcher with scratch capacity for series of up
+// to the given length (it grows on demand).
+func NewMatcher(capHint int) *Matcher {
+	if capHint < 0 {
+		capHint = 0
+	}
+	return &Matcher{
+		prev: make([]float64, 0, capHint+1),
+		cur:  make([]float64, 0, capHint+1),
+	}
+}
+
+// Distance returns the unnormalized DTW distance between a and b using
+// absolute difference as the local cost and the standard step pattern
+// {(i-1,j), (i,j-1), (i-1,j-1)}. With early abandoning enabled the
+// result may be +Inf, meaning "worse than the abandon threshold".
+func (m *Matcher) Distance(a, b []float64, opt Options) (float64, error) {
+	if opt.Derivative {
+		if len(a) < 2 || len(b) < 2 {
+			return 0, ErrEmptyInput
+		}
+		m.da = Derivatives(a, m.da)
+		m.db = Derivatives(b, m.db)
+		a, b = m.da, m.db
+		opt.Derivative = false
+	}
+	n, mm := len(a), len(b)
+	if n == 0 || mm == 0 {
+		return 0, ErrEmptyInput
+	}
+	m.prev = grow(m.prev, mm+1)
+	m.cur = grow(m.cur, mm+1)
+	prev, cur := m.prev, m.cur
+
+	inf := math.Inf(1)
+	for j := 0; j <= mm; j++ {
+		prev[j] = inf
+	}
+	prev[0] = 0
+
+	// Effective band: scale the window onto the diagonal of an n×m
+	// grid so unequal lengths still align corner to corner.
+	band := opt.Window
+	useBand := band > 0
+	slope := float64(mm) / float64(n)
+
+	for i := 1; i <= n; i++ {
+		lo, hi := 1, mm
+		if useBand {
+			center := int(math.Round(float64(i) * slope))
+			lo = max(1, center-band)
+			hi = min(mm, center+band)
+		}
+		for j := 0; j <= mm; j++ {
+			cur[j] = inf
+		}
+		rowMin := inf
+		for j := lo; j <= hi; j++ {
+			c := localCost(a[i-1], b[j-1], opt.Circular)
+			best := prev[j] // insertion
+			if prev[j-1] < best {
+				best = prev[j-1] // match
+			}
+			if cur[j-1] < best {
+				best = cur[j-1] // deletion
+			}
+			if math.IsInf(best, 1) {
+				continue
+			}
+			v := c + best
+			cur[j] = v
+			if v < rowMin {
+				rowMin = v
+			}
+		}
+		if opt.AbandonAbove > 0 && rowMin > opt.AbandonAbove {
+			return inf, nil
+		}
+		prev, cur = cur, prev
+	}
+	return prev[mm], nil
+}
+
+// NormalizedDistance returns Distance divided by the sum of both
+// series lengths, making scores comparable across candidate-segment
+// lengths — required by Algorithm 1, which compares matches of
+// different lengths Lₙ ∈ [0.5W, 2W].
+func (m *Matcher) NormalizedDistance(a, b []float64, opt Options) (float64, error) {
+	d, err := m.Distance(a, b, opt)
+	if err != nil {
+		return 0, err
+	}
+	return d / float64(len(a)+len(b)), nil
+}
+
+// Distance is a convenience wrapper allocating a throwaway Matcher.
+func Distance(a, b []float64, opt Options) (float64, error) {
+	return NewMatcher(len(b)).Distance(a, b, opt)
+}
+
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// Derivatives returns the first differences of xs (length len(xs)-1),
+// appending into out. Used with Options.Derivative to pre-process both
+// series consistently.
+func Derivatives(xs []float64, out []float64) []float64 {
+	out = out[:0]
+	for i := 1; i < len(xs); i++ {
+		out = append(out, xs[i]-xs[i-1])
+	}
+	return out
+}

@@ -1,0 +1,368 @@
+package dtw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceErrors(t *testing.T) {
+	m := NewMatcher(8)
+	if _, err := m.Distance(nil, []float64{1}, Options{}); err != ErrEmptyInput {
+		t.Errorf("empty a err = %v", err)
+	}
+	if _, err := m.Distance([]float64{1}, nil, Options{}); err != ErrEmptyInput {
+		t.Errorf("empty b err = %v", err)
+	}
+}
+
+func TestDistanceIdentity(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		d, err := Distance(clean, clean, Options{})
+		return err == nil && d == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	a := []float64{0, 1, 2, 3, 2, 1}
+	b := []float64{0, 0.5, 2.5, 3, 1}
+	m := NewMatcher(8)
+	d1, err := m.Distance(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := m.Distance(b, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d1-d2) > 1e-12 {
+		t.Errorf("asymmetric: %v vs %v", d1, d2)
+	}
+}
+
+func TestDistanceNonNegative(t *testing.T) {
+	f := func(a, b []float64) bool {
+		ca, cb := clean(a), clean(b)
+		if len(ca) == 0 || len(cb) == 0 {
+			return true
+		}
+		d, err := Distance(ca, cb, Options{})
+		return err == nil && d >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clean(xs []float64) []float64 {
+	out := xs[:0]
+	for _, x := range xs {
+		if !math.IsNaN(x) && math.Abs(x) < 1e6 {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func TestDistanceKnownValue(t *testing.T) {
+	// a = [0], b = [1,2]: path must visit both b cells: |0-1|+|0-2| = 3.
+	d, err := Distance([]float64{0}, []float64{1, 2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 3 {
+		t.Errorf("d = %v, want 3", d)
+	}
+}
+
+func TestDistanceTimeWarpInvariance(t *testing.T) {
+	// The same shape traversed at half speed must match almost
+	// perfectly (stretched by repetition).
+	a := []float64{0, 1, 2, 3, 4, 3, 2, 1, 0}
+	var b []float64
+	for _, v := range a {
+		b = append(b, v, v) // 2x slower
+	}
+	d, err := Distance(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("time-warped copy distance = %v, want 0", d)
+	}
+}
+
+func TestDistanceDiscriminates(t *testing.T) {
+	a := []float64{0, 1, 2, 3, 4}
+	similar := []float64{0, 1.1, 2, 2.9, 4}
+	different := []float64{4, 3, 2, 1, 0}
+	ds, _ := Distance(a, similar, Options{})
+	dd, _ := Distance(a, different, Options{})
+	if ds >= dd {
+		t.Errorf("similar (%v) not closer than different (%v)", ds, dd)
+	}
+}
+
+func TestBandMatchesFullDTWWhenWide(t *testing.T) {
+	a := []float64{0, 2, 4, 3, 1, 0, 2}
+	b := []float64{0, 1, 4, 4, 1, 1, 2}
+	full, _ := Distance(a, b, Options{})
+	banded, _ := Distance(a, b, Options{Window: len(b)})
+	if math.Abs(full-banded) > 1e-12 {
+		t.Errorf("wide band %v != full %v", banded, full)
+	}
+}
+
+func TestBandNeverBeatsFull(t *testing.T) {
+	f := func(a, b []float64) bool {
+		ca, cb := clean(a), clean(b)
+		if len(ca) == 0 || len(cb) == 0 {
+			return true
+		}
+		full, err1 := Distance(ca, cb, Options{})
+		banded, err2 := Distance(ca, cb, Options{Window: 2})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return banded >= full-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEarlyAbandon(t *testing.T) {
+	a := []float64{0, 0, 0, 0}
+	b := []float64{100, 100, 100, 100}
+	d, err := Distance(a, b, Options{AbandonAbove: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(d, 1) {
+		t.Errorf("abandon should yield +Inf, got %v", d)
+	}
+	// A threshold above the true distance must not trigger.
+	exact, _ := Distance(a, b, Options{})
+	d2, _ := Distance(a, b, Options{AbandonAbove: exact + 1})
+	if math.IsInf(d2, 1) {
+		t.Error("abandon triggered below threshold")
+	}
+}
+
+func TestNormalizedDistance(t *testing.T) {
+	a := []float64{0, 1}
+	b := []float64{0, 1}
+	m := NewMatcher(4)
+	d, err := m.NormalizedDistance(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("normalized identity = %v", d)
+	}
+}
+
+func TestMatcherReuseConsistency(t *testing.T) {
+	m := NewMatcher(4)
+	a := []float64{1, 2, 3}
+	b := []float64{3, 2, 1}
+	d1, _ := m.Distance(a, b, Options{})
+	// Interleave other work to dirty the scratch rows.
+	_, _ = m.Distance([]float64{9, 9, 9, 9, 9, 9}, []float64{1}, Options{})
+	d2, _ := m.Distance(a, b, Options{})
+	if d1 != d2 {
+		t.Errorf("matcher reuse changed result: %v vs %v", d1, d2)
+	}
+}
+
+func TestSubsequenceFindsEmbeddedPattern(t *testing.T) {
+	// Build a long profile with a distinctive bump in the middle.
+	profile := make([]float64, 200)
+	for i := 60; i < 80; i++ {
+		profile[i] = math.Sin(float64(i-60) / 19 * math.Pi)
+	}
+	query := make([]float64, 20)
+	for i := range query {
+		query[i] = math.Sin(float64(i) / 19 * math.Pi)
+	}
+	m := NewMatcher(64)
+	match, err := m.Subsequence(query, profile, []int{15, 20, 25}, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if match.Start < 50 || match.Start > 70 {
+		t.Errorf("match start = %d, want near 60", match.Start)
+	}
+	if match.Dist > 0.05 {
+		t.Errorf("match dist = %v, want near 0", match.Dist)
+	}
+	if match.End() != match.Start+match.Length {
+		t.Error("End() arithmetic wrong")
+	}
+}
+
+func TestSubsequenceSpeedMismatch(t *testing.T) {
+	// Profile contains a slow sweep; the query is the same sweep at
+	// double speed. Candidate lengths around 2x query length must win.
+	var profile []float64
+	for i := 0; i < 100; i++ {
+		profile = append(profile, math.Sin(float64(i)*0.06))
+	}
+	var query []float64
+	for i := 0; i < 25; i++ {
+		query = append(query, math.Sin(float64(i)*0.12)) // 2x faster
+	}
+	m := NewMatcher(128)
+	lengths := CandidateLengths(len(query), 0.5, 2, 2, len(profile))
+	match, err := m.Subsequence(query, profile, lengths, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if match.Length < 35 {
+		t.Errorf("expected stretched match ≈50 samples, got %d", match.Length)
+	}
+	if match.Start > 10 {
+		t.Errorf("match start = %d, want near 0", match.Start)
+	}
+}
+
+func TestSubsequenceErrors(t *testing.T) {
+	m := NewMatcher(8)
+	if _, err := m.Subsequence(nil, []float64{1}, []int{1}, 1, Options{}); err != ErrEmptyInput {
+		t.Errorf("empty query err = %v", err)
+	}
+	if _, err := m.Subsequence([]float64{1}, []float64{1, 2}, []int{10}, 1, Options{}); err != ErrNoCandidates {
+		t.Errorf("oversized lengths err = %v", err)
+	}
+	if _, err := m.Subsequence([]float64{1}, []float64{1, 2}, nil, 1, Options{}); err != ErrNoCandidates {
+		t.Errorf("no lengths err = %v", err)
+	}
+}
+
+func TestSubsequenceStride(t *testing.T) {
+	profile := make([]float64, 50)
+	profile[25] = 1
+	query := []float64{0, 1, 0}
+	m := NewMatcher(8)
+	m1, err := m.Subsequence(query, profile, []int{3}, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := m.Subsequence(query, profile, []int{3}, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Dist < m1.Dist-1e-12 {
+		t.Error("coarser stride cannot beat exhaustive search")
+	}
+}
+
+func TestCandidateLengths(t *testing.T) {
+	ls := CandidateLengths(10, 0.5, 2, 1, 100)
+	if ls[0] != 5 || ls[len(ls)-1] != 20 {
+		t.Errorf("lengths = %v", ls)
+	}
+	if CandidateLengths(0, 0.5, 2, 1, 100) != nil {
+		t.Error("w<1 must return nil")
+	}
+	if CandidateLengths(10, 2, 0.5, 1, 100) != nil {
+		t.Error("inverted ratios must return nil")
+	}
+	// Clipping to maxLen.
+	ls = CandidateLengths(10, 0.5, 2, 1, 8)
+	for _, l := range ls {
+		if l > 8 {
+			t.Errorf("length %d exceeds maxLen", l)
+		}
+	}
+	// Step floor.
+	ls = CandidateLengths(4, 1, 1, 0, 10)
+	if len(ls) != 1 || ls[0] != 4 {
+		t.Errorf("step=0 lengths = %v", ls)
+	}
+}
+
+func TestDistanceAllocationFree(t *testing.T) {
+	m := NewMatcher(128)
+	a := make([]float64, 100)
+	b := make([]float64, 100)
+	for i := range a {
+		a[i] = math.Sin(float64(i) * 0.1)
+		b[i] = math.Cos(float64(i) * 0.1)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := m.Distance(a, b, Options{Window: 10}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("Distance allocates %v times per run, want 0", allocs)
+	}
+}
+
+func TestCircularCost(t *testing.T) {
+	// Two constant series on opposite sides of the ±π seam: naive
+	// distance is ≈ 2π per sample, circular distance ≈ 0.02.
+	a := []float64{math.Pi - 0.01, math.Pi - 0.01}
+	b := []float64{-math.Pi + 0.01, -math.Pi + 0.01}
+	naive, _ := Distance(a, b, Options{})
+	circ, _ := Distance(a, b, Options{Circular: true})
+	if naive < 6 {
+		t.Errorf("naive seam distance = %v, want ≈ 4π·0.99", naive)
+	}
+	if circ > 0.1 {
+		t.Errorf("circular seam distance = %v, want ≈ 0.04", circ)
+	}
+}
+
+func TestCircularMatchesLinearAwayFromSeam(t *testing.T) {
+	a := []float64{0.1, 0.2, 0.3}
+	b := []float64{0.15, 0.25, 0.28}
+	d1, _ := Distance(a, b, Options{})
+	d2, _ := Distance(a, b, Options{Circular: true})
+	if math.Abs(d1-d2) > 1e-12 {
+		t.Errorf("circular (%v) != linear (%v) away from seam", d2, d1)
+	}
+}
+
+func TestDerivativeDTWOffsetInvariance(t *testing.T) {
+	// Derivative DTW must see through a constant offset.
+	a := []float64{0, 1, 2, 3, 2, 1}
+	b := []float64{5, 6, 7, 8, 7, 6} // same shape, +5
+	raw, _ := Distance(a, b, Options{})
+	der, _ := Distance(a, b, Options{Derivative: true})
+	if der > 1e-9 {
+		t.Errorf("derivative distance = %v, want 0", der)
+	}
+	if raw < 1 {
+		t.Errorf("raw distance = %v, want large", raw)
+	}
+}
+
+func TestDerivativeDTWTooShort(t *testing.T) {
+	if _, err := Distance([]float64{1}, []float64{1, 2}, Options{Derivative: true}); err != ErrEmptyInput {
+		t.Errorf("short derivative err = %v", err)
+	}
+}
+
+func TestDerivativesHelper(t *testing.T) {
+	got := Derivatives([]float64{1, 3, 2}, nil)
+	if len(got) != 2 || got[0] != 2 || got[1] != -1 {
+		t.Errorf("Derivatives = %v", got)
+	}
+	if len(Derivatives([]float64{5}, nil)) != 0 {
+		t.Error("single-sample derivatives must be empty")
+	}
+}

@@ -1,0 +1,103 @@
+package dtw
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoCandidates is returned when the search space is empty, e.g.
+// the profile is shorter than every candidate length.
+var ErrNoCandidates = errors.New("dtw: no candidate segments to search")
+
+// Match describes the best-matching segment found by Subsequence.
+type Match struct {
+	Start  int     // segment start index in the profile series
+	Length int     // segment length in samples
+	Dist   float64 // normalized DTW distance of the winning segment
+}
+
+// End returns the exclusive end index of the matched segment.
+func (m Match) End() int { return m.Start + m.Length }
+
+// Subsequence finds the segment of profile that best matches query
+// under normalized DTW, enumerating every candidate length in lengths
+// and sliding each over the profile with the given stride (≥1). This
+// is Lines 3–8 of the paper's Algorithm 1: candidate lengths span
+// [0.5W, 2W] to absorb head-turning-speed mismatch between profiling
+// and run-time, and the global minimum across all (start, length)
+// pairs wins.
+//
+// The matcher's early-abandon threshold is tightened to the best score
+// found so far, which prunes most cells in practice.
+func (m *Matcher) Subsequence(query, profile []float64, lengths []int, stride int, opt Options) (Match, error) {
+	if len(query) == 0 || len(profile) == 0 {
+		return Match{}, ErrEmptyInput
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	best := Match{Dist: math.Inf(1)}
+	searched := false
+	for _, L := range lengths {
+		if L < 1 || L > len(profile) {
+			continue
+		}
+		for start := 0; start+L <= len(profile); start += stride {
+			searched = true
+			seg := profile[start : start+L]
+			o := opt
+			if !math.IsInf(best.Dist, 1) {
+				// Convert the normalized best into an unnormalized
+				// abandon bound for this candidate length.
+				bound := best.Dist * float64(len(query)+L)
+				if o.AbandonAbove <= 0 || bound < o.AbandonAbove {
+					o.AbandonAbove = bound
+				}
+			}
+			d, err := m.NormalizedDistance(query, seg, o)
+			if err != nil {
+				return Match{}, err
+			}
+			if d < best.Dist {
+				best = Match{Start: start, Length: L, Dist: d}
+			}
+		}
+	}
+	if !searched {
+		return Match{}, ErrNoCandidates
+	}
+	if math.IsInf(best.Dist, 1) {
+		return Match{}, ErrNoCandidates
+	}
+	return best, nil
+}
+
+// CandidateLengths enumerates the candidate match lengths of
+// Algorithm 1: from ratioLo·w to ratioHi·w in steps of step samples
+// (minimum 1). The returned lengths are clipped to [1, maxLen] and
+// deduplicated while preserving order.
+func CandidateLengths(w int, ratioLo, ratioHi float64, step, maxLen int) []int {
+	if w < 1 || ratioHi < ratioLo {
+		return nil
+	}
+	if step < 1 {
+		step = 1
+	}
+	lo := int(math.Floor(float64(w) * ratioLo))
+	hi := int(math.Ceil(float64(w) * ratioHi))
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > maxLen {
+		hi = maxLen
+	}
+	var out []int
+	seen := make(map[int]bool)
+	for L := lo; L <= hi; L += step {
+		if !seen[L] {
+			seen[L] = true
+			out = append(out, L)
+		}
+	}
+	return out
+}

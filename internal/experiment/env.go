@@ -1,0 +1,264 @@
+// Package experiment wires every substrate together into runnable
+// end-to-end experiments: it drives a cabin scene with a driver
+// scenario, pushes the resulting packet stream through the hardware
+// and sanitizer models into the ViHOT pipeline, and scores estimates
+// against ground truth. The figure generators that reproduce the
+// paper's evaluation live in figures.go.
+package experiment
+
+import (
+	"math"
+
+	"vihot/internal/cabin"
+	"vihot/internal/camera"
+	"vihot/internal/core"
+	"vihot/internal/csi"
+	"vihot/internal/driver"
+	"vihot/internal/dsp"
+	"vihot/internal/geom"
+	"vihot/internal/imu"
+	"vihot/internal/stats"
+	"vihot/internal/wifi"
+)
+
+// Env is one reproducible experimental environment: a cabin, a
+// receiver hardware model, a link timing model, and the RNG streams
+// that drive them.
+type Env struct {
+	Scene  *cabin.Scene
+	HW     *csi.Hardware
+	Timing wifi.TimingModel
+	RNG    *stats.RNG
+
+	csiBuf [][]complex128
+}
+
+// NewEnv builds an environment with the given cabin configuration and
+// deterministic seed.
+func NewEnv(cfg cabin.Config, seed int64) (*Env, error) {
+	scene, err := cabin.NewScene(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(seed)
+	return &Env{
+		Scene:  scene,
+		HW:     csi.DefaultHardware(rng.Fork()),
+		Timing: wifi.CleanTiming(),
+		RNG:    rng,
+	}, nil
+}
+
+// PhaseAt synthesizes one sanitized CSI phase observation of the
+// cabin at the given state: clean channel → hardware corruption →
+// two-antenna sanitizer.
+func (e *Env) PhaseAt(st cabin.State) (float64, error) {
+	e.csiBuf = e.Scene.CleanCSI(st, e.csiBuf)
+	frame := e.HW.Corrupt(st.Time, e.csiBuf)
+	return csi.Sanitize(frame, 0, 1)
+}
+
+// PhaseSeries samples the sanitized phase over a scenario at the
+// link's packet arrival times, returning the measurement series —
+// what the receiver's CSI tool would log.
+func (e *Env) PhaseSeries(sc *driver.Scenario) (dsp.Series, error) {
+	var out dsp.Series
+	for _, t := range e.Timing.ArrivalTimes(e.RNG.Fork(), sc.Duration) {
+		phi, err := e.PhaseAt(sc.State(t))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, dsp.Sample{T: t, V: phi})
+	}
+	return out, nil
+}
+
+// ProfileOptions configures CollectProfile.
+type ProfileOptions struct {
+	Positions    int     // head positions to profile (paper default 10)
+	PerPositionS float64 // sweep seconds per position (paper default 10)
+	SweepDPS     float64 // profiling head-turn speed (0 = profile habit)
+	MatchRateHz  float64 // 0 = core.DefaultMatchRateHz
+	TruthRateHz  float64 // ground-truth label rate (0 = 60 Hz)
+	LabelNoise   float64 // std-dev (deg) of ground-truth label noise
+}
+
+// DefaultProfileOptions mirrors Sec. 5.1: 10 positions × 10 s.
+func DefaultProfileOptions() ProfileOptions {
+	return ProfileOptions{
+		Positions:    10,
+		PerPositionS: 8,
+		SweepDPS:     0,
+		TruthRateHz:  60,
+		LabelNoise:   0.5,
+	}
+}
+
+// CollectProfile runs a full position-orientation joint profiling
+// session (Sec. 3.3) for the given driver and returns the profile
+// plus the wall-clock profiling duration.
+func (e *Env) CollectProfile(p driver.Profile, opt ProfileOptions) (*core.Profile, float64, error) {
+	if opt.Positions < 1 {
+		opt.Positions = 10
+	}
+	if opt.PerPositionS <= 0 {
+		opt.PerPositionS = 10
+	}
+	truthRate := opt.TruthRateHz
+	if truthRate <= 0 {
+		truthRate = 60
+	}
+	sc, segs := driver.SweepScenario(p, opt.Positions, opt.PerPositionS, opt.SweepDPS)
+	prof := core.NewProfiler(opt.MatchRateHz)
+	labelRNG := e.RNG.Fork()
+
+	arrivals := e.Timing.ArrivalTimes(e.RNG.Fork(), sc.Duration)
+	ai := 0
+	for _, seg := range segs {
+		prof.StartPosition(seg.Position)
+		// CSI stream across the whole segment.
+		for ai < len(arrivals) && arrivals[ai] < seg.End {
+			t := arrivals[ai]
+			ai++
+			if t < seg.Start {
+				continue
+			}
+			phi, err := e.PhaseAt(sc.State(t))
+			if err != nil {
+				return nil, 0, err
+			}
+			prof.AddPhase(t, phi)
+		}
+		// Ground-truth labels on their own clock.
+		for t := seg.Start; t < seg.End; t += 1 / truthRate {
+			yaw := sc.HeadYaw.At(t)
+			if opt.LabelNoise > 0 {
+				yaw += labelRNG.Normal(0, opt.LabelNoise)
+			}
+			prof.AddTruth(t, yaw)
+		}
+		if !prof.FingerprintCaptured() {
+			// The settle phase should have stabilized; as a fallback
+			// take the phase at the settle midpoint directly.
+			mid := (seg.Start + seg.SettleEnd) / 2
+			phi, err := e.PhaseAt(sc.State(mid))
+			if err != nil {
+				return nil, 0, err
+			}
+			prof.MarkFingerprint(phi)
+		}
+		if err := prof.EndPosition(); err != nil {
+			return nil, 0, err
+		}
+	}
+	profile, err := prof.Build()
+	if err != nil {
+		return nil, 0, err
+	}
+	return profile, sc.Duration, nil
+}
+
+// imuRate is the phone IMU sampling rate fed to the pipeline.
+const imuRate = 100.0
+
+// TrackOptions configures a tracking run.
+type TrackOptions struct {
+	Pipeline core.PipelineConfig
+	Horizons []float64 // forecast horizons to score (seconds)
+	// Camera enables the fallback camera feed.
+	Camera bool
+	// HeadsetSlipProb adds ground-truth headset slip (footnote 5).
+	HeadsetSlipProb float64
+}
+
+// RunResult aggregates a tracking run.
+type RunResult struct {
+	// Errors is the per-estimate absolute angular deviation (deg)
+	// against ground truth — the paper's performance metric.
+	Errors []float64
+	// ForecastErrors[i] aligns with Horizons[i].
+	Horizons       []float64
+	ForecastErrors [][]float64
+	Estimates      []core.Estimate
+	// SampleRateHz is the achieved CSI sampling rate.
+	SampleRateHz float64
+	// MaxGapS is the largest CSI inter-frame gap observed.
+	MaxGapS float64
+	// FallbackFraction is the fraction of estimates served by the
+	// camera fallback.
+	FallbackFraction float64
+}
+
+// ErrCDF returns the empirical CDF of the tracking errors.
+func (r *RunResult) ErrCDF() *stats.CDF { return stats.NewCDF(r.Errors) }
+
+// Track runs a scenario through the full pipeline and scores it.
+func (e *Env) Track(profile *core.Profile, sc *driver.Scenario, opt TrackOptions) (*RunResult, error) {
+	pl, err := core.NewPipeline(profile, opt.Pipeline)
+	if err != nil {
+		return nil, err
+	}
+	phone := imu.NewPhoneIMU(e.RNG.Fork())
+	var cam *camera.Tracker
+	if opt.Camera {
+		cam = camera.NewTracker(e.RNG.Fork())
+	}
+
+	res := &RunResult{Horizons: opt.Horizons}
+	res.ForecastErrors = make([][]float64, len(opt.Horizons))
+
+	arrivals := e.Timing.ArrivalTimes(e.RNG.Fork(), sc.Duration)
+	if len(arrivals) > 1 {
+		res.SampleRateHz = float64(len(arrivals)-1) / (arrivals[len(arrivals)-1] - arrivals[0])
+		for i := 1; i < len(arrivals); i++ {
+			if g := arrivals[i] - arrivals[i-1]; g > res.MaxGapS {
+				res.MaxGapS = g
+			}
+		}
+	}
+
+	nextIMU := 0.0
+	fallbacks := 0
+	for _, t := range arrivals {
+		// Side feeds in time order.
+		for nextIMU <= t {
+			pl.PushIMU(phone.Sample(nextIMU, sc.CarYawRateDPS(nextIMU), sc.SpeedMPS))
+			if cam != nil {
+				lag := cam.Latency()
+				truthYaw := sc.HeadYaw.At(nextIMU - lag)
+				truthRate := sc.TrueYawRateDPS(nextIMU - lag)
+				if est, ok := cam.Sample(nextIMU, truthYaw, truthRate); ok {
+					pl.PushCamera(est)
+				}
+			}
+			nextIMU += 1 / imuRate
+		}
+
+		phi, err := e.PhaseAt(sc.State(t))
+		if err != nil {
+			return nil, err
+		}
+		est, ok := pl.PushCSI(t, phi)
+		if !ok {
+			continue
+		}
+		truth := sc.HeadYaw.At(est.Time)
+		res.Errors = append(res.Errors, geom.AngleDistDeg(est.Yaw, truth))
+		res.Estimates = append(res.Estimates, est)
+		if est.Source == core.SourceCamera {
+			fallbacks++
+		}
+		for hi, h := range opt.Horizons {
+			pred := pl.Tracker().Forecast(est, h)
+			future := sc.HeadYaw.At(est.Time + h)
+			res.ForecastErrors[hi] = append(res.ForecastErrors[hi], geom.AngleDistDeg(pred, future))
+		}
+	}
+	if n := len(res.Estimates); n > 0 {
+		res.FallbackFraction = float64(fallbacks) / float64(n)
+	}
+	if math.IsNaN(res.SampleRateHz) {
+		res.SampleRateHz = 0
+	}
+	return res, nil
+}

@@ -1,0 +1,299 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vihot/internal/cabin"
+	"vihot/internal/core"
+	"vihot/internal/driver"
+	"vihot/internal/stats"
+	"vihot/internal/wifi"
+)
+
+// tinyOpt keeps experiment tests fast.
+func tinyOpt() Options {
+	o := DefaultOptions()
+	o.Seed = 3
+	o.RuntimeS = 8
+	o.Profile.Positions = 4
+	o.Profile.PerPositionS = 4
+	o.EstimateEveryS = 0.04
+	return o
+}
+
+func tinyEnv(t *testing.T) (*Env, *core.Profile) {
+	t.Helper()
+	env, prof, err := profiledEnv(cabin.DefaultConfig(), driver.DriverA(), tinyOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, prof
+}
+
+func TestNewEnvRejectsBadConfig(t *testing.T) {
+	if _, err := NewEnv(cabin.Config{Layout: cabin.Layout(42)}, 1); err == nil {
+		t.Error("bad layout accepted")
+	}
+}
+
+func TestPhaseSeriesCoversScenario(t *testing.T) {
+	env, err := NewEnv(cabin.DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := driver.SweepScenario(driver.DriverA(), 1, 3, 110)
+	s, err := env.PhaseSeries(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MeanRate() < 400 {
+		t.Errorf("phase rate = %v Hz", s.MeanRate())
+	}
+	if !s.IsSorted() {
+		t.Error("phase series unsorted")
+	}
+}
+
+func TestCollectProfileShape(t *testing.T) {
+	env, err := NewEnv(cabin.DefaultConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultProfileOptions()
+	opt.Positions = 3
+	opt.PerPositionS = 4
+	prof, dur, err := env.CollectProfile(driver.DriverA(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Positions) != 3 {
+		t.Errorf("positions = %d", len(prof.Positions))
+	}
+	if dur <= 12 || dur > 30 {
+		t.Errorf("profiling duration = %v", dur)
+	}
+}
+
+func TestTrackProducesScoredEstimates(t *testing.T) {
+	env, prof := tinyEnv(t)
+	sc, _ := driver.SweepScenario(driver.DriverA(), 1, 8, 115)
+	res, err := env.Track(prof, sc, TrackOptions{Pipeline: core.DefaultPipelineConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != len(res.Estimates) {
+		t.Error("errors and estimates misaligned")
+	}
+	if len(res.Errors) < 50 {
+		t.Fatalf("too few estimates: %d", len(res.Errors))
+	}
+	if res.SampleRateHz < 400 {
+		t.Errorf("sample rate = %v", res.SampleRateHz)
+	}
+	if res.ErrCDF().N() != len(res.Errors) {
+		t.Error("CDF sample count mismatch")
+	}
+}
+
+func TestTrackForecastHorizons(t *testing.T) {
+	env, prof := tinyEnv(t)
+	sc, _ := driver.SweepScenario(driver.DriverA(), 1, 8, 115)
+	res, err := env.Track(prof, sc, TrackOptions{
+		Pipeline: core.DefaultPipelineConfig(),
+		Horizons: []float64{0.1, 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ForecastErrors) != 2 {
+		t.Fatalf("forecast groups = %d", len(res.ForecastErrors))
+	}
+	for i := range res.ForecastErrors {
+		if len(res.ForecastErrors[i]) != len(res.Errors) {
+			t.Errorf("horizon %d has %d errors, want %d", i,
+				len(res.ForecastErrors[i]), len(res.Errors))
+		}
+	}
+	// Longer horizons should not be dramatically better on average.
+	m0 := stats.Mean(res.ForecastErrors[0])
+	m1 := stats.Mean(res.ForecastErrors[1])
+	if m1 < m0/2 {
+		t.Errorf("300 ms forecast (%v) suspiciously beats 100 ms (%v)", m1, m0)
+	}
+}
+
+func TestInterferenceReducesRate(t *testing.T) {
+	env, prof := tinyEnv(t)
+	sc, _ := driver.SweepScenario(driver.DriverA(), 1, 8, 115)
+	clean, err := env.Track(prof, sc, TrackOptions{Pipeline: core.DefaultPipelineConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Timing = wifi.InterferedTiming()
+	dirty, err := env.Track(prof, sc, TrackOptions{Pipeline: core.DefaultPipelineConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirty.SampleRateHz >= clean.SampleRateHz {
+		t.Errorf("interference rate %v >= clean %v", dirty.SampleRateHz, clean.SampleRateHz)
+	}
+}
+
+func TestFigureGeneratorsRunAndRender(t *testing.T) {
+	// Smoke every cheap generator end to end; the expensive ones get
+	// scaled-down options.
+	opt := tinyOpt()
+	gens := map[string]func(Options) (*FigureResult, error){
+		"fig02":    Fig02HeadAxes,
+		"fig03":    Fig03PhaseVsOrientation,
+		"fig08":    Fig08Steering,
+		"fig11":    Fig11LayoutCurves,
+		"fig14":    Fig14SpeedCurves,
+		"fig15":    Fig15MicroMotions,
+		"fig16":    Fig16AntennaVibration,
+		"sampling": SamplingRate,
+	}
+	for name, gen := range gens {
+		r, err := gen(opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.ID == "" || r.Title == "" || r.PaperClaim == "" {
+			t.Errorf("%s: incomplete metadata: %+v", name, r)
+		}
+		if len(r.Series) == 0 {
+			t.Errorf("%s: no series", name)
+		}
+		var buf bytes.Buffer
+		r.Render(&buf)
+		out := buf.String()
+		if !strings.Contains(out, r.ID) || !strings.Contains(out, "paper:") {
+			t.Errorf("%s: render missing sections:\n%s", name, out)
+		}
+	}
+}
+
+func TestFig10EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive figure")
+	}
+	r, err := Fig10Prediction(tinyOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First series is mean-vs-horizon; it must be roughly increasing.
+	mean := r.Series[0]
+	if len(mean.Y) != 5 {
+		t.Fatalf("horizons = %d", len(mean.Y))
+	}
+	if mean.Y[4] < mean.Y[0] {
+		t.Errorf("forecast error decreased with horizon: %v", mean.Y)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if sparkline(nil, 10) != "" {
+		t.Error("empty sparkline must be empty")
+	}
+	got := sparkline([]float64{0, 1, 2, 3}, 8)
+	if !strings.Contains(got, "0..3") {
+		t.Errorf("sparkline missing range: %q", got)
+	}
+	flat := sparkline([]float64{5, 5, 5}, 4)
+	if flat == "" {
+		t.Error("flat sparkline must render")
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	var o Options
+	n := o.normalize()
+	if n.RuntimeS != 60 || n.Profile.Positions == 0 {
+		t.Errorf("normalize = %+v", n)
+	}
+	if o.RuntimeOr(30) != 30 {
+		t.Error("RuntimeOr default")
+	}
+	o.RuntimeS = 5
+	if o.RuntimeOr(30) != 5 {
+		t.Error("RuntimeOr set value")
+	}
+}
+
+func TestQuickIsCheaper(t *testing.T) {
+	q, d := Quick(), DefaultOptions()
+	if q.RuntimeS >= d.RuntimeS || q.Profile.PerPositionS >= d.Profile.PerPositionS {
+		t.Error("Quick not cheaper than default")
+	}
+}
+
+func TestExtensionGeneratorsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive extensions")
+	}
+	opt := tinyOpt()
+	for _, g := range ExtensionGenerators() {
+		r, err := g.Run(opt)
+		if err != nil {
+			t.Fatalf("%s: %v", g.ID, err)
+		}
+		if len(r.Series) < 2 {
+			t.Errorf("%s: want ≥2 series, got %d", g.ID, len(r.Series))
+		}
+		if r.ID != g.ID {
+			t.Errorf("generator id %q != result id %q", g.ID, r.ID)
+		}
+	}
+}
+
+func TestPooledDerivesDistinctSeeds(t *testing.T) {
+	opt := tinyOpt()
+	opt.Repeats = 3
+	var seeds []int64
+	_, _, err := pooled(opt, func(o Options) (*RunResult, error) {
+		seeds = append(seeds, o.Seed)
+		return &RunResult{Errors: []float64{1}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 3 {
+		t.Fatalf("repeats = %d", len(seeds))
+	}
+	if seeds[0] == seeds[1] || seeds[1] == seeds[2] {
+		t.Error("pooled repeats share seeds")
+	}
+}
+
+func TestPooledConcatenatesErrors(t *testing.T) {
+	opt := tinyOpt()
+	opt.Repeats = 2
+	errs, last, err := pooled(opt, func(o Options) (*RunResult, error) {
+		return &RunResult{Errors: []float64{1, 2}, SampleRateHz: 500}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) != 4 {
+		t.Errorf("pooled errors = %d", len(errs))
+	}
+	if last.SampleRateHz != 500 {
+		t.Error("last result missing")
+	}
+}
+
+func TestIsCDF(t *testing.T) {
+	good := Series{X: []float64{0, 1, 2}, Y: []float64{0, 0.5, 1}}
+	if !isCDF(good) {
+		t.Error("valid CDF rejected")
+	}
+	bad := Series{X: []float64{0, 1, 2}, Y: []float64{0, 0.9, 0.5}}
+	if isCDF(bad) {
+		t.Error("non-monotone accepted")
+	}
+	if isCDF(Series{X: []float64{1}, Y: []float64{1}}) {
+		t.Error("single point accepted")
+	}
+}

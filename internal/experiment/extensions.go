@@ -1,0 +1,299 @@
+package experiment
+
+import (
+	"fmt"
+
+	"vihot/internal/cabin"
+	"vihot/internal/core"
+	"vihot/internal/driver"
+	"vihot/internal/geom"
+	"vihot/internal/imu"
+	"vihot/internal/rf"
+	"vihot/internal/stats"
+)
+
+// Extensions implement the future-work directions of the paper's
+// Sec. 7 so they can be evaluated, not just speculated about. They are
+// not paper figures; vihot-bench runs them behind the -ext flag.
+
+// Ext5GHz evaluates the "Choice of radio frequency" direction: the
+// paper expects 5 GHz to track better (less diffraction, less
+// unintended reflection). In this simulator the shorter wavelength
+// also doubles the phase wraps per head sweep, so the experiment
+// quantifies the trade rather than assuming it.
+func Ext5GHz(opt Options) (*FigureResult, error) {
+	opt = opt.normalize()
+	r := &FigureResult{
+		ID:         "ext-5ghz",
+		Title:      "Extension: 2.4 GHz vs 5 GHz operation (Sec. 7)",
+		PaperClaim: "expected: higher band improves accuracy (less diffraction)",
+	}
+	for _, band := range []struct {
+		name string
+		ch   rf.Channelization
+	}{
+		{"2.4 GHz", rf.Channel2G4()},
+		{"5 GHz", rf.Channel5G()},
+	} {
+		band := band
+		errs, _, err := pooled(opt, func(o Options) (*RunResult, error) {
+			cfg := cabin.DefaultConfig()
+			cfg.Chan = band.ch
+			env, prof, err := profiledEnv(cfg, driver.DriverA(), o)
+			if err != nil {
+				return nil, err
+			}
+			sc := sweepAt(driver.DriverA(), o.RuntimeS, 115, geom.Vec3{}, stats.NewRNG(o.Seed+31))
+			return env.Track(prof, sc, TrackOptions{Pipeline: o.pipeline()})
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.Series = append(r.Series, cdfSeries(band.name, errs))
+		r.note("%s: median %.1f°, p90 %.1f°", band.name,
+			stats.Median(errs), stats.Summarize(errs).P90)
+	}
+	return r, nil
+}
+
+// ExtCameraFusion evaluates the "Combining with cameras" direction: a
+// hybrid that blends fresh camera frames into CSI estimates, tested
+// under the condition that stresses CSI most (antenna vibration).
+func ExtCameraFusion(opt Options) (*FigureResult, error) {
+	opt = opt.normalize()
+	r := &FigureResult{
+		ID:         "ext-fusion",
+		Title:      "Extension: CSI+camera sensor fusion under vibration (Sec. 7)",
+		PaperClaim: "expected: cameras add robustness where CSI degrades",
+	}
+	for _, fusion := range []bool{false, true} {
+		fusion := fusion
+		errs, _, err := pooled(opt, func(o Options) (*RunResult, error) {
+			cfg := cabin.DefaultConfig()
+			v := cabin.DefaultVibration()
+			cfg.Vibration = &v
+			env, prof, err := profiledEnv(cfg, driver.DriverA(), o)
+			if err != nil {
+				return nil, err
+			}
+			pc := o.pipeline()
+			pc.CameraFusion = fusion
+			sc := sweepAt(driver.DriverA(), o.RuntimeS, 115, geom.Vec3{}, stats.NewRNG(o.Seed+32))
+			return env.Track(prof, sc, TrackOptions{Pipeline: pc, Camera: true})
+		})
+		if err != nil {
+			return nil, err
+		}
+		name := "CSI only"
+		if fusion {
+			name = "CSI + camera fusion"
+		}
+		r.Series = append(r.Series, cdfSeries(name, errs))
+		s := stats.Summarize(errs)
+		r.note("%s: median %.1f°, p90 %.1f°, max %.1f°", name, s.Median, s.P90, s.Max)
+	}
+	return r, nil
+}
+
+// ExtProfileUpdate evaluates Sec. 3.3's "keep updating a driver's CSI
+// profile by adding new traces after each trip": a driver re-seats
+// with an offset the original profile never saw; merging a second
+// profiling pass taken at the new posture recovers the accuracy.
+func ExtProfileUpdate(opt Options) (*FigureResult, error) {
+	opt = opt.normalize()
+	r := &FigureResult{
+		ID:         "ext-update",
+		Title:      "Extension: online profile updating across trips (Sec. 3.3)",
+		PaperClaim: "expected: merging per-trip traces improves re-seated accuracy",
+	}
+	reseat := geom.Vec3{X: 0.05, Z: -0.015} // a new slouch the profile lacks
+
+	type variant struct {
+		name   string
+		merged bool
+	}
+	for _, v := range []variant{{"trip-1 profile only", false}, {"merged trip-1 + trip-2", true}} {
+		v := v
+		errs, _, err := pooled(opt, func(o Options) (*RunResult, error) {
+			env, prof, err := profiledEnv(cabin.DefaultConfig(), driver.DriverA(), o)
+			if err != nil {
+				return nil, err
+			}
+			if v.merged {
+				// Second profiling pass at the re-seated posture.
+				prof2, err := reseatedProfile(env, o, reseat)
+				if err != nil {
+					return nil, err
+				}
+				if err := prof.Merge(prof2); err != nil {
+					return nil, err
+				}
+			}
+			sc := sweepAt(driver.DriverA(), o.RuntimeS, 115, reseat, stats.NewRNG(o.Seed+33))
+			return env.Track(prof, sc, TrackOptions{Pipeline: o.pipeline()})
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.Series = append(r.Series, cdfSeries(v.name, errs))
+		r.note("%s: median %.1f°", v.name, stats.Median(errs))
+	}
+	return r, nil
+}
+
+// reseatedProfile collects a short profiling pass with the head base
+// shifted by the reseat offset.
+func reseatedProfile(env *Env, opt Options, reseat geom.Vec3) (*core.Profile, error) {
+	po := opt.Profile
+	po.Positions = 4 // a quick top-up pass, not a full re-profile
+	sc, segs := driver.SweepScenario(driver.DriverA(), po.Positions, po.PerPositionS, po.SweepDPS)
+	// Shift the whole pass by the reseat offset, holding each
+	// segment's position constant across the segment.
+	shifted := driver.NewPosTrack()
+	for _, seg := range segs {
+		mid := (seg.Start + seg.End) / 2
+		pos := sc.HeadPos.At(mid).Add(reseat)
+		shifted.Append(seg.Start, pos)
+		shifted.Append(seg.End, pos)
+	}
+	sc.HeadPos = shifted
+
+	prof := core.NewProfiler(po.MatchRateHz)
+	labelRNG := env.RNG.Fork()
+	arrivals := env.Timing.ArrivalTimes(env.RNG.Fork(), sc.Duration)
+	ai := 0
+	for _, seg := range segs {
+		// Offset recorded position ids so Merge produces distinct ids.
+		prof.StartPosition(seg.Position + 100)
+		for ai < len(arrivals) && arrivals[ai] < seg.End {
+			t := arrivals[ai]
+			ai++
+			if t < seg.Start {
+				continue
+			}
+			phi, err := env.PhaseAt(sc.State(t))
+			if err != nil {
+				return nil, err
+			}
+			prof.AddPhase(t, phi)
+		}
+		for t := seg.Start; t < seg.End; t += 1.0 / 60 {
+			prof.AddTruth(t, sc.HeadYaw.At(t)+labelRNG.Normal(0, 0.5))
+		}
+		if !prof.FingerprintCaptured() {
+			mid := (seg.Start + seg.SettleEnd) / 2
+			phi, err := env.PhaseAt(sc.State(mid))
+			if err != nil {
+				return nil, err
+			}
+			prof.MarkFingerprint(phi)
+		}
+		if err := prof.EndPosition(); err != nil {
+			return nil, err
+		}
+	}
+	return prof.Build()
+}
+
+// ExtHeadsetSlip quantifies footnote 5 of the paper: the evaluation
+// headset occasionally slips on the head, so some of the reported
+// "tracking error" is really ground-truth error. The same run is
+// scored against the true head yaw and against a slipping headset's
+// labels.
+func ExtHeadsetSlip(opt Options) (*FigureResult, error) {
+	opt = opt.normalize()
+	env, prof, err := profiledEnv(cabin.DefaultConfig(), driver.DriverA(), opt)
+	if err != nil {
+		return nil, err
+	}
+	sc := sweepAt(driver.DriverA(), opt.RuntimeS, 115, geom.Vec3{}, stats.NewRNG(opt.Seed+34))
+	res, err := env.Track(prof, sc, TrackOptions{Pipeline: opt.pipeline()})
+	if err != nil {
+		return nil, err
+	}
+	headset := imu.NewHeadset(stats.NewRNG(opt.Seed+35), 0.0004)
+	var vsHeadset []float64
+	for _, est := range res.Estimates {
+		label := headset.Sample(est.Time, sc.HeadYaw.At(est.Time))
+		vsHeadset = append(vsHeadset, geom.AngleDistDeg(est.Yaw, label.Yaw))
+	}
+	r := &FigureResult{
+		ID:         "ext-slip",
+		Title:      "Extension: headset ground-truth slip (paper footnote 5)",
+		PaperClaim: "the paper blames rare large errors on headset slip",
+	}
+	r.Series = append(r.Series, cdfSeries("vs true head yaw", res.Errors))
+	r.Series = append(r.Series, cdfSeries("vs slipping headset labels", vsHeadset))
+	r.note("vs truth: median %.1f°, max %.1f°", stats.Median(res.Errors), stats.Max(res.Errors))
+	r.note("vs headset: median %.1f°, max %.1f° — slip inflates the tail",
+		stats.Median(vsHeadset), stats.Max(vsHeadset))
+	return r, nil
+}
+
+// ExtensionGenerators lists the Sec. 7 extension experiments.
+func ExtensionGenerators() []Generator {
+	return []Generator{
+		{"ext-5ghz", Ext5GHz},
+		{"ext-fusion", ExtCameraFusion},
+		{"ext-update", ExtProfileUpdate},
+		{"ext-slip", ExtHeadsetSlip},
+		{"ext-pitch", ExtPitchDisturbance},
+	}
+}
+
+// ExtPitchDisturbance measures what 3-D head motion costs the 2-D
+// tracker (Sec. 7 "3D head tracking"): the driver occasionally nods
+// (±pitch) while the system tracks yaw only. The paper's Fig. 2 argues
+// pitch stays small in normal driving; this experiment shows what
+// happens when it does not.
+func ExtPitchDisturbance(opt Options) (*FigureResult, error) {
+	opt = opt.normalize()
+	r := &FigureResult{
+		ID:         "ext-pitch",
+		Title:      "Extension: 3-D motion (pitch nods) vs the 2-D tracker (Sec. 7)",
+		PaperClaim: "pitch stays small while driving (Fig. 2); cost of violating that",
+	}
+	for _, pitchAmp := range []float64{0, 8, 16} {
+		pitchAmp := pitchAmp
+		errs, _, err := pooled(opt, func(o Options) (*RunResult, error) {
+			env, prof, err := profiledEnv(cabin.DefaultConfig(), driver.DriverA(), o)
+			if err != nil {
+				return nil, err
+			}
+			sc := sweepAt(driver.DriverA(), o.RuntimeS, 115, geom.Vec3{}, stats.NewRNG(o.Seed+36))
+			if pitchAmp > 0 {
+				sc.HeadPitch = nodTrack(stats.NewRNG(o.Seed+37), o.RuntimeS, pitchAmp)
+			}
+			return env.Track(prof, sc, TrackOptions{Pipeline: o.pipeline()})
+		})
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("pitch ±%.0f°", pitchAmp)
+		if pitchAmp == 0 {
+			name = "no pitch (2-D, paper's premise)"
+		}
+		r.Series = append(r.Series, cdfSeries(name, errs))
+		r.note("%s: median %.1f°", name, stats.Median(errs))
+	}
+	return r, nil
+}
+
+// nodTrack generates occasional nods of the given amplitude.
+func nodTrack(rng *stats.RNG, dur, amp float64) *driver.Track {
+	tr := driver.NewTrack()
+	tr.Append(0, 0)
+	t := 0.0
+	for t < dur {
+		t += rng.Uniform(3, 8)
+		target := rng.Uniform(0.5, 1) * amp
+		if rng.Bool(0.5) {
+			target = -target
+		}
+		tr.Append(t, 0)
+		tr.Append(t+0.4, target)
+		tr.Append(t+0.8, 0)
+		t += 1
+	}
+	return tr
+}

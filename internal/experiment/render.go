@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Render writes a figure result as readable text: title, the paper's
+// claim, per-series sparklines, and the measured notes.
+func (r *FigureResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s\n", r.ID, r.Title)
+	fmt.Fprintf(w, "   paper: %s\n", r.PaperClaim)
+	for _, s := range r.Series {
+		// CDF series (probability ramps 0→1) are better summarized by
+		// their quantile curve: error value vs cumulative probability.
+		if isCDF(s) {
+			fmt.Fprintf(w, "   %-26s %s (error° by quantile)\n", s.Name, sparkline(s.X, 48))
+		} else {
+			fmt.Fprintf(w, "   %-26s %s\n", s.Name, sparkline(s.Y, 48))
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "   measured: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// isCDF reports whether a series looks like an empirical CDF: Y runs
+// monotonically from 0 to 1.
+func isCDF(s Series) bool {
+	n := len(s.Y)
+	if n < 2 || len(s.X) != n {
+		return false
+	}
+	if s.Y[0] != 0 || s.Y[n-1] != 1 {
+		return false
+	}
+	for i := 1; i < n; i++ {
+		if s.Y[i] < s.Y[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// sparkline compresses a series into a fixed-width unicode strip.
+func sparkline(ys []float64, width int) string {
+	if len(ys) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, y := range ys {
+		if math.IsNaN(y) {
+			continue
+		}
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return ""
+	}
+	if width > len(ys) {
+		width = len(ys)
+	}
+	var b strings.Builder
+	for i := 0; i < width; i++ {
+		idx := i * len(ys) / width
+		y := ys[idx]
+		var lvl int
+		if hi > lo {
+			lvl = int((y - lo) / (hi - lo) * float64(len(levels)-1))
+		}
+		if lvl < 0 {
+			lvl = 0
+		}
+		if lvl >= len(levels) {
+			lvl = len(levels) - 1
+		}
+		b.WriteRune(levels[lvl])
+	}
+	return fmt.Sprintf("[%s] %.3g..%.3g", b.String(), lo, hi)
+}

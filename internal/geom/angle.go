@@ -1,0 +1,57 @@
+package geom
+
+import "math"
+
+// Radians converts degrees to radians.
+func Radians(deg float64) float64 { return deg * math.Pi / 180 }
+
+// Degrees converts radians to degrees.
+func Degrees(rad float64) float64 { return rad * 180 / math.Pi }
+
+// WrapDeg wraps an angle in degrees into (-180, 180].
+func WrapDeg(deg float64) float64 {
+	d := math.Mod(deg, 360)
+	switch {
+	case d > 180:
+		d -= 360
+	case d <= -180:
+		d += 360
+	}
+	return d
+}
+
+// WrapRad wraps an angle in radians into (-π, π].
+func WrapRad(rad float64) float64 {
+	r := math.Mod(rad, 2*math.Pi)
+	switch {
+	case r > math.Pi:
+		r -= 2 * math.Pi
+	case r <= -math.Pi:
+		r += 2 * math.Pi
+	}
+	return r
+}
+
+// AngleDiffDeg returns the signed shortest difference a-b in degrees,
+// in (-180, 180].
+func AngleDiffDeg(a, b float64) float64 { return WrapDeg(a - b) }
+
+// AngleDistDeg returns the unsigned shortest angular distance between
+// a and b in degrees, in [0, 180].
+func AngleDistDeg(a, b float64) float64 { return math.Abs(AngleDiffDeg(a, b)) }
+
+// PhaseDiff returns the signed shortest phase difference a-b in
+// radians, in (-π, π]. CSI phases live on the circle, so plain
+// subtraction is wrong near ±π.
+func PhaseDiff(a, b float64) float64 { return WrapRad(a - b) }
+
+// ClampDeg limits deg to [lo, hi].
+func ClampDeg(deg, lo, hi float64) float64 {
+	if deg < lo {
+		return lo
+	}
+	if deg > hi {
+		return hi
+	}
+	return deg
+}

@@ -1,0 +1,129 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRadiansDegreesRoundTrip(t *testing.T) {
+	f := func(deg float64) bool {
+		if math.Abs(deg) > 1e9 {
+			return true
+		}
+		return almostTol(Degrees(Radians(deg)), deg, 1e-9*(1+math.Abs(deg)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWrapDegRange(t *testing.T) {
+	f := func(deg float64) bool {
+		if math.IsNaN(deg) || math.Abs(deg) > 1e12 {
+			return true
+		}
+		w := WrapDeg(deg)
+		return w > -180-1e-9 && w <= 180+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWrapDegCases(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{180, 180},
+		{-180, 180},
+		{190, -170},
+		{-190, 170},
+		{360, 0},
+		{720, 0},
+		{359, -1},
+		{-359, 1},
+	}
+	for _, c := range cases {
+		if got := WrapDeg(c.in); !almostTol(got, c.want, 1e-9) {
+			t.Errorf("WrapDeg(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWrapRadRange(t *testing.T) {
+	f := func(rad float64) bool {
+		if math.IsNaN(rad) || math.Abs(rad) > 1e12 {
+			return true
+		}
+		w := WrapRad(rad)
+		return w > -math.Pi-1e-9 && w <= math.Pi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWrapEquivalence(t *testing.T) {
+	// Wrapping must not change the angle modulo a full turn.
+	f := func(deg float64) bool {
+		if math.Abs(deg) > 1e9 {
+			return true
+		}
+		w := WrapDeg(deg)
+		diff := math.Mod(deg-w, 360)
+		return almostTol(diff, 0, 1e-6) || almostTol(math.Abs(diff), 360, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngleDiffDeg(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{10, 350, 20},
+		{350, 10, -20},
+		{90, -90, 180},
+		{0, 0, 0},
+		{-170, 170, 20},
+	}
+	for _, c := range cases {
+		if got := AngleDiffDeg(c.a, c.b); !almostTol(got, c.want, 1e-9) {
+			t.Errorf("AngleDiffDeg(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAngleDistSymmetric(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.Abs(a) > 1e9 || math.Abs(b) > 1e9 {
+			return true
+		}
+		d1 := AngleDistDeg(a, b)
+		d2 := AngleDistDeg(b, a)
+		return almostTol(d1, d2, 1e-6) && d1 >= 0 && d1 <= 180+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhaseDiffShortest(t *testing.T) {
+	// Close to the ±π seam the naive difference is ~2π; PhaseDiff
+	// must return the short way around.
+	a, b := math.Pi-0.05, -math.Pi+0.05
+	if got := PhaseDiff(a, b); !almostTol(got, -0.1, 1e-9) {
+		t.Errorf("PhaseDiff seam = %v, want -0.1", got)
+	}
+}
+
+func TestClampDeg(t *testing.T) {
+	if got := ClampDeg(5, -1, 1); got != 1 {
+		t.Errorf("ClampDeg high = %v", got)
+	}
+	if got := ClampDeg(-5, -1, 1); got != -1 {
+		t.Errorf("ClampDeg low = %v", got)
+	}
+	if got := ClampDeg(0.5, -1, 1); got != 0.5 {
+		t.Errorf("ClampDeg mid = %v", got)
+	}
+}

@@ -1,0 +1,140 @@
+// Package geom provides the small 3-D vector and angle toolkit used by
+// the cabin scene model and the RF ray tracer.
+//
+// Conventions: the cabin frame is right-handed with +X pointing from
+// the car's back to its front (the direction a driver with 0° head
+// orientation faces), +Y pointing from the driver toward the passenger
+// side, and +Z pointing up. Head yaw is measured in the horizontal XY
+// plane, positive toward +Y (driver turning right), in degrees.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a point or direction in cabin coordinates, in meters.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Neg returns -v.
+func (v Vec3) Neg() Vec3 { return Vec3{-v.X, -v.Y, -v.Z} }
+
+// Dot returns the dot product v · w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v × w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Norm2 returns the squared length of v.
+func (v Vec3) Norm2() float64 { return v.Dot(v) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// Unit returns v normalized to length 1. The zero vector is returned
+// unchanged so callers never divide by zero.
+func (v Vec3) Unit() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Lerp returns the linear interpolation between v and w at parameter
+// t, with t=0 yielding v and t=1 yielding w.
+func (v Vec3) Lerp(w Vec3, t float64) Vec3 {
+	return Vec3{
+		v.X + (w.X-v.X)*t,
+		v.Y + (w.Y-v.Y)*t,
+		v.Z + (w.Z-v.Z)*t,
+	}
+}
+
+// RotateZ rotates v about the +Z axis by the given angle in degrees,
+// following the right-hand rule.
+func (v Vec3) RotateZ(deg float64) Vec3 {
+	s, c := math.Sincos(Radians(deg))
+	return Vec3{
+		X: c*v.X - s*v.Y,
+		Y: s*v.X + c*v.Y,
+		Z: v.Z,
+	}
+}
+
+// RotateAbout rotates v about the given unit axis by the angle in
+// degrees using Rodrigues' rotation formula. The axis need not be
+// normalized; a zero axis leaves v unchanged.
+func (v Vec3) RotateAbout(axis Vec3, deg float64) Vec3 {
+	k := axis.Unit()
+	if k == (Vec3{}) {
+		return v
+	}
+	s, c := math.Sincos(Radians(deg))
+	return v.Scale(c).
+		Add(k.Cross(v).Scale(s)).
+		Add(k.Scale(k.Dot(v) * (1 - c)))
+}
+
+// AngleTo returns the unsigned angle between v and w in degrees, in
+// [0, 180]. It returns 0 when either vector is zero.
+func (v Vec3) AngleTo(w Vec3) float64 {
+	nv, nw := v.Norm(), w.Norm()
+	if nv == 0 || nw == 0 {
+		return 0
+	}
+	cos := v.Dot(w) / (nv * nw)
+	cos = math.Max(-1, math.Min(1, cos))
+	return Degrees(math.Acos(cos))
+}
+
+// IsFinite reports whether all components are finite numbers.
+func (v Vec3) IsFinite() bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
+		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
+}
+
+// String implements fmt.Stringer with centimeter precision, which is
+// the natural scale for cabin geometry.
+func (v Vec3) String() string {
+	return fmt.Sprintf("(%.3f, %.3f, %.3f)", v.X, v.Y, v.Z)
+}
+
+// HeadingXY returns a unit vector in the horizontal plane at the given
+// yaw in degrees: 0° faces +X (car front), positive yaw turns toward
+// +Y (passenger side).
+func HeadingXY(yawDeg float64) Vec3 {
+	s, c := math.Sincos(Radians(yawDeg))
+	return Vec3{X: c, Y: s}
+}
+
+// PathLength returns the total polyline length through the given
+// points. Fewer than two points yield 0.
+func PathLength(pts ...Vec3) float64 {
+	var d float64
+	for i := 1; i < len(pts); i++ {
+		d += pts[i].Dist(pts[i-1])
+	}
+	return d
+}

@@ -1,0 +1,195 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func almostTol(a, b, tol float64) bool { return math.Abs(a-b) < tol }
+
+func TestVecBasicOps(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{-4, 5, 0.5}
+	if got := a.Add(b); got != (Vec3{-3, 7, 3.5}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec3{5, -3, 2.5}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Neg(); got != (Vec3{-1, -2, -3}) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := a.Dot(b); !almost(got, -4+10+1.5) {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestCrossOrthogonal(t *testing.T) {
+	a := Vec3{1, 0, 0}
+	b := Vec3{0, 1, 0}
+	if got := a.Cross(b); got != (Vec3{0, 0, 1}) {
+		t.Errorf("x cross y = %v, want z", got)
+	}
+	if got := b.Cross(a); got != (Vec3{0, 0, -1}) {
+		t.Errorf("y cross x = %v, want -z", got)
+	}
+}
+
+func TestNormDistUnit(t *testing.T) {
+	v := Vec3{3, 4, 0}
+	if !almost(v.Norm(), 5) {
+		t.Errorf("Norm = %v", v.Norm())
+	}
+	if !almost(v.Norm2(), 25) {
+		t.Errorf("Norm2 = %v", v.Norm2())
+	}
+	if !almost(v.Dist(Vec3{0, 0, 0}), 5) {
+		t.Errorf("Dist = %v", v.Dist(Vec3{}))
+	}
+	u := v.Unit()
+	if !almost(u.Norm(), 1) {
+		t.Errorf("Unit norm = %v", u.Norm())
+	}
+	if (Vec3{}).Unit() != (Vec3{}) {
+		t.Error("Unit of zero vector must be zero")
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{4, 5, 6}
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	mid := a.Lerp(b, 0.5)
+	if !almost(mid.X, 2.5) || !almost(mid.Y, 3.5) || !almost(mid.Z, 4.5) {
+		t.Errorf("Lerp(0.5) = %v", mid)
+	}
+}
+
+func TestRotateZQuarterTurn(t *testing.T) {
+	v := Vec3{1, 0, 0}
+	got := v.RotateZ(90)
+	if !almostTol(got.X, 0, eps) || !almostTol(got.Y, 1, eps) || got.Z != 0 {
+		t.Errorf("RotateZ(90) = %v", got)
+	}
+}
+
+func TestRotateZPreservesNorm(t *testing.T) {
+	f := func(x, y, z, deg float64) bool {
+		if math.Abs(x) > 1e6 || math.Abs(y) > 1e6 || math.Abs(z) > 1e6 {
+			return true
+		}
+		v := Vec3{x, y, z}
+		r := v.RotateZ(deg)
+		return almostTol(v.Norm(), r.Norm(), 1e-6*(1+v.Norm()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotateAboutMatchesRotateZ(t *testing.T) {
+	f := func(x, y, deg float64) bool {
+		if math.Abs(x) > 1e6 || math.Abs(y) > 1e6 || math.Abs(deg) > 1e4 {
+			return true
+		}
+		v := Vec3{x, y, 0.7}
+		a := v.RotateZ(deg)
+		b := v.RotateAbout(Vec3{0, 0, 1}, deg)
+		return a.Dist(b) < 1e-6*(1+v.Norm())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotateAboutZeroAxis(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	if got := v.RotateAbout(Vec3{}, 45); got != v {
+		t.Errorf("rotation about zero axis changed vector: %v", got)
+	}
+}
+
+func TestAngleTo(t *testing.T) {
+	x := Vec3{1, 0, 0}
+	y := Vec3{0, 2, 0}
+	if got := x.AngleTo(y); !almostTol(got, 90, 1e-9) {
+		t.Errorf("AngleTo = %v", got)
+	}
+	if got := x.AngleTo(x.Scale(3)); !almostTol(got, 0, 1e-6) {
+		t.Errorf("AngleTo parallel = %v", got)
+	}
+	if got := x.AngleTo(x.Neg()); !almostTol(got, 180, 1e-6) {
+		t.Errorf("AngleTo antiparallel = %v", got)
+	}
+	if got := x.AngleTo(Vec3{}); got != 0 {
+		t.Errorf("AngleTo zero = %v", got)
+	}
+}
+
+func TestHeadingXY(t *testing.T) {
+	if got := HeadingXY(0); !almostTol(got.X, 1, eps) || !almostTol(got.Y, 0, eps) {
+		t.Errorf("HeadingXY(0) = %v", got)
+	}
+	if got := HeadingXY(90); !almostTol(got.Y, 1, eps) {
+		t.Errorf("HeadingXY(90) = %v", got)
+	}
+	if got := HeadingXY(-90); !almostTol(got.Y, -1, eps) {
+		t.Errorf("HeadingXY(-90) = %v", got)
+	}
+}
+
+func TestHeadingXYUnitLength(t *testing.T) {
+	f := func(deg float64) bool {
+		if math.IsNaN(deg) || math.Abs(deg) > 1e12 {
+			return true // Sincos degrades for astronomically large args
+		}
+		return almostTol(HeadingXY(deg).Norm(), 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathLength(t *testing.T) {
+	if got := PathLength(); got != 0 {
+		t.Errorf("empty path = %v", got)
+	}
+	if got := PathLength(Vec3{1, 1, 1}); got != 0 {
+		t.Errorf("single point = %v", got)
+	}
+	got := PathLength(Vec3{0, 0, 0}, Vec3{3, 4, 0}, Vec3{3, 4, 2})
+	if !almost(got, 7) {
+		t.Errorf("PathLength = %v, want 7", got)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !(Vec3{1, 2, 3}).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if (Vec3{math.NaN(), 0, 0}).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if (Vec3{0, math.Inf(1), 0}).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (Vec3{1, 2, 3}).String(); got != "(1.000, 2.000, 3.000)" {
+		t.Errorf("String = %q", got)
+	}
+}

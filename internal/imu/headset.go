@@ -1,0 +1,72 @@
+package imu
+
+import "vihot/internal/stats"
+
+// Pose is a head attitude in degrees: yaw in the horizontal plane
+// (the axis ViHOT tracks), pitch and roll the residual axes that
+// Fig. 2 shows stay small during driving.
+type Pose struct {
+	Time             float64
+	Yaw, Pitch, Roll float64
+}
+
+// Headset models the Samsung GearVR worn backwards that supplies the
+// ground-truth head pose (Sec. 5.1). It adds small attitude noise and
+// occasionally "slips" on the head — footnote 5 of the paper blames
+// rare large evaluation errors on exactly this — introducing a
+// temporary yaw offset that decays as the strap settles.
+type Headset struct {
+	NoiseStdDeg float64 // per-sample attitude noise
+	SlipProb    float64 // per-sample probability of a slip event
+	SlipMaxDeg  float64 // worst-case slip offset
+	SlipDecay   float64 // exponential decay of the offset per second
+
+	rng      *stats.RNG
+	slip     float64
+	lastTime float64
+}
+
+// NewHeadset returns a GearVR-grade ground-truth source. Pass
+// slipProb 0 for a perfectly strapped headset.
+func NewHeadset(rng *stats.RNG, slipProb float64) *Headset {
+	return &Headset{
+		NoiseStdDeg: 0.4,
+		SlipProb:    slipProb,
+		SlipMaxDeg:  8,
+		SlipDecay:   0.4,
+		rng:         rng,
+	}
+}
+
+// Sample returns the headset's measurement of a true pose. Pitch and
+// roll measurements include the small projections of a real head turn
+// onto the other planes (Fig. 2).
+func (h *Headset) Sample(t float64, trueYaw float64) Pose {
+	dt := t - h.lastTime
+	if dt < 0 {
+		dt = 0
+	}
+	h.lastTime = t
+	if h.slip != 0 && dt > 0 {
+		decay := 1 - h.SlipDecay*dt
+		if decay < 0 {
+			decay = 0
+		}
+		h.slip *= decay
+	}
+	p := Pose{Time: t, Yaw: trueYaw + h.slip}
+	if h.rng != nil {
+		if h.SlipProb > 0 && h.rng.Bool(h.SlipProb) {
+			h.slip += h.rng.Uniform(-h.SlipMaxDeg, h.SlipMaxDeg)
+		}
+		p.Yaw += h.rng.Normal(0, h.NoiseStdDeg)
+		// Real head turns project weakly onto pitch/roll: the paper
+		// measures only small excursions on those axes.
+		p.Pitch = 0.06*trueYaw + h.rng.Normal(0, h.NoiseStdDeg)
+		p.Roll = -0.04*trueYaw + h.rng.Normal(0, h.NoiseStdDeg)
+	}
+	return p
+}
+
+// SlipOffset exposes the current slip for tests.
+func (h *Headset) SlipOffset() float64 { return h.slip }

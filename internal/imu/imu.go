@@ -1,0 +1,116 @@
+// Package imu models the two inertial sensors ViHOT touches: the
+// phone rigidly mounted on the dashboard (whose gyroscope senses the
+// car body's rotation, Sec. 3.6.2) and the ground-truth headset worn
+// backwards on the driver's head during profiling and evaluation
+// (Sec. 5.1, Fig. 2).
+package imu
+
+import (
+	"math"
+
+	"vihot/internal/stats"
+)
+
+// Reading is one IMU sample.
+type Reading struct {
+	Time  float64
+	GyroZ float64 // yaw rate, degrees/second (car frame, +Z up)
+	// AccelLat is lateral acceleration in m/s² — centripetal when the
+	// car turns, used as a secondary turn cue.
+	AccelLat float64
+}
+
+// PhoneIMU models the dashboard phone's inertial sensors. It sees the
+// car body's motion only: head turning is invisible to it, which is
+// precisely why it can disambiguate head rotation from steering
+// (Sec. 3.6.1 — only steering redirects the vehicle).
+type PhoneIMU struct {
+	GyroBias     float64 // deg/s constant bias
+	GyroNoiseStd float64 // deg/s white noise
+	AccelNoise   float64 // m/s² white noise
+	VibrationStd float64 // extra road-vibration noise on both channels
+
+	rng *stats.RNG
+}
+
+// NewPhoneIMU returns a phone IMU with commodity-grade MEMS noise.
+func NewPhoneIMU(rng *stats.RNG) *PhoneIMU {
+	return &PhoneIMU{
+		GyroBias:     0.15,
+		GyroNoiseStd: 0.4,
+		AccelNoise:   0.05,
+		VibrationStd: 0.3,
+		rng:          rng,
+	}
+}
+
+// Sample returns a noisy reading given the true car yaw rate (deg/s)
+// and speed (m/s).
+func (p *PhoneIMU) Sample(t, carYawRateDPS, speedMPS float64) Reading {
+	r := Reading{Time: t, GyroZ: carYawRateDPS + p.GyroBias, AccelLat: centripetal(carYawRateDPS, speedMPS)}
+	if p.rng != nil {
+		r.GyroZ += p.rng.Normal(0, p.GyroNoiseStd+p.VibrationStd)
+		r.AccelLat += p.rng.Normal(0, p.AccelNoise+p.VibrationStd*0.1)
+	}
+	return r
+}
+
+// centripetal returns the lateral acceleration of a vehicle moving at
+// speed m/s while yawing at rate deg/s: a = v·ω.
+func centripetal(yawRateDPS, speedMPS float64) float64 {
+	return speedMPS * yawRateDPS * math.Pi / 180
+}
+
+// TurnDetector decides from streaming phone-IMU readings whether the
+// car body is currently turning — the gate of the steering identifier
+// (Sec. 3.6.2). It smooths the gyro with an exponential average and
+// compares against a threshold with hysteresis so vibration noise
+// does not chatter the decision.
+type TurnDetector struct {
+	OnThresholdDPS  float64 // smoothed |gyro| to declare turning
+	OffThresholdDPS float64 // smoothed |gyro| to declare straight
+	Alpha           float64 // EMA smoothing factor
+
+	smoothed float64
+	turning  bool
+	primed   bool
+}
+
+// NewTurnDetector returns a detector tuned for intersection turns
+// (tens of deg/s) versus lane-keeping corrections (a few deg/s).
+func NewTurnDetector() *TurnDetector {
+	return &TurnDetector{OnThresholdDPS: 6, OffThresholdDPS: 3, Alpha: 0.15}
+}
+
+// Push feeds one reading and returns whether the car is turning.
+// Non-finite readings (a glitching sensor) are ignored: folding a NaN
+// into the smoother would freeze the detector in its current state
+// permanently.
+func (d *TurnDetector) Push(r Reading) bool {
+	if math.IsNaN(r.GyroZ) || math.IsInf(r.GyroZ, 0) {
+		return d.turning
+	}
+	mag := math.Abs(r.GyroZ)
+	if !d.primed {
+		d.smoothed = mag
+		d.primed = true
+	} else {
+		d.smoothed += d.Alpha * (mag - d.smoothed)
+	}
+	if d.turning {
+		if d.smoothed < d.OffThresholdDPS {
+			d.turning = false
+		}
+	} else if d.smoothed > d.OnThresholdDPS {
+		d.turning = true
+	}
+	return d.turning
+}
+
+// Turning reports the current decision without feeding a sample.
+func (d *TurnDetector) Turning() bool { return d.turning }
+
+// Reset clears detector state.
+func (d *TurnDetector) Reset() {
+	d.smoothed, d.turning, d.primed = 0, false, false
+}

@@ -1,0 +1,180 @@
+package imu
+
+import (
+	"math"
+	"testing"
+
+	"vihot/internal/stats"
+)
+
+func TestPhoneIMUSensesCarOnly(t *testing.T) {
+	p := NewPhoneIMU(stats.NewRNG(1))
+	// The phone is rigid on the dash: car yaw rate appears in gyro.
+	var readings []float64
+	for i := 0; i < 500; i++ {
+		readings = append(readings, p.Sample(float64(i)*0.01, 20, 6).GyroZ)
+	}
+	if m := stats.Mean(readings); math.Abs(m-20) > 1 {
+		t.Errorf("gyro mean = %v, want ≈20 (+bias)", m)
+	}
+}
+
+func TestPhoneIMUNoise(t *testing.T) {
+	p := NewPhoneIMU(stats.NewRNG(2))
+	var readings []float64
+	for i := 0; i < 1000; i++ {
+		readings = append(readings, p.Sample(0, 0, 0).GyroZ)
+	}
+	if s := stats.StdDev(readings); s == 0 {
+		t.Error("gyro noise absent")
+	}
+}
+
+func TestPhoneIMUCentripetal(t *testing.T) {
+	p := &PhoneIMU{} // nil RNG: deterministic
+	r := p.Sample(0, 30, 10)
+	want := 10 * 30 * math.Pi / 180 // v·ω ≈ 5.2 m/s²
+	if math.Abs(r.AccelLat-want) > 1e-9 {
+		t.Errorf("lateral accel = %v, want %v", r.AccelLat, want)
+	}
+	if r2 := p.Sample(0, 30, 0); r2.AccelLat != 0 {
+		t.Error("stationary car must have zero centripetal accel")
+	}
+}
+
+func TestTurnDetectorHysteresis(t *testing.T) {
+	d := NewTurnDetector()
+	// Straight driving with vibration noise: never triggers.
+	rng := stats.NewRNG(3)
+	for i := 0; i < 300; i++ {
+		if d.Push(Reading{Time: float64(i) * 0.01, GyroZ: rng.Normal(0, 1)}) {
+			t.Fatal("noise triggered the turn detector")
+		}
+	}
+	// A real turn (20°/s): triggers.
+	triggered := false
+	for i := 0; i < 100; i++ {
+		if d.Push(Reading{Time: 3 + float64(i)*0.01, GyroZ: 20}) {
+			triggered = true
+		}
+	}
+	if !triggered {
+		t.Fatal("turn not detected")
+	}
+	if !d.Turning() {
+		t.Fatal("Turning() disagrees with Push")
+	}
+	// Back to straight: must clear (hysteresis at the low threshold).
+	cleared := false
+	for i := 0; i < 300; i++ {
+		if !d.Push(Reading{Time: 5 + float64(i)*0.01, GyroZ: 0}) {
+			cleared = true
+			break
+		}
+	}
+	if !cleared {
+		t.Error("turn flag never cleared")
+	}
+}
+
+func TestTurnDetectorLaneKeepingIgnored(t *testing.T) {
+	// Small bursty corrections (≤3°/s) must not look like turns.
+	d := NewTurnDetector()
+	for i := 0; i < 500; i++ {
+		rate := 3 * math.Sin(float64(i)*0.1)
+		if d.Push(Reading{Time: float64(i) * 0.01, GyroZ: rate}) {
+			t.Fatal("lane keeping triggered the detector")
+		}
+	}
+}
+
+func TestTurnDetectorReset(t *testing.T) {
+	d := NewTurnDetector()
+	for i := 0; i < 100; i++ {
+		d.Push(Reading{Time: float64(i) * 0.01, GyroZ: 30})
+	}
+	d.Reset()
+	if d.Turning() {
+		t.Error("Reset kept turning state")
+	}
+}
+
+func TestHeadsetTracksYaw(t *testing.T) {
+	h := NewHeadset(stats.NewRNG(4), 0)
+	var errs []float64
+	for i := 0; i < 500; i++ {
+		truth := 60 * math.Sin(float64(i)*0.02)
+		p := h.Sample(float64(i)*0.01, truth)
+		errs = append(errs, math.Abs(p.Yaw-truth))
+	}
+	if m := stats.Mean(errs); m > 1.5 {
+		t.Errorf("headset mean error = %v, want small", m)
+	}
+}
+
+func TestHeadsetPitchRollSmall(t *testing.T) {
+	// Fig. 2: pitch/roll projections stay well below yaw.
+	h := NewHeadset(stats.NewRNG(5), 0)
+	var maxPitch, maxRoll float64
+	for i := 0; i < 500; i++ {
+		truth := 80 * math.Sin(float64(i)*0.02)
+		p := h.Sample(float64(i)*0.01, truth)
+		if v := math.Abs(p.Pitch); v > maxPitch {
+			maxPitch = v
+		}
+		if v := math.Abs(p.Roll); v > maxRoll {
+			maxRoll = v
+		}
+	}
+	if maxPitch > 12 || maxRoll > 12 {
+		t.Errorf("pitch/roll too large: %v/%v", maxPitch, maxRoll)
+	}
+}
+
+func TestHeadsetSlip(t *testing.T) {
+	h := NewHeadset(stats.NewRNG(6), 0.05)
+	slipped := false
+	for i := 0; i < 2000; i++ {
+		h.Sample(float64(i)*0.01, 0)
+		if math.Abs(h.SlipOffset()) > 0.5 {
+			slipped = true
+			break
+		}
+	}
+	if !slipped {
+		t.Error("headset never slipped at 5% probability")
+	}
+}
+
+func TestHeadsetSlipDecays(t *testing.T) {
+	h := NewHeadset(nil, 0)
+	h.slip = 10
+	h.Sample(0, 0)
+	h.Sample(5, 0) // 5 seconds later
+	if math.Abs(h.SlipOffset()) >= 10 {
+		t.Errorf("slip did not decay: %v", h.SlipOffset())
+	}
+	if h.SlipOffset() < 0 {
+		t.Error("decay overshot below zero")
+	}
+}
+
+func TestHeadsetNoSlipWhenDisabled(t *testing.T) {
+	h := NewHeadset(stats.NewRNG(7), 0)
+	for i := 0; i < 2000; i++ {
+		h.Sample(float64(i)*0.01, 30)
+	}
+	if h.SlipOffset() != 0 {
+		t.Error("slip occurred with probability 0")
+	}
+}
+
+func TestHeadsetOutOfOrderTime(t *testing.T) {
+	h := NewHeadset(stats.NewRNG(8), 0)
+	h.Sample(5, 0)
+	// Going back in time must not blow up the decay.
+	p := h.Sample(1, 10)
+	if math.IsNaN(p.Yaw) {
+		t.Error("NaN yaw on out-of-order sample")
+	}
+}

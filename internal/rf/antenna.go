@@ -1,0 +1,64 @@
+package rf
+
+import (
+	"math"
+
+	"vihot/internal/geom"
+)
+
+// Antenna models a linear (wire/dipole) antenna with the classic
+// "donut" radiation pattern of Sec. 3.5: omnidirectional in the plane
+// orthogonal to the wire, with a deep null along the wire axis. The
+// paper exploits this null to suppress reflections from the passenger:
+// the driver orients the phone so its short edge — the antenna axis —
+// points at the passenger seat.
+type Antenna struct {
+	Pos  geom.Vec3 // phase center position
+	Axis geom.Vec3 // wire axis direction (need not be unit length)
+
+	// NullDepth is the residual amplitude gain along the axis, in
+	// [0, 1]. A perfect dipole has 0; real phone antennas leak a
+	// little, so the cabin model uses a small nonzero value.
+	NullDepth float64
+}
+
+// Isotropic returns an antenna with unit gain in every direction,
+// used for the external receiver antennas whose pattern the paper
+// does not model.
+func Isotropic(pos geom.Vec3) Antenna {
+	return Antenna{Pos: pos, NullDepth: 1}
+}
+
+// Dipole returns a dipole antenna at pos with the given wire axis.
+func Dipole(pos, axis geom.Vec3, nullDepth float64) Antenna {
+	if nullDepth < 0 {
+		nullDepth = 0
+	}
+	if nullDepth > 1 {
+		nullDepth = 1
+	}
+	return Antenna{Pos: pos, Axis: axis, NullDepth: nullDepth}
+}
+
+// Gain returns the amplitude gain toward the given target point. For
+// a dipole the gain is sin(ψ) where ψ is the angle between the wire
+// axis and the departure direction, floored at NullDepth; an antenna
+// with a zero axis is isotropic.
+func (a Antenna) Gain(target geom.Vec3) float64 {
+	if a.Axis == (geom.Vec3{}) {
+		if a.NullDepth > 0 {
+			return a.NullDepth
+		}
+		return 1
+	}
+	dir := target.Sub(a.Pos)
+	if dir == (geom.Vec3{}) {
+		return a.NullDepth
+	}
+	psi := geom.Radians(a.Axis.AngleTo(dir))
+	g := math.Abs(math.Sin(psi))
+	if g < a.NullDepth {
+		g = a.NullDepth
+	}
+	return g
+}

@@ -1,0 +1,94 @@
+package stats
+
+import "sort"
+
+// CDF is an empirical cumulative distribution function over a sample
+// set. The zero value is an empty CDF whose At reports 0 everywhere.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from xs. The input is copied.
+func NewCDF(xs []float64) *CDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// N returns the number of samples backing the CDF.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns the fraction of samples ≤ x, in [0, 1].
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// First index with value > x.
+	i := sort.SearchFloat64s(c.sorted, x)
+	for i < len(c.sorted) && c.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the value at cumulative probability q in [0,1],
+// interpolating between order statistics. Empty CDFs return 0.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return percentileSorted(c.sorted, q*100)
+}
+
+// Median returns Quantile(0.5).
+func (c *CDF) Median() float64 { return c.Quantile(0.5) }
+
+// MaxValue returns the largest sample, or 0 when empty.
+func (c *CDF) MaxValue() float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return c.sorted[len(c.sorted)-1]
+}
+
+// Points returns n evenly spaced (value, probability) pairs suitable
+// for plotting the CDF curve. n < 2 yields a single point at the
+// median.
+func (c *CDF) Points(n int) (values, probs []float64) {
+	if len(c.sorted) == 0 {
+		return nil, nil
+	}
+	if n < 2 {
+		return []float64{c.Median()}, []float64{0.5}
+	}
+	values = make([]float64, n)
+	probs = make([]float64, n)
+	for i := 0; i < n; i++ {
+		q := float64(i) / float64(n-1)
+		values[i] = c.Quantile(q)
+		probs[i] = q
+	}
+	return values, probs
+}
+
+// Histogram counts samples into nbins equal-width bins over [lo, hi].
+// Samples outside the range are clamped into the first or last bin.
+// It returns nil when nbins < 1 or hi <= lo.
+func Histogram(xs []float64, lo, hi float64, nbins int) []int {
+	if nbins < 1 || hi <= lo {
+		return nil
+	}
+	bins := make([]int, nbins)
+	w := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= nbins {
+			i = nbins - 1
+		}
+		bins[i]++
+	}
+	return bins
+}

@@ -1,0 +1,57 @@
+package stats
+
+import "math/rand"
+
+// RNG is a deterministic random source used throughout the simulator.
+// It wraps math/rand with the handful of distributions the physical
+// models need, so every experiment is reproducible from its seed.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic RNG seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent child RNG from the parent stream. Using
+// Fork for each subsystem keeps subsystems statistically independent
+// while remaining reproducible.
+func (g *RNG) Fork() *RNG { return NewRNG(g.r.Int63()) }
+
+// Float64 returns a uniform sample in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Uniform returns a uniform sample in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Normal returns a Gaussian sample with the given mean and standard
+// deviation.
+func (g *RNG) Normal(mean, std float64) float64 {
+	return mean + std*g.r.NormFloat64()
+}
+
+// Exp returns an exponential sample with the given mean (not rate).
+// A non-positive mean returns 0.
+func (g *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return g.r.ExpFloat64() * mean
+}
+
+// Intn returns a uniform integer in [0, n). n <= 0 returns 0.
+func (g *RNG) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return g.r.Intn(n)
+}
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }

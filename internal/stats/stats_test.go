@@ -1,0 +1,266 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Errorf("Variance = %v", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty reducers must return 0")
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("Min/Max of empty must be ±Inf")
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Errorf("Percentile(nil) err = %v", err)
+	}
+	if Median(nil) != 0 {
+		t.Error("Median(nil) must be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4}, {-5, 1}, {105, 5},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	got, _ := Percentile(xs, 50)
+	if got != 5 {
+		t.Errorf("interpolated P50 = %v, want 5", got)
+	}
+}
+
+func TestMedianBetweenMinMax(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		m := Median(clean)
+		return m >= Min(clean) && m <= Max(clean)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Pearson(xs, []float64{2, 4, 6, 8}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect positive corr = %v", got)
+	}
+	if got := Pearson(xs, []float64{8, 6, 4, 2}); math.Abs(got+1) > 1e-12 {
+		t.Errorf("perfect negative corr = %v", got)
+	}
+	if got := Pearson(xs, []float64{5, 5, 5, 5}); got != 0 {
+		t.Errorf("zero-variance corr = %v", got)
+	}
+	if got := Pearson(xs, []float64{1, 2}); got != 0 {
+		t.Errorf("mismatched length corr = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if z := Summarize(nil); z != (Summary{}) {
+		t.Errorf("empty Summary = %+v", z)
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if c.N() != 4 {
+		t.Errorf("N = %d", c.N())
+	}
+	if got := c.At(0); got != 0 {
+		t.Errorf("At(0) = %v", got)
+	}
+	if got := c.At(4); got != 1 {
+		t.Errorf("At(4) = %v", got)
+	}
+	if got := c.At(2); got != 0.5 {
+		t.Errorf("At(2) = %v", got)
+	}
+	if got := c.Median(); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("Median = %v", got)
+	}
+	if got := c.MaxValue(); got != 4 {
+		t.Errorf("MaxValue = %v", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	var c CDF
+	if c.At(1) != 0 || c.Quantile(0.5) != 0 || c.MaxValue() != 0 {
+		t.Error("empty CDF must report zeros")
+	}
+	v, p := c.Points(10)
+	if v != nil || p != nil {
+		t.Error("empty CDF Points must be nil")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		c := NewCDF(clean)
+		vals, _ := c.Points(17)
+		return sort.Float64sAreSorted(vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFPointsEndpoints(t *testing.T) {
+	c := NewCDF([]float64{5, 1, 9})
+	vals, probs := c.Points(5)
+	if vals[0] != 1 || vals[len(vals)-1] != 9 {
+		t.Errorf("Points endpoints = %v", vals)
+	}
+	if probs[0] != 0 || probs[len(probs)-1] != 1 {
+		t.Errorf("Points probs = %v", probs)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	bins := Histogram([]float64{0.1, 0.5, 0.9, -1, 2}, 0, 1, 2)
+	if len(bins) != 2 {
+		t.Fatalf("bins = %v", bins)
+	}
+	// -1 clamps into bin 0; 2 clamps into bin 1; 0.5 lands in bin 1.
+	if bins[0] != 2 || bins[1] != 3 {
+		t.Errorf("Histogram = %v", bins)
+	}
+	if Histogram(nil, 0, 1, 0) != nil {
+		t.Error("nbins<1 must return nil")
+	}
+	if Histogram(nil, 1, 0, 3) != nil {
+		t.Error("hi<=lo must return nil")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	g := NewRNG(7)
+	c1 := g.Fork()
+	c2 := g.Fork()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Float64() == c2.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("forked RNGs look identical: %d/100 equal draws", same)
+	}
+}
+
+func TestRNGDistributions(t *testing.T) {
+	g := NewRNG(1)
+	var us, ns, es []float64
+	for i := 0; i < 20000; i++ {
+		us = append(us, g.Uniform(2, 4))
+		ns = append(ns, g.Normal(10, 2))
+		es = append(es, g.Exp(3))
+	}
+	if m := Mean(us); math.Abs(m-3) > 0.05 {
+		t.Errorf("Uniform mean = %v", m)
+	}
+	if m := Mean(ns); math.Abs(m-10) > 0.1 {
+		t.Errorf("Normal mean = %v", m)
+	}
+	if s := StdDev(ns); math.Abs(s-2) > 0.1 {
+		t.Errorf("Normal std = %v", s)
+	}
+	if m := Mean(es); math.Abs(m-3) > 0.15 {
+		t.Errorf("Exp mean = %v", m)
+	}
+	if g.Exp(-1) != 0 {
+		t.Error("Exp with non-positive mean must be 0")
+	}
+}
+
+func TestRNGIntnBool(t *testing.T) {
+	g := NewRNG(3)
+	if g.Intn(0) != 0 || g.Intn(-5) != 0 {
+		t.Error("Intn(n<=0) must be 0")
+	}
+	for i := 0; i < 100; i++ {
+		if v := g.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	trues := 0
+	for i := 0; i < 10000; i++ {
+		if g.Bool(0.25) {
+			trues++
+		}
+	}
+	if trues < 2200 || trues > 2800 {
+		t.Errorf("Bool(0.25) rate = %d/10000", trues)
+	}
+	if len(g.Perm(5)) != 5 {
+		t.Error("Perm length")
+	}
+}

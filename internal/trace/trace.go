@@ -1,0 +1,188 @@
+// Package trace records and replays ViHOT sensor sessions: the
+// sanitized CSI phase stream, phone IMU readings, and ground-truth
+// head poses, all timestamped on the receiver clock. Traces make
+// experiments repeatable and let the tracker run offline against
+// captured drives — the CSI-tool-log workflow of the paper's
+// prototype.
+package trace
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"vihot/internal/dsp"
+	"vihot/internal/imu"
+)
+
+// Event kinds stored in a trace.
+const (
+	KindPhase = "phase"
+	KindIMU   = "imu"
+	KindTruth = "truth"
+)
+
+// Event is one timestamped record.
+type Event struct {
+	T    float64
+	Kind string
+	// Phase (rad) for KindPhase; yaw (deg) for KindTruth.
+	V float64
+	// IMU payload for KindIMU.
+	GyroZ, AccelLat float64
+}
+
+// Meta describes a recorded session.
+type Meta struct {
+	Name     string
+	Seed     int64
+	Comment  string
+	Duration float64
+}
+
+// Trace is a recorded session.
+type Trace struct {
+	Meta   Meta
+	Events []Event
+}
+
+// ErrBadTrace reports a malformed trace file.
+var ErrBadTrace = errors.New("trace: malformed trace")
+
+// Recorder accumulates events in time order.
+type Recorder struct {
+	tr Trace
+}
+
+// NewRecorder starts a recording with the given metadata.
+func NewRecorder(meta Meta) *Recorder {
+	return &Recorder{tr: Trace{Meta: meta}}
+}
+
+// Phase records one sanitized CSI phase sample.
+func (r *Recorder) Phase(t, phi float64) {
+	r.tr.Events = append(r.tr.Events, Event{T: t, Kind: KindPhase, V: phi})
+}
+
+// IMU records one phone IMU reading.
+func (r *Recorder) IMU(reading imu.Reading) {
+	r.tr.Events = append(r.tr.Events, Event{
+		T: reading.Time, Kind: KindIMU,
+		GyroZ: reading.GyroZ, AccelLat: reading.AccelLat,
+	})
+}
+
+// Truth records one ground-truth head yaw.
+func (r *Recorder) Truth(t, yawDeg float64) {
+	r.tr.Events = append(r.tr.Events, Event{T: t, Kind: KindTruth, V: yawDeg})
+}
+
+// Finish sorts events by time, fills the duration, and returns the
+// trace. The recorder can keep recording afterwards.
+func (r *Recorder) Finish() *Trace {
+	tr := r.tr
+	tr.Events = append([]Event(nil), tr.Events...)
+	sort.SliceStable(tr.Events, func(i, j int) bool { return tr.Events[i].T < tr.Events[j].T })
+	if n := len(tr.Events); n > 0 {
+		tr.Meta.Duration = tr.Events[n-1].T - tr.Events[0].T
+	}
+	return &tr
+}
+
+// Write serializes a trace with encoding/gob.
+func Write(w io.Writer, tr *Trace) error {
+	if tr == nil {
+		return fmt.Errorf("%w: nil trace", ErrBadTrace)
+	}
+	return gob.NewEncoder(w).Encode(tr)
+}
+
+// Read deserializes a trace.
+func Read(r io.Reader) (*Trace, error) {
+	var tr Trace
+	if err := gob.NewDecoder(r).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if !sort.SliceIsSorted(tr.Events, func(i, j int) bool { return tr.Events[i].T < tr.Events[j].T }) {
+		return nil, fmt.Errorf("%w: events out of order", ErrBadTrace)
+	}
+	return &tr, nil
+}
+
+// Save writes a trace to a file.
+func Save(path string, tr *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Write(f, tr); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Load reads a trace from a file.
+func Load(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// PhaseSeries extracts the CSI phase stream as a dsp.Series.
+func (tr *Trace) PhaseSeries() dsp.Series {
+	var s dsp.Series
+	for _, e := range tr.Events {
+		if e.Kind == KindPhase {
+			s = append(s, dsp.Sample{T: e.T, V: e.V})
+		}
+	}
+	return s
+}
+
+// TruthSeries extracts the ground-truth yaw stream.
+func (tr *Trace) TruthSeries() dsp.Series {
+	var s dsp.Series
+	for _, e := range tr.Events {
+		if e.Kind == KindTruth {
+			s = append(s, dsp.Sample{T: e.T, V: e.V})
+		}
+	}
+	return s
+}
+
+// Counts returns the number of events per kind.
+func (tr *Trace) Counts() map[string]int {
+	m := make(map[string]int)
+	for _, e := range tr.Events {
+		m[e.Kind]++
+	}
+	return m
+}
+
+// Replay feeds the trace's events, in time order, to the provided
+// callbacks (any of which may be nil).
+func (tr *Trace) Replay(onPhase func(t, phi float64), onIMU func(imu.Reading), onTruth func(t, yaw float64)) {
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case KindPhase:
+			if onPhase != nil {
+				onPhase(e.T, e.V)
+			}
+		case KindIMU:
+			if onIMU != nil {
+				onIMU(imu.Reading{Time: e.T, GyroZ: e.GyroZ, AccelLat: e.AccelLat})
+			}
+		case KindTruth:
+			if onTruth != nil {
+				onTruth(e.T, e.V)
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"vihot/internal/imu"
+)
+
+func sampleTrace() *Trace {
+	r := NewRecorder(Meta{Name: "test-drive", Seed: 7, Comment: "unit test"})
+	// Deliberately interleaved out of order: Finish must sort.
+	r.Truth(0.5, 12)
+	r.Phase(0.1, 0.3)
+	r.IMU(imu.Reading{Time: 0.2, GyroZ: 5, AccelLat: 0.1})
+	r.Phase(0.3, 0.4)
+	return r.Finish()
+}
+
+func TestRecorderSortsAndMeasures(t *testing.T) {
+	tr := sampleTrace()
+	for i := 1; i < len(tr.Events); i++ {
+		if tr.Events[i].T < tr.Events[i-1].T {
+			t.Fatal("events not sorted")
+		}
+	}
+	if tr.Meta.Duration != 0.4 {
+		t.Errorf("duration = %v", tr.Meta.Duration)
+	}
+	counts := tr.Counts()
+	if counts[KindPhase] != 2 || counts[KindIMU] != 1 || counts[KindTruth] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta != tr.Meta {
+		t.Errorf("meta = %+v", got.Meta)
+	}
+	if len(got.Events) != len(tr.Events) {
+		t.Fatalf("events = %d", len(got.Events))
+	}
+	for i := range got.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got.Events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestWriteNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("nil write err = %v", err)
+	}
+}
+
+func TestReadGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a gob"))); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("garbage err = %v", err)
+	}
+}
+
+func TestReadRejectsUnsorted(t *testing.T) {
+	bad := &Trace{Events: []Event{{T: 2, Kind: KindPhase}, {T: 1, Kind: KindPhase}}}
+	var buf bytes.Buffer
+	if err := Write(&buf, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("unsorted err = %v", err)
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	tr := sampleTrace()
+	path := filepath.Join(t.TempDir(), "session.vht")
+	if err := Save(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta.Name != "test-drive" {
+		t.Errorf("loaded name = %q", got.Meta.Name)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.vht")); err == nil {
+		t.Error("loading a missing file must fail")
+	}
+}
+
+func TestSeriesExtraction(t *testing.T) {
+	tr := sampleTrace()
+	ps := tr.PhaseSeries()
+	if len(ps) != 2 || ps[0].V != 0.3 || ps[1].V != 0.4 {
+		t.Errorf("phase series = %v", ps)
+	}
+	ts := tr.TruthSeries()
+	if len(ts) != 1 || ts[0].V != 12 {
+		t.Errorf("truth series = %v", ts)
+	}
+}
+
+func TestReplayDispatch(t *testing.T) {
+	tr := sampleTrace()
+	var phases, truths int
+	var gyro float64
+	tr.Replay(
+		func(t, phi float64) { phases++ },
+		func(r imu.Reading) { gyro = r.GyroZ },
+		func(t, yaw float64) { truths++ },
+	)
+	if phases != 2 || truths != 1 || gyro != 5 {
+		t.Errorf("replay dispatch: phases=%d truths=%d gyro=%v", phases, truths, gyro)
+	}
+	// Nil callbacks must not panic.
+	tr.Replay(nil, nil, nil)
+}
+
+func TestRecorderContinuesAfterFinish(t *testing.T) {
+	r := NewRecorder(Meta{Name: "x"})
+	r.Phase(0, 1)
+	first := r.Finish()
+	r.Phase(1, 2)
+	second := r.Finish()
+	if len(first.Events) != 1 {
+		t.Errorf("first snapshot mutated: %d events", len(first.Events))
+	}
+	if len(second.Events) != 2 {
+		t.Errorf("second snapshot = %d events", len(second.Events))
+	}
+}

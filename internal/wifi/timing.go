@@ -1,0 +1,123 @@
+// Package wifi models the link that carries the CSI probe stream: the
+// CSMA packet-timing process whose randomness forces resampling
+// (Sec. 3.4.3), the throughput collapse under interfering traffic that
+// degrades tracking in Fig. 17d, an NTP-style clock-offset model for
+// phone↔receiver synchronization, and a real UDP transport with a
+// compact wire format for streaming CSI and IMU data between
+// processes.
+package wifi
+
+import (
+	"vihot/internal/stats"
+)
+
+// TimingModel describes the distribution of inter-packet intervals of
+// the iperf-style probe stream. WiFi CSMA makes intervals random:
+// most packets go out back-to-back at the target rate, but channel
+// contention occasionally inserts long backoff gaps.
+type TimingModel struct {
+	// BaseInterval is the minimum spacing between packets (seconds).
+	BaseInterval float64
+	// JitterMean is the mean of the exponential jitter added to every
+	// interval.
+	JitterMean float64
+	// BackoffProb is the per-packet probability of a contention
+	// backoff gap.
+	BackoffProb float64
+	// BackoffMin/BackoffMax bound the uniform backoff gap length.
+	BackoffMin, BackoffMax float64
+}
+
+// CleanTiming reproduces the paper's uncontended link: ≈ 500 frames/s
+// with a 34 ms maximum frame interval (Sec. 5.3.5).
+func CleanTiming() TimingModel {
+	return TimingModel{
+		BaseInterval: 0.0016,
+		JitterMean:   0.0003,
+		BackoffProb:  0.005,
+		BackoffMin:   0.008,
+		BackoffMax:   0.034,
+	}
+}
+
+// InterferedTiming reproduces the link sharing the channel with a
+// video stream from a roadside AP: the CSI sampling rate drops to
+// ≈ 400 Hz and the maximum frame interval grows to 49 ms.
+func InterferedTiming() TimingModel {
+	return TimingModel{
+		BaseInterval: 0.0017,
+		JitterMean:   0.0004,
+		BackoffProb:  0.012,
+		BackoffMin:   0.01,
+		BackoffMax:   0.049,
+	}
+}
+
+// NextInterval draws one inter-packet interval.
+func (m TimingModel) NextInterval(rng *stats.RNG) float64 {
+	d := m.BaseInterval + rng.Exp(m.JitterMean)
+	if m.BackoffProb > 0 && rng.Bool(m.BackoffProb) {
+		d += rng.Uniform(m.BackoffMin, m.BackoffMax)
+	}
+	return d
+}
+
+// ArrivalTimes generates packet arrival timestamps covering [0, dur).
+func (m TimingModel) ArrivalTimes(rng *stats.RNG, dur float64) []float64 {
+	var ts []float64
+	t := m.NextInterval(rng)
+	for t < dur {
+		ts = append(ts, t)
+		t += m.NextInterval(rng)
+	}
+	return ts
+}
+
+// Stream is an iterator over packet arrival times, for callers that
+// simulate unbounded links.
+type Stream struct {
+	model TimingModel
+	rng   *stats.RNG
+	now   float64
+}
+
+// NewStream returns a Stream starting at time 0.
+func NewStream(model TimingModel, rng *stats.RNG) *Stream {
+	return &Stream{model: model, rng: rng}
+}
+
+// Next returns the next packet arrival time.
+func (s *Stream) Next() float64 {
+	s.now += s.model.NextInterval(s.rng)
+	return s.now
+}
+
+// Clock models the residual offset between the phone's clock and the
+// receiver's after NTP synchronization (Sec. 4 uses NTP to "roughly
+// synchronize" the two): a fixed offset plus slow drift.
+type Clock struct {
+	OffsetS float64 // residual offset after sync
+	DriftS  float64 // drift in seconds per second
+}
+
+// NTPSyncClock returns a clock with typical post-NTP residuals: a few
+// milliseconds of offset and ppm-scale drift.
+func NTPSyncClock(rng *stats.RNG) Clock {
+	return Clock{
+		OffsetS: rng.Normal(0, 0.004),
+		DriftS:  rng.Normal(0, 20e-6),
+	}
+}
+
+// ToReceiver converts a phone-side timestamp to the receiver's
+// timeline.
+func (c Clock) ToReceiver(phoneT float64) float64 {
+	return phoneT + c.OffsetS + c.DriftS*phoneT
+}
+
+// ToPhone converts a receiver-side timestamp to the phone's timeline
+// (first-order inverse; drift is ppm-scale so the approximation error
+// is negligible over a trip).
+func (c Clock) ToPhone(receiverT float64) float64 {
+	return (receiverT - c.OffsetS) / (1 + c.DriftS)
+}

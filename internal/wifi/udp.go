@@ -1,0 +1,99 @@
+package wifi
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"vihot/internal/csi"
+	"vihot/internal/imu"
+)
+
+// Sender streams CSI frames and IMU readings over UDP — the role of
+// the phone's iperf client in the prototype (Sec. 4). It is safe for
+// use from one goroutine.
+type Sender struct {
+	conn *net.UDPConn
+	buf  []byte
+}
+
+// Dial connects a Sender to the receiver's address, e.g.
+// "127.0.0.1:9340".
+func Dial(addr string) (*Sender, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wifi: resolve %q: %w", addr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, fmt.Errorf("wifi: dial %q: %w", addr, err)
+	}
+	return &Sender{conn: conn, buf: make([]byte, 0, 2048)}, nil
+}
+
+// SendCSI transmits one CSI frame.
+func (s *Sender) SendCSI(f *csi.Frame) error {
+	b, err := EncodeCSI(s.buf[:0], f)
+	if err != nil {
+		return err
+	}
+	s.buf = b[:0]
+	_, err = s.conn.Write(b)
+	return err
+}
+
+// SendIMU transmits one IMU reading.
+func (s *Sender) SendIMU(r *imu.Reading) error {
+	b := EncodeIMU(s.buf[:0], r)
+	s.buf = b[:0]
+	_, err := s.conn.Write(b)
+	return err
+}
+
+// Close releases the socket.
+func (s *Sender) Close() error { return s.conn.Close() }
+
+// Receiver listens for the probe stream — the laptop/head-unit side.
+type Receiver struct {
+	conn *net.UDPConn
+	buf  []byte
+}
+
+// Listen binds a Receiver. Pass ":0" to let the kernel pick a port;
+// Addr reports the bound address.
+func Listen(addr string) (*Receiver, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wifi: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("wifi: listen %q: %w", addr, err)
+	}
+	return &Receiver{conn: conn, buf: make([]byte, 64*1024)}, nil
+}
+
+// Addr returns the bound local address.
+func (r *Receiver) Addr() net.Addr { return r.conn.LocalAddr() }
+
+// Recv blocks until one datagram arrives (or the deadline expires)
+// and decodes it. A zero timeout blocks indefinitely.
+func (r *Receiver) Recv(timeout time.Duration) (*Packet, error) {
+	if timeout > 0 {
+		if err := r.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := r.conn.SetReadDeadline(time.Time{}); err != nil {
+			return nil, err
+		}
+	}
+	n, _, err := r.conn.ReadFromUDP(r.buf)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(r.buf[:n])
+}
+
+// Close releases the socket.
+func (r *Receiver) Close() error { return r.conn.Close() }

@@ -1,0 +1,352 @@
+package wifi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"vihot/internal/csi"
+	"vihot/internal/imu"
+	"vihot/internal/stats"
+)
+
+func TestCleanTimingRate(t *testing.T) {
+	rng := stats.NewRNG(1)
+	ts := CleanTiming().ArrivalTimes(rng, 60)
+	rate := float64(len(ts)-1) / (ts[len(ts)-1] - ts[0])
+	if rate < 430 || rate > 580 {
+		t.Errorf("clean rate = %v Hz, want ≈500", rate)
+	}
+	var gap float64
+	for i := 1; i < len(ts); i++ {
+		if g := ts[i] - ts[i-1]; g > gap {
+			gap = g
+		}
+	}
+	if gap > 0.045 {
+		t.Errorf("clean max gap = %v s, want ≤ ≈0.034+jitter", gap)
+	}
+}
+
+func TestInterferedTimingDegrades(t *testing.T) {
+	rng := stats.NewRNG(2)
+	clean := CleanTiming().ArrivalTimes(rng.Fork(), 60)
+	dirty := InterferedTiming().ArrivalTimes(rng.Fork(), 60)
+	cr := float64(len(clean)-1) / (clean[len(clean)-1] - clean[0])
+	dr := float64(len(dirty)-1) / (dirty[len(dirty)-1] - dirty[0])
+	if dr >= cr {
+		t.Errorf("interference did not reduce rate: %v vs %v", dr, cr)
+	}
+	if dr < 320 || dr > 470 {
+		t.Errorf("interfered rate = %v Hz, want ≈400", dr)
+	}
+	var cg, dg float64
+	for i := 1; i < len(clean); i++ {
+		if g := clean[i] - clean[i-1]; g > cg {
+			cg = g
+		}
+	}
+	for i := 1; i < len(dirty); i++ {
+		if g := dirty[i] - dirty[i-1]; g > dg {
+			dg = g
+		}
+	}
+	if dg <= cg {
+		t.Errorf("interference did not stretch the max gap: %v vs %v", dg, cg)
+	}
+}
+
+func TestArrivalTimesSorted(t *testing.T) {
+	rng := stats.NewRNG(3)
+	ts := CleanTiming().ArrivalTimes(rng, 5)
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatal("arrival times not strictly increasing")
+		}
+	}
+	if ts[len(ts)-1] >= 5 {
+		t.Error("arrival beyond the duration")
+	}
+}
+
+func TestStreamMatchesModel(t *testing.T) {
+	rng := stats.NewRNG(4)
+	s := NewStream(CleanTiming(), rng)
+	prev := 0.0
+	for i := 0; i < 1000; i++ {
+		next := s.Next()
+		if next <= prev {
+			t.Fatal("stream times not increasing")
+		}
+		prev = next
+	}
+	rate := 1000 / prev
+	if rate < 400 || rate > 600 {
+		t.Errorf("stream rate = %v", rate)
+	}
+}
+
+func TestClockRoundTrip(t *testing.T) {
+	c := Clock{OffsetS: 0.003, DriftS: 20e-6}
+	for _, ts := range []float64{0, 1, 100, 3600} {
+		r := c.ToReceiver(ts)
+		back := c.ToPhone(r)
+		if math.Abs(back-ts) > 1e-6 {
+			t.Errorf("round trip at %v: %v", ts, back)
+		}
+	}
+}
+
+func TestNTPSyncClockResiduals(t *testing.T) {
+	rng := stats.NewRNG(5)
+	var offs []float64
+	for i := 0; i < 200; i++ {
+		c := NTPSyncClock(rng)
+		offs = append(offs, c.OffsetS)
+	}
+	if s := stats.StdDev(offs); s < 0.001 || s > 0.01 {
+		t.Errorf("NTP offset spread = %v s, want ms-scale", s)
+	}
+}
+
+func mkFrame(t float64, na, ns int) *csi.Frame {
+	f := &csi.Frame{Time: t, H: make([][]complex128, na)}
+	for a := 0; a < na; a++ {
+		f.H[a] = make([]complex128, ns)
+		for k := 0; k < ns; k++ {
+			f.H[a][k] = complex(float64(a)+0.25, float64(k)*0.125)
+		}
+	}
+	return f
+}
+
+func TestWireCSIRoundTrip(t *testing.T) {
+	f := mkFrame(12.375, 2, 30)
+	b, err := EncodeCSI(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Type != TypeCSI || p.CSI == nil {
+		t.Fatalf("decoded packet = %+v", p)
+	}
+	if p.CSI.Time != 12.375 {
+		t.Errorf("time = %v", p.CSI.Time)
+	}
+	if p.CSI.NAntennas() != 2 || p.CSI.NSubcarriers() != 30 {
+		t.Errorf("shape = %d×%d", p.CSI.NAntennas(), p.CSI.NSubcarriers())
+	}
+	// float32 round trip: values chosen representable exactly.
+	for a := 0; a < 2; a++ {
+		for k := 0; k < 30; k++ {
+			if p.CSI.H[a][k] != f.H[a][k] {
+				t.Fatalf("H[%d][%d] = %v, want %v", a, k, p.CSI.H[a][k], f.H[a][k])
+			}
+		}
+	}
+}
+
+func TestWireIMURoundTrip(t *testing.T) {
+	r := &imu.Reading{Time: 3.5, GyroZ: -12.5, AccelLat: 0.75}
+	b := EncodeIMU(nil, r)
+	p, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Type != TypeIMU || p.IMU == nil {
+		t.Fatalf("decoded packet = %+v", p)
+	}
+	if p.IMU.GyroZ != -12.5 || p.IMU.AccelLat != 0.75 || p.IMU.Time != 3.5 {
+		t.Errorf("IMU = %+v", p.IMU)
+	}
+}
+
+func TestWireErrors(t *testing.T) {
+	if _, err := Decode(nil); err != ErrShortPacket {
+		t.Errorf("nil err = %v", err)
+	}
+	if _, err := Decode([]byte("XXXX..........")); err != ErrBadMagic {
+		t.Errorf("magic err = %v", err)
+	}
+	good := EncodeIMU(nil, &imu.Reading{})
+	bad := append([]byte(nil), good...)
+	bad[4] = 99
+	if _, err := Decode(bad); err == nil {
+		t.Error("bad version accepted")
+	}
+	bad = append([]byte(nil), good...)
+	bad[5] = 42
+	if _, err := Decode(bad); err == nil {
+		t.Error("bad type accepted")
+	}
+	// Truncated CSI body.
+	f := mkFrame(0, 2, 30)
+	b, _ := EncodeCSI(nil, f)
+	if _, err := Decode(b[:len(b)-4]); err != ErrShortPacket {
+		t.Errorf("truncated err = %v", err)
+	}
+}
+
+func TestWireShapeGuards(t *testing.T) {
+	if _, err := EncodeCSI(nil, &csi.Frame{}); err != ErrBadShape {
+		t.Errorf("empty frame err = %v", err)
+	}
+	ragged := &csi.Frame{H: [][]complex128{make([]complex128, 4), make([]complex128, 3)}}
+	if _, err := EncodeCSI(nil, ragged); err != ErrBadShape {
+		t.Errorf("ragged err = %v", err)
+	}
+}
+
+func TestWireBufferReuse(t *testing.T) {
+	f := mkFrame(0, 2, 8)
+	buf := make([]byte, 0, 1024)
+	out, err := EncodeCSI(buf, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &buf[:1][0] {
+		t.Error("EncodeCSI did not reuse the buffer")
+	}
+}
+
+func TestUDPLoopback(t *testing.T) {
+	recv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	send, err := Dial(recv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+
+	f := mkFrame(1.25, 2, 30)
+	if err := send.SendCSI(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := send.SendIMU(&imu.Reading{Time: 2, GyroZ: 7}); err != nil {
+		t.Fatal(err)
+	}
+
+	p1, err := recv.Recv(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := recv.Recv(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// UDP ordering on loopback is reliable in practice, but accept
+	// either order to be safe.
+	var gotCSI, gotIMU bool
+	for _, p := range []*Packet{p1, p2} {
+		switch p.Type {
+		case TypeCSI:
+			gotCSI = true
+			if p.CSI.Time != 1.25 {
+				t.Errorf("CSI time = %v", p.CSI.Time)
+			}
+		case TypeIMU:
+			gotIMU = true
+			if p.IMU.GyroZ != 7 {
+				t.Errorf("gyro = %v", p.IMU.GyroZ)
+			}
+		}
+	}
+	if !gotCSI || !gotIMU {
+		t.Errorf("missing packets: csi=%v imu=%v", gotCSI, gotIMU)
+	}
+}
+
+func TestUDPRecvTimeout(t *testing.T) {
+	recv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	if _, err := recv.Recv(50 * time.Millisecond); err == nil {
+		t.Error("expected timeout error")
+	}
+}
+
+func TestDialError(t *testing.T) {
+	if _, err := Dial("not a real address::"); err == nil {
+		t.Error("bad address accepted")
+	}
+	if _, err := Listen("not a real address::"); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}
+
+func TestWireCSIRoundTripProperty(t *testing.T) {
+	// Arbitrary (finite float32-representable) CSI contents must
+	// survive the wire format bit-exactly.
+	f := func(vals []float32, na8, ns8 uint8) bool {
+		na := int(na8%3) + 1
+		ns := int(ns8%16) + 1
+		frame := &csi.Frame{Time: 1.5, H: make([][]complex128, na)}
+		idx := 0
+		next := func() float64 {
+			if len(vals) == 0 {
+				return 0.25
+			}
+			v := vals[idx%len(vals)]
+			idx++
+			if v != v || v > 1e30 || v < -1e30 { // NaN/huge: substitute
+				return 0.5
+			}
+			return float64(v)
+		}
+		for a := 0; a < na; a++ {
+			frame.H[a] = make([]complex128, ns)
+			for k := 0; k < ns; k++ {
+				frame.H[a][k] = complex(next(), next())
+			}
+		}
+		b, err := EncodeCSI(nil, frame)
+		if err != nil {
+			return false
+		}
+		p, err := Decode(b)
+		if err != nil || p.Type != TypeCSI {
+			return false
+		}
+		for a := 0; a < na; a++ {
+			for k := 0; k < ns; k++ {
+				if p.CSI.H[a][k] != frame.H[a][k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeNeverPanicsOnMutations(t *testing.T) {
+	// Bit-flip a valid packet everywhere; Decode must return errors,
+	// never panic.
+	f := mkFrame(2.5, 2, 30)
+	good, err := EncodeCSI(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range good {
+		for _, bit := range []byte{0x01, 0x80, 0xFF} {
+			mut := append([]byte(nil), good...)
+			mut[i] ^= bit
+			_, _ = Decode(mut) // must not panic
+		}
+	}
+	// Truncations too.
+	for n := 0; n < len(good); n += 7 {
+		_, _ = Decode(good[:n])
+	}
+}

@@ -1,0 +1,152 @@
+package wifi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"vihot/internal/csi"
+	"vihot/internal/imu"
+)
+
+// Wire format for the phone→receiver probe stream. Every datagram is:
+//
+//	offset  size  field
+//	0       4     magic "VHOT"
+//	4       1     version (1)
+//	5       1     type (1 = CSI frame, 2 = IMU reading)
+//	6       8     timestamp, float64 seconds, big endian
+//	14      …     type-specific payload
+//
+// CSI payload: uint8 antennas, uint8 subcarriers, then antennas ×
+// subcarriers complex values as two float32s (re, im).
+// IMU payload: gyroZ float32, accelLat float32.
+//
+// The format mirrors how the prototype UDP-streams IMU readings along
+// with the dummy iperf packets (Sec. 4).
+const (
+	Magic       = "VHOT"
+	Version     = 1
+	TypeCSI     = 1
+	TypeIMU     = 2
+	headerLen   = 14
+	maxAntennas = 8
+	maxSubcarry = 128
+)
+
+// Wire format errors.
+var (
+	ErrShortPacket = errors.New("wifi: packet too short")
+	ErrBadMagic    = errors.New("wifi: bad magic")
+	ErrBadVersion  = errors.New("wifi: unsupported version")
+	ErrBadType     = errors.New("wifi: unknown packet type")
+	ErrBadShape    = errors.New("wifi: implausible antenna/subcarrier counts")
+)
+
+// Packet is a decoded datagram: exactly one of CSI or IMU is set.
+type Packet struct {
+	Type int
+	CSI  *csi.Frame
+	IMU  *imu.Reading
+}
+
+// EncodeCSI serializes a CSI frame, appending to dst.
+func EncodeCSI(dst []byte, f *csi.Frame) ([]byte, error) {
+	na, ns := f.NAntennas(), f.NSubcarriers()
+	if na < 1 || na > maxAntennas || ns < 1 || ns > maxSubcarry {
+		return nil, ErrBadShape
+	}
+	dst = appendHeader(dst, TypeCSI, f.Time)
+	dst = append(dst, byte(na), byte(ns))
+	for a := 0; a < na; a++ {
+		if len(f.H[a]) != ns {
+			return nil, ErrBadShape
+		}
+		for k := 0; k < ns; k++ {
+			h := f.H[a][k]
+			dst = binary.BigEndian.AppendUint32(dst, math.Float32bits(float32(real(h))))
+			dst = binary.BigEndian.AppendUint32(dst, math.Float32bits(float32(imag(h))))
+		}
+	}
+	return dst, nil
+}
+
+// EncodeIMU serializes an IMU reading, appending to dst.
+func EncodeIMU(dst []byte, r *imu.Reading) []byte {
+	dst = appendHeader(dst, TypeIMU, r.Time)
+	dst = binary.BigEndian.AppendUint32(dst, math.Float32bits(float32(r.GyroZ)))
+	dst = binary.BigEndian.AppendUint32(dst, math.Float32bits(float32(r.AccelLat)))
+	return dst
+}
+
+func appendHeader(dst []byte, typ byte, t float64) []byte {
+	dst = append(dst, Magic...)
+	dst = append(dst, Version, typ)
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(t))
+	return dst
+}
+
+// Decode parses one datagram.
+func Decode(b []byte) (*Packet, error) {
+	if len(b) < headerLen {
+		return nil, ErrShortPacket
+	}
+	if string(b[:4]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if b[4] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, b[4])
+	}
+	typ := b[5]
+	t := math.Float64frombits(binary.BigEndian.Uint64(b[6:14]))
+	body := b[headerLen:]
+	switch typ {
+	case TypeCSI:
+		return decodeCSI(t, body)
+	case TypeIMU:
+		return decodeIMU(t, body)
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadType, typ)
+	}
+}
+
+func decodeCSI(t float64, body []byte) (*Packet, error) {
+	if len(body) < 2 {
+		return nil, ErrShortPacket
+	}
+	na, ns := int(body[0]), int(body[1])
+	if na < 1 || na > maxAntennas || ns < 1 || ns > maxSubcarry {
+		return nil, ErrBadShape
+	}
+	need := na * ns * 8
+	body = body[2:]
+	if len(body) < need {
+		return nil, ErrShortPacket
+	}
+	f := &csi.Frame{Time: t, H: make([][]complex128, na)}
+	off := 0
+	for a := 0; a < na; a++ {
+		row := make([]complex128, ns)
+		for k := 0; k < ns; k++ {
+			re := math.Float32frombits(binary.BigEndian.Uint32(body[off:]))
+			im := math.Float32frombits(binary.BigEndian.Uint32(body[off+4:]))
+			row[k] = complex(float64(re), float64(im))
+			off += 8
+		}
+		f.H[a] = row
+	}
+	return &Packet{Type: TypeCSI, CSI: f}, nil
+}
+
+func decodeIMU(t float64, body []byte) (*Packet, error) {
+	if len(body) < 8 {
+		return nil, ErrShortPacket
+	}
+	r := &imu.Reading{
+		Time:     t,
+		GyroZ:    float64(math.Float32frombits(binary.BigEndian.Uint32(body[0:]))),
+		AccelLat: float64(math.Float32frombits(binary.BigEndian.Uint32(body[4:]))),
+	}
+	return &Packet{Type: TypeIMU, IMU: r}, nil
+}

@@ -1,0 +1,143 @@
+package vihot
+
+import (
+	"vihot/internal/cabin"
+	"vihot/internal/driver"
+	"vihot/internal/experiment"
+	"vihot/internal/wifi"
+)
+
+// Simulator is the hardware substitute: a physically-grounded model of
+// the car cabin, the WiFi link, and the receiver hardware, producing
+// the same sanitized phase stream a real deployment would. It exists
+// because the paper's prototype hardware (Intel 5300 CSI extraction,
+// a car, human drivers) cannot ship in a library.
+type Simulator struct {
+	env *experiment.Env
+}
+
+// SimConfig selects the simulated deployment.
+type SimConfig struct {
+	// Layout is the RX antenna placement, 1–5 (Sec. 5.2.2); 0 means
+	// Layout 1, the paper's recommended placement.
+	Layout int
+	// Passenger seats a front passenger.
+	Passenger bool
+	// AntennaVibration enables worst-case coil-antenna shake.
+	AntennaVibration bool
+	// WiFiInterference shares the channel with a busy neighbor AP.
+	WiFiInterference bool
+	// Seed makes the simulation reproducible.
+	Seed int64
+}
+
+// DriverStyle selects one of the paper's three test drivers.
+type DriverStyle int
+
+// The three drivers of Sec. 5.2.5.
+const (
+	DriverA DriverStyle = iota
+	DriverB
+	DriverC
+)
+
+func (d DriverStyle) profile() driver.Profile {
+	switch d {
+	case DriverB:
+		return driver.DriverB()
+	case DriverC:
+		return driver.DriverC()
+	default:
+		return driver.DriverA()
+	}
+}
+
+// NewSimulator builds a simulated deployment.
+func NewSimulator(cfg SimConfig) (*Simulator, error) {
+	cc := cabin.DefaultConfig()
+	if cfg.Layout != 0 {
+		cc.Layout = cabin.Layout(cfg.Layout)
+	}
+	cc.Passenger = cfg.Passenger
+	if cfg.AntennaVibration {
+		v := cabin.DefaultVibration()
+		cc.Vibration = &v
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	env, err := experiment.NewEnv(cc, seed)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.WiFiInterference {
+		env.Timing = wifi.InterferedTiming()
+	}
+	return &Simulator{env: env}, nil
+}
+
+// ProfileDriver runs a full position-orientation joint profiling
+// session (Sec. 3.3) for the given driver style and returns the
+// profile plus the simulated profiling duration in seconds.
+func (s *Simulator) ProfileDriver(style DriverStyle) (*Profile, float64, error) {
+	return s.env.CollectProfile(style.profile(), experiment.DefaultProfileOptions())
+}
+
+// Drive simulates a realistic trip of the given duration (glances,
+// optional steering events) through the full pipeline and returns the
+// tracking run's result.
+func (s *Simulator) Drive(profile *Profile, style DriverStyle, seconds float64, steering bool) (*DriveResult, error) {
+	sc := driver.DrivingScenario(s.env.RNG.Fork(), style.profile(), seconds, driver.GlanceOptions{
+		Steering:       steering,
+		PositionJitter: 0.008,
+	})
+	res, err := s.env.Track(profile, sc, experiment.TrackOptions{
+		Pipeline: DefaultPipelineConfig(),
+		Camera:   steering,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DriveResult{inner: res}, nil
+}
+
+// Sweep simulates the paper's controlled accuracy test: continuous
+// head scanning at the given peak speed for the given duration.
+func (s *Simulator) Sweep(profile *Profile, style DriverStyle, seconds, speedDPS float64, horizons []float64) (*DriveResult, error) {
+	sc, _ := driver.SweepScenario(style.profile(), 1, seconds, speedDPS)
+	res, err := s.env.Track(profile, sc, experiment.TrackOptions{
+		Pipeline: DefaultPipelineConfig(),
+		Horizons: horizons,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DriveResult{inner: res}, nil
+}
+
+// DriveResult summarizes one simulated tracking run.
+type DriveResult struct {
+	inner *experiment.RunResult
+}
+
+// Errors returns the per-estimate absolute angular deviations in
+// degrees — the paper's performance metric.
+func (r *DriveResult) Errors() []float64 { return r.inner.Errors }
+
+// Estimates returns every estimate the pipeline emitted.
+func (r *DriveResult) Estimates() []Estimate { return r.inner.Estimates }
+
+// ForecastErrors returns the errors for the i-th requested horizon.
+func (r *DriveResult) ForecastErrors(i int) []float64 {
+	if i < 0 || i >= len(r.inner.ForecastErrors) {
+		return nil
+	}
+	return r.inner.ForecastErrors[i]
+}
+
+// SampleRateHz returns the achieved CSI sampling rate.
+func (r *DriveResult) SampleRateHz() float64 { return r.inner.SampleRateHz }
+
+// MedianError returns the median angular error in degrees.
+func (r *DriveResult) MedianError() float64 { return r.inner.ErrCDF().Median() }

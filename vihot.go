@@ -1,0 +1,127 @@
+// Package vihot is a from-scratch reproduction of ViHOT ("Wireless
+// CSI-Based Head Tracking in the Driver Seat", CoNEXT '18): a
+// device-free driver head-orientation tracker built on the phase of
+// WiFi channel state information between a dashboard phone and a
+// two-antenna in-car receiver.
+//
+// The package exposes the complete system:
+//
+//   - Profiling (Sec. 3.3): feed CSI phases and ground-truth
+//     orientations while the driver sweeps their head at each seating
+//     position; obtain a Profile.
+//   - Tracking (Sec. 3.4): feed sanitized CSI phases; receive head
+//     orientation estimates from DTW series matching, with position
+//     estimation anchored on stable front-facing periods.
+//   - Forecasting (Sec. 3.4.6): predict the orientation up to
+//     hundreds of milliseconds ahead for speculative AR rendering.
+//   - Steering identification and camera fallback (Sec. 3.6): feed
+//     phone IMU readings; the pipeline quarantines steering-polluted
+//     CSI and serves camera estimates meanwhile.
+//
+// Because the original hardware (Intel 5300 CSI tool, car, drivers) is
+// not reproducible in software, the repository also ships a physical
+// simulation substrate (cabin geometry, multipath RF, CFO/SFO
+// hardware, CSMA link timing, driver behaviour) under internal/, and a
+// Simulator facade here for experimentation without hardware. The
+// sanitizer that converts raw two-antenna CSI frames to the phase
+// stream (Eq. 3 of the paper) is exposed as SanitizeFrame.
+package vihot
+
+import (
+	"vihot/internal/camera"
+	"vihot/internal/core"
+	"vihot/internal/csi"
+	"vihot/internal/imu"
+)
+
+// Re-exported core types: the public API is a thin veneer over
+// internal/core so examples, tools, and external users share one
+// implementation.
+type (
+	// Profile is a driver's CSI profile P = {C₁…Cₙ}.
+	Profile = core.Profile
+	// Profiler builds a Profile from streamed samples.
+	Profiler = core.Profiler
+	// SweepRecording is the raw material of one profiled position.
+	SweepRecording = core.SweepRecording
+	// Tracker is the run-time position-orientation joint tracker.
+	Tracker = core.Tracker
+	// TrackerConfig tunes the tracker (window, DTW band, etc.).
+	TrackerConfig = core.Config
+	// Pipeline is the tracker plus steering identifier and fallback.
+	Pipeline = core.Pipeline
+	// PipelineConfig tunes the full pipeline.
+	PipelineConfig = core.PipelineConfig
+	// Estimate is one head-orientation output.
+	Estimate = core.Estimate
+	// Source labels where an estimate came from.
+	Source = core.Source
+
+	// Frame is one raw CSI measurement (per antenna, per subcarrier).
+	Frame = csi.Frame
+	// IMUReading is one phone IMU sample.
+	IMUReading = imu.Reading
+	// CameraEstimate is one fallback-camera output.
+	CameraEstimate = camera.Estimate
+)
+
+// Estimate sources.
+const (
+	SourceCSI    = core.SourceCSI
+	SourceFront  = core.SourceFront
+	SourceHeld   = core.SourceHeld
+	SourceCamera = core.SourceCamera
+)
+
+// NewProfiler returns a streaming profiler targeting the given match
+// grid rate; 0 selects the default (100 Hz).
+func NewProfiler(matchRateHz float64) *Profiler { return core.NewProfiler(matchRateHz) }
+
+// BuildProfile processes raw sweep recordings into a matchable
+// profile.
+func BuildProfile(recs []SweepRecording, matchRateHz float64) (*Profile, error) {
+	return core.BuildProfile(recs, matchRateHz)
+}
+
+// DefaultTrackerConfig mirrors the paper's default system
+// configuration (100 ms window, [0.5W, 2W] DTW candidates).
+func DefaultTrackerConfig() TrackerConfig { return core.DefaultConfig() }
+
+// DefaultPipelineConfig enables the steering identifier with tracker
+// defaults.
+func DefaultPipelineConfig() PipelineConfig { return core.DefaultPipelineConfig() }
+
+// NewTracker builds a run-time tracker over a profile.
+func NewTracker(p *Profile, cfg TrackerConfig) (*Tracker, error) {
+	return core.NewTracker(p, cfg)
+}
+
+// NewPipeline builds the full run-time pipeline (tracker + steering
+// identifier + camera fallback) over a profile.
+func NewPipeline(p *Profile, cfg PipelineConfig) (*Pipeline, error) {
+	return core.NewPipeline(p, cfg)
+}
+
+// SanitizeFrame implements the paper's Eq. (3): it converts a raw
+// two-antenna CSI frame into the single phase observation the tracker
+// consumes, cancelling CFO/SFO via the antenna difference and
+// averaging across subcarriers.
+func SanitizeFrame(f *Frame) (float64, error) { return csi.Sanitize(f, 0, 1) }
+
+// SaveProfile persists a driver profile to a file; profiles survive
+// across trips (Sec. 5.2.4: a week-old profile still tracks well).
+func SaveProfile(path string, p *Profile) error { return core.SaveProfile(path, p) }
+
+// LoadProfile reads a previously saved driver profile.
+func LoadProfile(path string) (*Profile, error) { return core.LoadProfile(path) }
+
+// ProfileQuality is the post-profiling fitness report: span, swing,
+// sample depth, and fingerprint-aliasing warnings.
+type ProfileQuality = core.QualityReport
+
+// NewSmoother returns an optional constant-velocity Kalman filter for
+// AR-grade smoothing of the estimate stream; see core.Smoother.
+func NewSmoother() *Smoother { return core.NewSmoother() }
+
+// Smoother smooths the estimate stream (see NewSmoother).
+type Smoother = core.Smoother

@@ -1,0 +1,223 @@
+package vihot_test
+
+import (
+	"math"
+	"math/cmplx"
+	"path/filepath"
+	"testing"
+
+	"vihot"
+)
+
+// TestEndToEndSimulatedDrive is the headline integration test: profile
+// a driver in the simulated cabin, track a continuous-sweep run, and
+// require the paper's accuracy band (median angular error 4°–10°,
+// allowing slack for seed variance).
+func TestEndToEndSimulatedDrive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive integration test")
+	}
+	sim, err := vihot.NewSimulator(vihot.SimConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, dur, err := sim.ProfileDriver(vihot.DriverA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur > 140 {
+		t.Errorf("profiling took %.0f s, want ≈100 s", dur)
+	}
+	if len(profile.Positions) != 10 {
+		t.Errorf("profile positions = %d", len(profile.Positions))
+	}
+
+	res, err := sim.Sweep(profile, vihot.DriverA, 30, 115, []float64{0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med := res.MedianError(); med > 12 {
+		t.Errorf("median error %.1f°, want within the paper's band (≤ ≈10°)", med)
+	}
+	if len(res.ForecastErrors(0)) == 0 {
+		t.Error("no forecast errors recorded")
+	}
+	if res.ForecastErrors(5) != nil {
+		t.Error("out-of-range horizon must return nil")
+	}
+	if rate := res.SampleRateHz(); rate < 400 {
+		t.Errorf("sampling rate %.0f Hz, want ≥400", rate)
+	}
+}
+
+func TestSimulatedDriveWithSteering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive integration test")
+	}
+	sim, err := vihot.NewSimulator(vihot.SimConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, _, err := sim.ProfileDriver(vihot.DriverC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Drive(profile, vihot.DriverC, 30, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Estimates()) == 0 {
+		t.Fatal("no estimates")
+	}
+	if med := res.MedianError(); med > 12 {
+		t.Errorf("drive median error = %.1f°", med)
+	}
+}
+
+func TestSimulatorConfigurations(t *testing.T) {
+	cases := []vihot.SimConfig{
+		{Layout: 2, Seed: 1},
+		{Passenger: true, Seed: 1},
+		{AntennaVibration: true, Seed: 1},
+		{WiFiInterference: true, Seed: 1},
+	}
+	for i, cfg := range cases {
+		if _, err := vihot.NewSimulator(cfg); err != nil {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+	if _, err := vihot.NewSimulator(vihot.SimConfig{Layout: 9}); err == nil {
+		t.Error("invalid layout accepted")
+	}
+}
+
+func TestManualProfilingAPI(t *testing.T) {
+	// Build a profile from hand-fed samples — the path a real
+	// deployment (reading a CSI tool + camera labels) would use.
+	pr := vihot.NewProfiler(0)
+	pr.StartPosition(0)
+	for ts := 0.0; ts < 2; ts += 0.005 {
+		pr.AddPhase(ts, 0.4) // stable: facing front
+	}
+	for ts := 2.0; ts < 10; ts += 0.005 {
+		theta := 75 * math.Sin(ts-2)
+		pr.AddPhase(ts, 0.4+0.9*math.Sin(theta*math.Pi/180))
+	}
+	for ts := 0.0; ts < 10; ts += 1.0 / 60 {
+		theta := 0.0
+		if ts >= 2 {
+			theta = 75 * math.Sin(ts-2)
+		}
+		pr.AddTruth(ts, theta)
+	}
+	if err := pr.EndPosition(); err != nil {
+		t.Fatal(err)
+	}
+	profile, err := pr.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tk, err := vihot.NewTracker(profile, vihot.DefaultTrackerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := 0
+	for ts := 0.0; ts < 8; ts += 0.002 {
+		theta := 75 * math.Sin(ts)
+		est, ok := tk.Push(ts, 0.4+0.9*math.Sin(theta*math.Pi/180))
+		if !ok {
+			continue
+		}
+		if math.Abs(est.Yaw-theta) < 10 {
+			good++
+		}
+	}
+	if good < 100 {
+		t.Errorf("only %d estimates within 10°", good)
+	}
+}
+
+func TestSanitizeFrame(t *testing.T) {
+	f := &vihot.Frame{H: [][]complex128{
+		make([]complex128, 30),
+		make([]complex128, 30),
+	}}
+	for k := 0; k < 30; k++ {
+		f.H[0][k] = cmplx.Rect(1, 0.9)
+		f.H[1][k] = cmplx.Rect(1, 0.2)
+	}
+	phi, err := vihot.SanitizeFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(phi-0.7) > 1e-9 {
+		t.Errorf("sanitized phase = %v, want 0.7", phi)
+	}
+}
+
+func TestPipelineAPI(t *testing.T) {
+	sim, err := vihot.NewSimulator(vihot.SimConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, _, err := sim.ProfileDriver(vihot.DriverB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := vihot.NewPipeline(profile, vihot.DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steering detected via IMU routes camera estimates through.
+	pl.PushCamera(vihot.CameraEstimate{Yaw: 9, Valid: true})
+	for ts := 0.0; ts < 1; ts += 0.01 {
+		pl.PushIMU(vihot.IMUReading{Time: ts, GyroZ: 30})
+	}
+	est, ok := pl.PushCSI(1.0, 0.1)
+	if !ok || est.Source != vihot.SourceCamera {
+		t.Errorf("fallback not engaged: %+v ok=%v", est, ok)
+	}
+}
+
+func TestProfilePersistenceAPI(t *testing.T) {
+	sim, err := vihot.NewSimulator(vihot.SimConfig{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, _, err := sim.ProfileDriver(vihot.DriverA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "driver-a.profile")
+	if err := vihot.SaveProfile(path, profile); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := vihot.LoadProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Positions) != len(profile.Positions) {
+		t.Errorf("loaded %d positions, want %d", len(loaded.Positions), len(profile.Positions))
+	}
+	// A loaded profile must track.
+	if _, err := vihot.NewTracker(loaded, vihot.DefaultTrackerConfig()); err != nil {
+		t.Errorf("loaded profile rejected: %v", err)
+	}
+	// Its quality report is available through the API.
+	q := loaded.Quality()
+	if q.Positions != len(loaded.Positions) {
+		t.Errorf("quality positions = %d", q.Positions)
+	}
+}
+
+func TestSmootherAPI(t *testing.T) {
+	sm := vihot.NewSmoother()
+	est := vihot.Estimate{Time: 0, Yaw: 10, Source: vihot.SourceCSI}
+	if got := sm.Update(est); got != 10 {
+		t.Errorf("first update = %v", got)
+	}
+	if sm.Predict(0.1) != sm.Yaw() {
+		t.Error("prediction with zero rate must equal current yaw")
+	}
+}
