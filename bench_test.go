@@ -12,6 +12,7 @@
 package vihot_test
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -23,6 +24,7 @@ import (
 	"vihot/internal/dtw"
 	"vihot/internal/experiment"
 	"vihot/internal/geom"
+	"vihot/internal/serve"
 	"vihot/internal/stats"
 	"vihot/internal/wifi"
 )
@@ -403,6 +405,72 @@ func BenchmarkWireEncodeDecode(b *testing.B) {
 		}
 		if _, err := wifi.Decode(buf); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Multi-session serving engine ------------------------------------
+
+// BenchmarkSessionManager measures the sharded concurrent tracking
+// engine across the shard × session grid: every session replays the
+// fixture's phase stream through its own pipeline, all sessions in
+// flight at once, and one iteration is "every session fully tracked".
+// The frames/s metric is the aggregate ingest rate the configuration
+// sustains; compare shards=1 against shards=16 for the scaling story.
+func BenchmarkSessionManager(b *testing.B) {
+	f := newFixture(b)
+	// A 2 s slice of the sweep keeps 128-session runs tractable while
+	// still exercising the DTW hot path steadily.
+	stream := f.phases
+	if n := len(stream); n > 1000 {
+		stream = stream[:1000]
+	}
+	for _, shards := range []int{1, 4, 16} {
+		for _, sessions := range []int{1, 16, 128} {
+			name := fmt.Sprintf("shards=%d/sessions=%d", shards, sessions)
+			b.Run(name, func(b *testing.B) {
+				ids := make([]string, sessions)
+				for i := range ids {
+					ids[i] = fmt.Sprintf("s%03d", i)
+				}
+				frames := len(stream) * sessions
+				b.ReportAllocs()
+				b.ResetTimer()
+				for iter := 0; iter < b.N; iter++ {
+					// Queue sized to the whole run: the benchmark
+					// measures sustained throughput, not shedding.
+					mgr := serve.New(serve.Config{Shards: shards, QueueLen: frames + 1024})
+					for _, id := range ids {
+						if err := mgr.Open(id, f.profile, core.DefaultPipelineConfig()); err != nil {
+							b.Fatal(err)
+						}
+					}
+					batch := make([]serve.Item, 0, len(ids))
+					for _, s := range stream {
+						batch = batch[:0]
+						for _, id := range ids {
+							batch = append(batch, serve.Item{
+								Session: id, Kind: serve.KindPhase, Time: s.T, Phi: s.V,
+							})
+						}
+						mgr.PushBatch(batch)
+					}
+					mgr.Flush()
+					snap := mgr.Counters().Snapshot()
+					mgr.Close()
+					if snap.DroppedStale != 0 {
+						b.Fatalf("shed %d frames; queue sized wrong for benchmark", snap.DroppedStale)
+					}
+					if snap.Estimates == 0 {
+						b.Fatal("no estimates produced")
+					}
+				}
+				b.StopTimer()
+				perIter := b.Elapsed().Seconds() / float64(b.N)
+				if perIter > 0 {
+					b.ReportMetric(float64(frames)/perIter, "frames/s")
+				}
+			})
 		}
 	}
 }

@@ -13,15 +13,21 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
+	"vihot/internal/cabin"
+	"vihot/internal/core"
+	"vihot/internal/driver"
 	"vihot/internal/experiment"
+	"vihot/internal/serve"
 )
 
 func main() {
@@ -34,7 +40,16 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each figure's series to <dir>/<figID>.csv")
 	list := flag.Bool("list", false, "list figure IDs and exit")
 	estimate := flag.Float64("estimate", 0, "tracker estimate cadence in seconds (0 = config default)")
+	serveJSON := flag.String("servejson", "", "run the session-manager scaling matrix and write a JSON baseline to this path (skips the figure benches)")
 	flag.Parse()
+
+	if *serveJSON != "" {
+		if err := runServeBench(*serveJSON, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, g := range experiment.Generators() {
@@ -96,6 +111,109 @@ func main() {
 		}
 	}
 	fmt.Printf("done in %.0f s\n", time.Since(start).Seconds())
+}
+
+// serveBaseline is the JSON schema of -servejson: one throughput
+// record per (shards, sessions) cell so later PRs can diff the perf
+// trajectory of the serving engine.
+type serveBaseline struct {
+	GoVersion  string           `json:"go_version"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
+	Seed       int64            `json:"seed"`
+	FramesPer  int              `json:"frames_per_session"`
+	Note       string           `json:"note,omitempty"`
+	Results    []serveBenchCell `json:"results"`
+}
+
+type serveBenchCell struct {
+	Shards     int     `json:"shards"`
+	Sessions   int     `json:"sessions"`
+	Frames     int     `json:"frames"`
+	Seconds    float64 `json:"seconds"`
+	FramesPerS float64 `json:"frames_per_s"`
+	Estimates  uint64  `json:"estimates"`
+	Dropped    uint64  `json:"dropped"`
+}
+
+// runServeBench drives the session-manager scaling matrix (the
+// BenchmarkSessionManager grid) outside the testing harness and
+// records the baseline JSON for the perf trajectory.
+func runServeBench(path string, seed int64) error {
+	start := time.Now()
+	env, err := experiment.NewEnv(cabin.DefaultConfig(), seed)
+	if err != nil {
+		return err
+	}
+	popt := experiment.DefaultProfileOptions()
+	popt.Positions = 5
+	popt.PerPositionS = 5
+	profile, _, err := env.CollectProfile(driver.DriverA(), popt)
+	if err != nil {
+		return err
+	}
+	sc, _ := driver.SweepScenario(driver.DriverA(), 1, 10, 115)
+	phases, err := env.PhaseSeries(sc)
+	if err != nil {
+		return err
+	}
+	if len(phases) > 1000 {
+		phases = phases[:1000]
+	}
+
+	base := serveBaseline{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Seed:       seed,
+		FramesPer:  len(phases),
+	}
+	if base.NumCPU <= 1 {
+		base.Note = "single-CPU host: shard scaling cannot improve wall clock here; frames/s is a per-core throughput baseline"
+	}
+	for _, shards := range []int{1, 4, 16} {
+		for _, sessions := range []int{1, 16, 128} {
+			frames := len(phases) * sessions
+			mgr := serve.New(serve.Config{Shards: shards, QueueLen: frames + 1024})
+			ids := make([]string, sessions)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("s%03d", i)
+				if err := mgr.Open(ids[i], profile, core.DefaultPipelineConfig()); err != nil {
+					return err
+				}
+			}
+			t0 := time.Now()
+			batch := make([]serve.Item, 0, sessions)
+			for _, s := range phases {
+				batch = batch[:0]
+				for _, id := range ids {
+					batch = append(batch, serve.Item{Session: id, Kind: serve.KindPhase, Time: s.T, Phi: s.V})
+				}
+				mgr.PushBatch(batch)
+			}
+			mgr.Flush()
+			dt := time.Since(t0).Seconds()
+			snap := mgr.Counters().Snapshot()
+			mgr.Close()
+			cell := serveBenchCell{
+				Shards: shards, Sessions: sessions, Frames: frames,
+				Seconds: dt, FramesPerS: float64(frames) / dt,
+				Estimates: snap.Estimates, Dropped: snap.DroppedStale,
+			}
+			base.Results = append(base.Results, cell)
+			fmt.Printf("shards=%-3d sessions=%-4d  %8.0f frames/s  (%d estimates, %d dropped)\n",
+				shards, sessions, cell.FramesPerS, cell.Estimates, cell.Dropped)
+		}
+	}
+	blob, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s in %.0f s\n", path, time.Since(start).Seconds())
+	return nil
 }
 
 // writeCSV dumps a figure's series as rows of (series, x, y) for

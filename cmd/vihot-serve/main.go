@@ -1,0 +1,239 @@
+// Command vihot-serve demonstrates the concurrent multi-driver
+// tracking service: K simulated cars each stream their CSI frames and
+// phone IMU readings over the UDP wire format (internal/wifi) to one
+// receiver process, which demultiplexes the datagrams by source
+// address into a sharded SessionManager and tracks every driver's head
+// concurrently.
+//
+// Usage:
+//
+//	vihot-serve [-drivers K] [-shards N] [-seconds S] [-queue Q] [-seed N]
+//
+// Each simulated driver replays an internal/driver glance-and-steer
+// scenario; the tool prints per-session tracking accuracy against the
+// scenario's ground truth plus the manager's traffic counters
+// (including frames shed under load).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"vihot/internal/cabin"
+	"vihot/internal/core"
+	"vihot/internal/driver"
+	"vihot/internal/experiment"
+	"vihot/internal/geom"
+	"vihot/internal/imu"
+	"vihot/internal/serve"
+	"vihot/internal/stats"
+	"vihot/internal/wifi"
+)
+
+func main() {
+	drivers := flag.Int("drivers", 4, "concurrent simulated drivers")
+	shards := flag.Int("shards", 4, "session-manager worker shards")
+	seconds := flag.Float64("seconds", 12, "simulated trip length per driver")
+	queue := flag.Int("queue", 4096, "per-shard queue bound (items)")
+	seed := flag.Int64("seed", 1, "deterministic simulation seed")
+	flag.Parse()
+	if err := run(*drivers, *shards, *seconds, *queue, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// car is one simulated driver: a private cabin environment, a
+// scenario, and the UDP sender that plays its phone.
+type car struct {
+	id       string // session id = the sender's local UDP address
+	style    driver.Profile
+	scenario *driver.Scenario
+	env      *experiment.Env
+	sender   *wifi.Sender
+}
+
+func run(drivers, shards int, seconds float64, queue int, seed int64) error {
+	if drivers < 1 {
+		drivers = 1
+	}
+	start := time.Now()
+
+	// One profile per driver style, shared by every car of that style —
+	// profiling is per-driver, not per-trip (Sec. 5.2.4).
+	profEnv, err := experiment.NewEnv(cabin.DefaultConfig(), seed)
+	if err != nil {
+		return err
+	}
+	styles := []driver.Profile{driver.DriverA(), driver.DriverB(), driver.DriverC()}
+	popt := experiment.DefaultProfileOptions()
+	popt.Positions = 5
+	popt.PerPositionS = 4
+	profiles := make([]*core.Profile, len(styles))
+	for i, st := range styles {
+		p, _, err := profEnv.CollectProfile(st, popt)
+		if err != nil {
+			return fmt.Errorf("profiling %s: %w", st.Name, err)
+		}
+		profiles[i] = p
+	}
+	fmt.Printf("profiled %d driver styles in %.1f s\n", len(styles), time.Since(start).Seconds())
+
+	// The receiver: one UDP socket feeding the session manager.
+	recv, err := wifi.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer recv.Close()
+	// K cars at ≈500 frames/s each arrive in bursts; give the kernel
+	// room so load shedding happens in the manager (where it's
+	// counted), not silently in the socket.
+	if err := recv.SetReadBuffer(8 << 20); err != nil {
+		return err
+	}
+
+	var (
+		mu        sync.Mutex
+		estimates = map[string][]core.Estimate{}
+	)
+	mgr := serve.New(serve.Config{
+		Shards:   shards,
+		QueueLen: queue,
+		OnEstimate: func(id string, est core.Estimate) {
+			mu.Lock()
+			estimates[id] = append(estimates[id], est)
+			mu.Unlock()
+		},
+	})
+	defer mgr.Close()
+
+	// Dial one sender per car and open its session keyed by the
+	// sender's source address — how the receiver will see it.
+	cars := make([]*car, drivers)
+	for i := range cars {
+		env, err := experiment.NewEnv(cabin.DefaultConfig(), seed+int64(i)*101+7)
+		if err != nil {
+			return err
+		}
+		style := styles[i%len(styles)]
+		sender, err := wifi.Dial(recv.Addr().String())
+		if err != nil {
+			return err
+		}
+		defer sender.Close()
+		c := &car{
+			id:     sender.LocalAddr().String(),
+			style:  style,
+			env:    env,
+			sender: sender,
+			scenario: driver.DrivingScenario(env.RNG.Fork(), style, seconds, driver.GlanceOptions{
+				Steering:       true,
+				PositionJitter: 0.008,
+			}),
+		}
+		if err := mgr.Open(c.id, profiles[i%len(styles)], core.DefaultPipelineConfig()); err != nil {
+			return err
+		}
+		cars[i] = c
+	}
+
+	// Receiver loop: demultiplex datagrams by source address into the
+	// manager. Runs until the senders finish and the socket idles.
+	var (
+		senders  sync.WaitGroup
+		sendDone = make(chan struct{})
+		recvDone = make(chan error, 1)
+		decodeEr int
+	)
+	go func() {
+		for {
+			pkt, addr, err := recv.RecvFrom(200 * time.Millisecond)
+			if err != nil {
+				if addr != nil {
+					decodeEr++ // corrupt datagram; the socket is fine
+					continue
+				}
+				// Socket-level timeout: the stream is over once the
+				// senders are done and the buffer has drained.
+				select {
+				case <-sendDone:
+					recvDone <- nil
+					return
+				default:
+					continue
+				}
+			}
+			it := serve.Item{Session: addr.String()}
+			switch pkt.Type {
+			case wifi.TypeCSI:
+				it.Kind, it.Frame = serve.KindFrame, pkt.CSI
+			case wifi.TypeIMU:
+				it.Kind, it.IMU = serve.KindIMU, *pkt.IMU
+			}
+			mgr.Push(it)
+		}
+	}()
+
+	// The cars: stream CSI at the link's arrival times plus 100 Hz IMU,
+	// as fast as the wire allows (the manager sheds what it must).
+	for _, c := range cars {
+		senders.Add(1)
+		go func(c *car) {
+			defer senders.Done()
+			phone := imu.NewPhoneIMU(c.env.RNG.Fork())
+			nextIMU := 0.0
+			sent := 0
+			for _, t := range c.env.Timing.ArrivalTimes(c.env.RNG.Fork(), c.scenario.Duration) {
+				// Light pacing: full-blast loopback UDP overruns the
+				// kernel socket buffer long before the manager sheds;
+				// a real phone is rate-limited by the air anyway.
+				if sent++; sent%8 == 0 {
+					time.Sleep(time.Millisecond)
+				}
+				for nextIMU <= t {
+					r := phone.Sample(nextIMU, c.scenario.CarYawRateDPS(nextIMU), c.scenario.SpeedMPS)
+					if err := c.sender.SendIMU(&r); err != nil {
+						return
+					}
+					nextIMU += 0.01
+				}
+				if err := c.sender.SendCSI(c.env.FrameAt(c.scenario.State(t))); err != nil {
+					return
+				}
+			}
+		}(c)
+	}
+	senders.Wait()
+	close(sendDone)
+	if err := <-recvDone; err != nil {
+		return err
+	}
+	mgr.Flush()
+
+	// Score each session against its scenario's ground truth.
+	fmt.Printf("\n%-22s %-10s %9s %12s\n", "session", "driver", "estimates", "median-err")
+	sort.Slice(cars, func(i, j int) bool { return cars[i].id < cars[j].id })
+	for _, c := range cars {
+		mu.Lock()
+		ests := estimates[c.id]
+		mu.Unlock()
+		var errs []float64
+		for _, est := range ests {
+			errs = append(errs, geom.AngleDistDeg(est.Yaw, c.scenario.HeadYaw.At(est.Time)))
+		}
+		med := stats.Median(errs)
+		fmt.Printf("%-22s %-10s %9d %11.1f°\n", c.id, c.style.Name, len(ests), med)
+	}
+
+	snap := mgr.Counters().Snapshot()
+	fmt.Printf("\ncounters: frames=%d imu=%d estimates=%d shed=%d unknown=%d sanitize-errs=%d decode-errs=%d\n",
+		snap.FramesIn, snap.IMUIn, snap.Estimates, snap.DroppedStale,
+		snap.DroppedUnknown, snap.SanitizeErrors, decodeEr)
+	fmt.Printf("%d drivers × %.0f s simulated through %d shards in %.1f s wall\n",
+		drivers, seconds, shards, time.Since(start).Seconds())
+	return nil
+}

@@ -254,6 +254,18 @@ func (tk *Tracker) windowSamples() int {
 	return n
 }
 
+// SetMatcher replaces the tracker's DTW scratch buffers with a shared
+// Matcher. A Matcher carries no state between calls, so sharing one
+// across trackers changes no results — it only amortizes scratch
+// memory. The caller must guarantee that every tracker sharing the
+// matcher is driven by the same goroutine (see the ownership rules on
+// dtw.Matcher); internal/serve uses one matcher per shard worker.
+func (tk *Tracker) SetMatcher(m *dtw.Matcher) {
+	if m != nil {
+		tk.matcher = m
+	}
+}
+
 // Position returns the current head-position estimate (profile
 // index) and whether it has locked via Eq. (4) yet.
 func (tk *Tracker) Position() (int, bool) { return tk.posIdx, tk.posLocked }

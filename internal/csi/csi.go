@@ -143,12 +143,16 @@ func Sanitize(f *Frame, a1, a2 int) (float64, error) {
 	for k := 0; k < n; k++ {
 		// arg(H1·conj(H2)) is the phase difference φ1-φ2 on
 		// subcarrier k; summing unit phasors averages circularly.
+		// Non-finite measurements (a glitched or hostile frame) carry
+		// no phase information and would turn the whole mean into NaN,
+		// so they are skipped like zeros.
 		d := f.H[a1][k] * cmplx.Conj(f.H[a2][k])
-		if d != 0 {
-			sum += d / complex(cmplx.Abs(d), 0)
+		if d == 0 || cmplx.IsNaN(d) || cmplx.IsInf(d) {
+			continue
 		}
+		sum += d / complex(cmplx.Abs(d), 0)
 	}
-	if sum == 0 {
+	if sum == 0 || cmplx.IsNaN(sum) || cmplx.IsInf(sum) {
 		return 0, ErrNoSubcarriers
 	}
 	return cmplx.Phase(sum), nil

@@ -1,0 +1,80 @@
+package csi
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// frameFromBytes deterministically builds a Frame — possibly ragged,
+// empty, or full of non-finite values — from arbitrary fuzz bytes.
+// The first byte picks the antenna count, the next len-byte per
+// antenna picks that row's subcarrier count, and the remaining bytes
+// are consumed 8 at a time as raw float64 bit patterns (so NaN, ±Inf,
+// and denormals all occur naturally).
+func frameFromBytes(data []byte) *Frame {
+	next := func(def byte) byte {
+		if len(data) == 0 {
+			return def
+		}
+		v := data[0]
+		data = data[1:]
+		return v
+	}
+	nextF := func() float64 {
+		if len(data) < 8 {
+			return float64(next(0))
+		}
+		v := math.Float64frombits(binary.BigEndian.Uint64(data))
+		data = data[8:]
+		return v
+	}
+	na := int(next(2) % 5)
+	f := &Frame{Time: nextF(), H: make([][]complex128, na)}
+	for a := 0; a < na; a++ {
+		ns := int(next(3) % 9)
+		row := make([]complex128, ns)
+		for k := range row {
+			row[k] = complex(nextF(), nextF())
+		}
+		f.H[a] = row
+	}
+	return f
+}
+
+// FuzzSanitize feeds frames built from arbitrary bytes — short or
+// ragged antenna slices, NaN/Inf measurements, out-of-range antenna
+// pairs — through the sanitizer. It must never panic, and any phase
+// it reports without error must be a finite value in (-π, π].
+func FuzzSanitize(f *testing.F) {
+	// Well-formed two-antenna frame.
+	f.Add([]byte{2, 3, 1, 2, 3, 4, 5, 6, 7, 8}, 0, 1)
+	// Empty frame, identical antennas, reversed pair.
+	f.Add([]byte{0}, 0, 1)
+	f.Add([]byte{2, 2, 2}, 1, 1)
+	f.Add([]byte{3, 4, 4, 4}, 2, 0)
+	// NaN and +Inf bit patterns in the value stream.
+	nan := binary.BigEndian.AppendUint64(nil, math.Float64bits(math.NaN()))
+	inf := binary.BigEndian.AppendUint64(nil, math.Float64bits(math.Inf(1)))
+	f.Add(append(append([]byte{2, 0, 0, 0, 0, 0, 0, 0, 0, 2, 2}, nan...), inf...), 0, 1)
+	// Out-of-range and negative antenna indices.
+	f.Add([]byte{2, 1, 1, 9, 9, 9, 9}, -1, 7)
+
+	f.Fuzz(func(t *testing.T, data []byte, a1, a2 int) {
+		fr := frameFromBytes(data)
+		phi, err := Sanitize(fr, a1, a2)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(phi) || math.IsInf(phi, 0) {
+			t.Fatalf("Sanitize returned non-finite phase %v with nil error", phi)
+		}
+		if phi < -math.Pi || phi > math.Pi {
+			t.Fatalf("Sanitize phase %v outside (-π, π]", phi)
+		}
+		// Amplitude shares the frame-shape edge cases; it must not
+		// panic on anything Sanitize accepted or rejected.
+		_ = Amplitude(fr, a1)
+		_ = Amplitude(fr, a2)
+	})
+}

@@ -57,8 +57,21 @@ func localCost(a, b float64, circular bool) float64 {
 }
 
 // Matcher computes DTW distances while reusing internal scratch
-// buffers across calls. A Matcher is not safe for concurrent use; use
-// one per goroutine.
+// buffers across calls.
+//
+// Ownership rules (load-bearing for the concurrent serving engine in
+// internal/serve):
+//
+//   - A Matcher holds only scratch memory: no state carries between
+//     calls, so any sequence of Distance/Subsequence calls returns the
+//     same results as with a fresh Matcher.
+//   - A Matcher is NOT safe for concurrent use. Exactly one goroutine
+//     may call into it at a time; there is no internal locking because
+//     the DTW inner loop is the system's hot path.
+//   - Consequently a Matcher may be shared across many Trackers as
+//     long as all of them are driven by the same goroutine — that is
+//     how a serve worker amortizes scratch across its sessions (see
+//     core.Tracker.SetMatcher).
 type Matcher struct {
 	prev, cur []float64
 	da, db    []float64 // derivative scratch

@@ -1,0 +1,138 @@
+package dtw
+
+import (
+	"math"
+	"testing"
+
+	"vihot/internal/stats"
+)
+
+// randWalk returns a smooth bounded series — the shape class CSI phase
+// streams actually inhabit — from a deterministic seed.
+func randWalk(seed int64, n int) []float64 {
+	rng := stats.NewRNG(seed)
+	xs := make([]float64, n)
+	v := rng.Uniform(-1, 1)
+	for i := range xs {
+		v += rng.Normal(0, 0.15)
+		// Keep angles in range for the circular metric.
+		if v > math.Pi {
+			v -= 2 * math.Pi
+		} else if v < -math.Pi {
+			v += 2 * math.Pi
+		}
+		xs[i] = v
+	}
+	return xs
+}
+
+// optionMatrix is every symmetric option combination the tracker uses.
+func optionMatrix() []Options {
+	return []Options{
+		{},
+		{Window: 5},
+		{Circular: true},
+		{Window: 5, Circular: true},
+		{Derivative: true},
+		{Window: 5, Derivative: true},
+	}
+}
+
+// TestDistanceSelfIsZero: DTW of any series against itself is exactly
+// zero — the diagonal alignment has zero local cost everywhere, and no
+// banded or derivative variant can do worse than the diagonal on an
+// n×n grid.
+func TestDistanceSelfIsZero(t *testing.T) {
+	m := NewMatcher(64)
+	for seed := int64(1); seed <= 20; seed++ {
+		for _, n := range []int{2, 3, 17, 64} {
+			a := randWalk(seed, n)
+			for _, opt := range optionMatrix() {
+				d, err := m.Distance(a, a, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d != 0 {
+					t.Fatalf("seed %d n %d opt %+v: Distance(a,a) = %g, want 0", seed, n, opt, d)
+				}
+			}
+		}
+	}
+}
+
+// TestDistanceSymmetryMatrix: for equal-length inputs every option
+// above is symmetric (the local cost is, and the band is centered on
+// the diagonal), so swapping the arguments must give bit-identical
+// distances. Complements the single-case TestDistanceSymmetry in
+// dtw_test.go, which covers unequal lengths without a band.
+func TestDistanceSymmetryMatrix(t *testing.T) {
+	m := NewMatcher(64)
+	for seed := int64(1); seed <= 20; seed++ {
+		for _, n := range []int{2, 9, 33} {
+			a := randWalk(seed, n)
+			b := randWalk(seed+1000, n)
+			for _, opt := range optionMatrix() {
+				ab, err := m.Distance(a, b, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ba, err := m.Distance(b, a, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Float64bits(ab) != math.Float64bits(ba) {
+					t.Fatalf("seed %d n %d opt %+v: D(a,b)=%g but D(b,a)=%g", seed, n, opt, ab, ba)
+				}
+			}
+		}
+	}
+}
+
+// repeatEach time-stretches a series by repeating every sample k
+// times.
+func repeatEach(xs []float64, k int) []float64 {
+	out := make([]float64, 0, len(xs)*k)
+	for _, v := range xs {
+		for i := 0; i < k; i++ {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TestNormalizedDistanceDuplicationInvariance: NormalizedDistance
+// exists so Algorithm 1 can compare matches of different lengths, so
+// it must be (approximately) invariant to uniform time-stretching.
+// Exactly, D(aₖ,bₖ) ≤ k·D(a,b) (follow the stretched path), so the
+// normalized score cannot grow; the lower bound is loose, so the check
+// allows a 25% relative drop.
+func TestNormalizedDistanceDuplicationInvariance(t *testing.T) {
+	m := NewMatcher(256)
+	for seed := int64(1); seed <= 15; seed++ {
+		a := randWalk(seed, 40)
+		b := randWalk(seed+500, 40)
+		for _, opt := range []Options{{}, {Circular: true}} {
+			n1, err := m.NormalizedDistance(a, b, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n1 <= 0 {
+				t.Fatalf("seed %d: degenerate baseline %g", seed, n1)
+			}
+			for _, k := range []int{2, 3} {
+				nk, err := m.NormalizedDistance(repeatEach(a, k), repeatEach(b, k), opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if nk > n1*(1+1e-12) {
+					t.Fatalf("seed %d k %d opt %+v: normalized distance grew under duplication: %g > %g",
+						seed, k, opt, nk, n1)
+				}
+				if nk < n1*0.75 {
+					t.Fatalf("seed %d k %d opt %+v: normalized distance collapsed under duplication: %g vs %g",
+						seed, k, opt, nk, n1)
+				}
+			}
+		}
+	}
+}

@@ -58,6 +58,14 @@ func (e *Env) PhaseAt(st cabin.State) (float64, error) {
 	return csi.Sanitize(frame, 0, 1)
 }
 
+// FrameAt synthesizes the raw corrupted CSI frame at the given state —
+// what the CSI tool reports before sanitizing. Callers that want the
+// sanitized phase directly should use PhaseAt.
+func (e *Env) FrameAt(st cabin.State) *csi.Frame {
+	e.csiBuf = e.Scene.CleanCSI(st, e.csiBuf)
+	return e.HW.Corrupt(st.Time, e.csiBuf)
+}
+
 // PhaseSeries samples the sanitized phase over a scenario at the
 // link's packet arrival times, returning the measurement series —
 // what the receiver's CSI tool would log.

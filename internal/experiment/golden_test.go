@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vihot/internal/cabin"
+	"vihot/internal/core"
+	"vihot/internal/driver"
+	"vihot/internal/imu"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate testdata golden files")
+
+// goldenEstimate is one pipeline estimate serialized for the golden
+// trace. JSON float64 round-trips are exact for finite values, so the
+// file pins the estimates bit for bit.
+type goldenEstimate struct {
+	Time      float64 `json:"time"`
+	Yaw       float64 `json:"yaw"`
+	Source    int     `json:"source"`
+	Position  int     `json:"position"`
+	MatchDist float64 `json:"match_dist"`
+}
+
+// goldenTrace runs the canonical seeded scenario through the full
+// pipeline — profiling, steering identifier, DTW tracking — and
+// returns every estimate it emits. Everything downstream of the seed
+// is deterministic, so this sequence is a fingerprint of the whole
+// numeric stack (sanitizer, DSP, DTW, tracker, steering gate).
+func goldenTrace(t *testing.T) []goldenEstimate {
+	t.Helper()
+	env, err := NewEnv(cabin.DefaultConfig(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	popt := DefaultProfileOptions()
+	popt.Positions = 5
+	popt.PerPositionS = 3
+	profile, _, err := env.CollectProfile(driver.DriverA(), popt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := driver.DrivingScenario(env.RNG.Fork(), driver.DriverA(), 10, driver.GlanceOptions{
+		Steering:       true,
+		PositionJitter: 0.008,
+	})
+	pl, err := core.NewPipeline(profile, core.DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	phone := imu.NewPhoneIMU(env.RNG.Fork())
+
+	var trace []goldenEstimate
+	nextIMU := 0.0
+	for _, ts := range env.Timing.ArrivalTimes(env.RNG.Fork(), sc.Duration) {
+		for nextIMU <= ts {
+			pl.PushIMU(phone.Sample(nextIMU, sc.CarYawRateDPS(nextIMU), sc.SpeedMPS))
+			nextIMU += 0.01
+		}
+		phi, err := env.PhaseAt(sc.State(ts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est, ok := pl.PushCSI(ts, phi); ok {
+			trace = append(trace, goldenEstimate{
+				Time: est.Time, Yaw: est.Yaw, Source: int(est.Source),
+				Position: est.Position, MatchDist: est.MatchDist,
+			})
+		}
+	}
+	if len(trace) == 0 {
+		t.Fatal("golden scenario produced no estimates")
+	}
+	return trace
+}
+
+// TestGoldenTrace locks the end-to-end estimate stream of a fixed
+// seeded scenario against testdata/golden_trace.json, bit for bit.
+// Any change to the numeric pipeline — even one ULP — fails this test;
+// run with -update to accept an intentional change and review the
+// resulting diff.
+func TestGoldenTrace(t *testing.T) {
+	got := goldenTrace(t)
+	path := filepath.Join("testdata", "golden_trace.json")
+
+	if *updateGolden {
+		blob, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d estimates)", path, len(got))
+		return
+	}
+
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run go test ./internal/experiment -run TestGoldenTrace -update to create it)", err)
+	}
+	var want []goldenEstimate
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("trace has %d estimates, golden has %d", len(got), len(want))
+	}
+	bits := math.Float64bits
+	for i := range want {
+		g, w := got[i], want[i]
+		if bits(g.Time) != bits(w.Time) || bits(g.Yaw) != bits(w.Yaw) ||
+			bits(g.MatchDist) != bits(w.MatchDist) ||
+			g.Source != w.Source || g.Position != w.Position {
+			t.Fatalf("estimate %d diverges from golden:\n got %+v\nwant %+v", i, g, w)
+		}
+	}
+}
+
+// TestGoldenTraceDeterministic guards the guard: two fresh runs of the
+// golden scenario in one process must agree exactly, or the golden
+// file would be flaky by construction.
+func TestGoldenTraceDeterministic(t *testing.T) {
+	a, b := goldenTrace(t), goldenTrace(t)
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("estimate %d differs across runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

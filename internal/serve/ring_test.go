@@ -1,0 +1,35 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestShardRingShedsOldest pins the load-shedding contract: a full
+// queue drops the stalest item, keeps FIFO order for the rest, and
+// reports the drop to the caller.
+func TestShardRingShedsOldest(t *testing.T) {
+	sh := &shard{ring: make([]Item, 4)}
+	sh.cond = sync.NewCond(&sh.mu)
+
+	for i := 0; i < 4; i++ {
+		if sh.push(Item{Time: float64(i)}) {
+			t.Fatalf("push %d dropped with queue not full", i)
+		}
+	}
+	// Two overflowing pushes shed the two oldest items (t=0, t=1).
+	for i := 4; i < 6; i++ {
+		if !sh.push(Item{Time: float64(i)}) {
+			t.Fatalf("push %d did not report a drop on a full queue", i)
+		}
+	}
+	if sh.count != 4 {
+		t.Fatalf("count = %d, want 4", sh.count)
+	}
+	for i := 0; i < 4; i++ {
+		got := sh.ring[(sh.head+i)%len(sh.ring)].Time
+		if want := float64(i + 2); got != want {
+			t.Fatalf("queue[%d].Time = %v, want %v (oldest must be shed first)", i, got, want)
+		}
+	}
+}

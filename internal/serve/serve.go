@@ -1,0 +1,535 @@
+// Package serve is the concurrent multi-session tracking engine: many
+// independent driver Pipelines running behind one facade, sharded
+// across worker goroutines so a single receiver process can track a
+// whole fleet of cabins.
+//
+// # Concurrency model
+//
+// A Manager owns N shards. Every session is assigned permanently to
+// the shard hash(sessionID) mod N, and each shard is serviced by
+// exactly one worker goroutine that owns its sessions' Pipelines plus
+// one dtw.Matcher of scratch shared by all of them (see the ownership
+// rules on dtw.Matcher and core.Tracker.SetMatcher). Because only the
+// owning worker ever touches a pipeline, the DTW hot path runs with no
+// locks at all; the only synchronization is the shard's bounded ingest
+// queue.
+//
+// Ordering guarantees: items pushed for one session from one goroutine
+// are processed in push order — they land on one shard's FIFO queue
+// and one worker drains it. Items for different sessions on different
+// shards have no relative ordering. Pushing one session's stream from
+// multiple goroutines concurrently forfeits that session's ordering
+// (the queue serializes arbitrarily), so don't.
+//
+// Load shedding: each shard queue is bounded. When a push finds the
+// queue full the oldest queued item — the stalest frame, the one least
+// likely to still matter for a live estimate — is dropped and counted
+// in Counters.DroppedStale. CSI at 500 Hz is redundant; a tracker
+// absorbs gaps the same way it absorbs CSMA jitter.
+//
+// The OnEstimate sink is invoked from worker goroutines: serially for
+// any one session, concurrently across sessions on different shards.
+// It must therefore be safe for concurrent use keyed by session.
+//
+// # Deterministic mode
+//
+// Config.Deterministic disables the workers entirely: Push and
+// PushBatch process items synchronously on the caller's goroutine, in
+// submission order, with no queueing and no drops. Per-session results
+// are estimate-for-estimate identical to the concurrent mode (proved
+// by TestSessionManagerEquivalence) because pipelines are confined to
+// one goroutine either way and matcher scratch carries no state; the
+// mode exists so tests and replay tools get a totally ordered
+// execution. A deterministic Manager is not safe for concurrent use.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"vihot/internal/camera"
+	"vihot/internal/core"
+	"vihot/internal/csi"
+	"vihot/internal/dtw"
+	"vihot/internal/imu"
+)
+
+// Errors returned by the Manager.
+var (
+	ErrClosed         = errors.New("serve: manager closed")
+	ErrDuplicateID    = errors.New("serve: session already open")
+	ErrUnknownSession = errors.New("serve: unknown session")
+	ErrNoSessionID    = errors.New("serve: empty session id")
+)
+
+// Config tunes a Manager. The zero value selects the defaults.
+type Config struct {
+	// Shards is the number of worker goroutines (and session shards).
+	// Default 4.
+	Shards int
+	// QueueLen is the per-shard bounded queue capacity in items.
+	// Default 4096. When a queue is full the oldest item is shed.
+	QueueLen int
+	// Deterministic runs every push synchronously on the caller's
+	// goroutine: no workers, no queues, no drops. For tests and
+	// replay; see the package comment.
+	Deterministic bool
+	// OnEstimate receives every estimate any session produces. Called
+	// serially per session, concurrently across shards; nil discards
+	// estimates (Counters still tally them).
+	OnEstimate func(session string, est core.Estimate)
+}
+
+// ItemKind discriminates what an Item carries.
+type ItemKind uint8
+
+// Item kinds.
+const (
+	KindPhase  ItemKind = iota // a sanitized CSI phase sample
+	KindFrame                  // a raw CSI frame; the worker sanitizes
+	KindIMU                    // a phone IMU reading
+	KindCamera                 // a fallback-camera estimate
+)
+
+// Item is one ingested sample addressed to a session. Exactly the
+// fields implied by Kind are meaningful.
+type Item struct {
+	Session string
+	Kind    ItemKind
+	Time    float64         // KindPhase
+	Phi     float64         // KindPhase
+	Frame   *csi.Frame      // KindFrame
+	IMU     imu.Reading     // KindIMU
+	Camera  camera.Estimate // KindCamera
+}
+
+// Counters tallies a Manager's traffic. Every field is updated with
+// atomic adds — no shared lock sits between shards — so a Snapshot is
+// monotone per field but not a cross-field consistent cut.
+type Counters struct {
+	phasesIn       atomic.Uint64
+	framesIn       atomic.Uint64
+	imuIn          atomic.Uint64
+	cameraIn       atomic.Uint64
+	estimates      atomic.Uint64
+	droppedStale   atomic.Uint64
+	droppedUnknown atomic.Uint64
+	sanitizeErrors atomic.Uint64
+}
+
+// CounterSnapshot is one observation of the counters.
+type CounterSnapshot struct {
+	PhasesIn       uint64 // KindPhase items accepted into a queue
+	FramesIn       uint64 // KindFrame items accepted into a queue
+	IMUIn          uint64 // KindIMU items accepted into a queue
+	CameraIn       uint64 // KindCamera items accepted into a queue
+	Estimates      uint64 // estimates produced across all sessions
+	DroppedStale   uint64 // items shed because a shard queue was full
+	DroppedUnknown uint64 // items addressed to sessions never opened
+	SanitizeErrors uint64 // KindFrame items whose sanitizer rejected the frame
+}
+
+// Total returns the number of items accepted into queues.
+func (s CounterSnapshot) Total() uint64 {
+	return s.PhasesIn + s.FramesIn + s.IMUIn + s.CameraIn
+}
+
+// Snapshot returns the current counter values.
+func (c *Counters) Snapshot() CounterSnapshot {
+	return CounterSnapshot{
+		PhasesIn:       c.phasesIn.Load(),
+		FramesIn:       c.framesIn.Load(),
+		IMUIn:          c.imuIn.Load(),
+		CameraIn:       c.cameraIn.Load(),
+		Estimates:      c.estimates.Load(),
+		DroppedStale:   c.droppedStale.Load(),
+		DroppedUnknown: c.droppedUnknown.Load(),
+		SanitizeErrors: c.sanitizeErrors.Load(),
+	}
+}
+
+// session is one driver's pipeline plus its estimate sink state. It is
+// touched only by its shard's worker goroutine (or the caller in
+// deterministic mode).
+type session struct {
+	id string
+	pl *core.Pipeline
+}
+
+// shard is one worker's world: a bounded FIFO ring of items plus the
+// sessions (and shared matcher scratch) the worker owns.
+type shard struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ring   []Item
+	head   int // index of the oldest queued item
+	count  int
+	closed bool
+	busy   bool // worker is processing a drained chunk
+
+	// sessions is written by Open/Close under mu and read by the
+	// worker under mu; pipeline internals are worker-only.
+	sessions map[string]*session
+	matcher  *dtw.Matcher
+}
+
+// enqueue appends items under one lock and one worker wakeup,
+// shedding the stalest queued items when the ring is full. The wakeup
+// fires only on the empty→non-empty edge: a worker with work in hand
+// never sleeps, so re-signalling it per item would only burn futex
+// calls on the ingest path.
+func (sh *shard) enqueue(items []Item) (dropped int) {
+	sh.mu.Lock()
+	wasEmpty := sh.count == 0
+	for _, it := range items {
+		if sh.count == len(sh.ring) {
+			// Shed the stalest queued item to make room.
+			sh.head = (sh.head + 1) % len(sh.ring)
+			sh.count--
+			dropped++
+		}
+		sh.ring[(sh.head+sh.count)%len(sh.ring)] = it
+		sh.count++
+	}
+	if wasEmpty && sh.count > 0 {
+		sh.cond.Broadcast()
+	}
+	sh.mu.Unlock()
+	return dropped
+}
+
+func (sh *shard) push(it Item) (dropped bool) {
+	var one [1]Item
+	one[0] = it
+	return sh.enqueue(one[:]) > 0
+}
+
+// Manager runs many independent tracking sessions behind one facade.
+// See the package comment for the concurrency model.
+type Manager struct {
+	cfg      Config
+	shards   []*shard
+	counters Counters
+	wg       sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	nOpen  int
+}
+
+// New builds a Manager and, unless cfg.Deterministic, starts its
+// workers. Close must be called to release them.
+func New(cfg Config) *Manager {
+	if cfg.Shards < 1 {
+		cfg.Shards = 4
+	}
+	if cfg.Deterministic {
+		cfg.Shards = 1
+	}
+	if cfg.QueueLen < 1 {
+		cfg.QueueLen = 4096
+	}
+	m := &Manager{cfg: cfg}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{
+			ring:     make([]Item, cfg.QueueLen),
+			sessions: make(map[string]*session),
+			matcher:  dtw.NewMatcher(256),
+		}
+		sh.cond = sync.NewCond(&sh.mu)
+		m.shards = append(m.shards, sh)
+	}
+	if !cfg.Deterministic {
+		for _, sh := range m.shards {
+			m.wg.Add(1)
+			go m.worker(sh)
+		}
+	}
+	return m
+}
+
+// shardHash is FNV-1a inlined so routing a frame allocates nothing.
+func shardHash(id string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// shardIdx maps a session ID to its owning shard index.
+func (m *Manager) shardIdx(id string) int {
+	return int(shardHash(id) % uint32(len(m.shards)))
+}
+
+// shardFor maps a session ID to its owning shard.
+func (m *Manager) shardFor(id string) *shard {
+	return m.shards[m.shardIdx(id)]
+}
+
+// Counters exposes the traffic counters.
+func (m *Manager) Counters() *Counters { return &m.counters }
+
+// Sessions returns the number of open sessions.
+func (m *Manager) Sessions() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nOpen
+}
+
+// Open creates a tracking session over a driver profile. The session
+// is pinned to one shard; its pipeline shares the shard worker's DTW
+// scratch.
+func (m *Manager) Open(id string, profile *core.Profile, cfg core.PipelineConfig) error {
+	if id == "" {
+		return ErrNoSessionID
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	m.mu.Unlock()
+	pl, err := core.NewPipeline(profile, cfg)
+	if err != nil {
+		return fmt.Errorf("serve: open %q: %w", id, err)
+	}
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	if _, ok := sh.sessions[id]; ok {
+		sh.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrDuplicateID, id)
+	}
+	// The pipeline's tracker adopts the shard's shared scratch before
+	// any worker touches it; results are unchanged (matcher state does
+	// not carry between calls).
+	pl.Tracker().SetMatcher(sh.matcher)
+	sh.sessions[id] = &session{id: id, pl: pl}
+	sh.mu.Unlock()
+	m.mu.Lock()
+	m.nOpen++
+	m.mu.Unlock()
+	return nil
+}
+
+// CloseSession removes a session. Items still queued for it are
+// discarded as they drain.
+func (m *Manager) CloseSession(id string) error {
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	_, ok := sh.sessions[id]
+	delete(sh.sessions, id)
+	sh.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	m.mu.Lock()
+	m.nOpen--
+	m.mu.Unlock()
+	return nil
+}
+
+// Push ingests one item. In concurrent mode it enqueues (shedding the
+// shard's stalest item when full) and returns immediately; in
+// deterministic mode it processes the item before returning.
+func (m *Manager) Push(it Item) {
+	m.count(it)
+	sh := m.shardFor(it.Session)
+	if m.cfg.Deterministic {
+		sh.mu.Lock()
+		s := sh.sessions[it.Session]
+		sh.mu.Unlock()
+		m.process(sh, s, it)
+		return
+	}
+	if sh.push(it) {
+		m.counters.droppedStale.Add(1)
+	}
+}
+
+// PushBatch ingests a batch with one queue lock per destination shard
+// rather than one per item — the cheap ingest path a receiver loop
+// should batch into. Relative order is preserved per shard (hence per
+// session); the batch is not atomic across shards.
+func (m *Manager) PushBatch(items []Item) {
+	if len(items) == 0 {
+		return
+	}
+	if m.cfg.Deterministic || len(m.shards) == 1 {
+		if m.cfg.Deterministic {
+			for i := range items {
+				m.Push(items[i])
+			}
+			return
+		}
+		for i := range items {
+			m.count(items[i])
+		}
+		if d := m.shards[0].enqueue(items); d > 0 {
+			m.counters.droppedStale.Add(uint64(d))
+		}
+		return
+	}
+	// Group by shard, preserving in-batch order within each group.
+	idx := make([]int, len(items))
+	for i := range items {
+		idx[i] = m.shardIdx(items[i].Session)
+		m.count(items[i])
+	}
+	byShard := make([]Item, 0, len(items))
+	for si, sh := range m.shards {
+		byShard = byShard[:0]
+		for i := range items {
+			if idx[i] == si {
+				byShard = append(byShard, items[i])
+			}
+		}
+		if len(byShard) == 0 {
+			continue
+		}
+		if d := sh.enqueue(byShard); d > 0 {
+			m.counters.droppedStale.Add(uint64(d))
+		}
+	}
+}
+
+func (m *Manager) count(it Item) {
+	switch it.Kind {
+	case KindPhase:
+		m.counters.phasesIn.Add(1)
+	case KindFrame:
+		m.counters.framesIn.Add(1)
+	case KindIMU:
+		m.counters.imuIn.Add(1)
+	case KindCamera:
+		m.counters.cameraIn.Add(1)
+	}
+}
+
+// drainChunk is how many items a worker claims per queue lock.
+const drainChunk = 256
+
+// worker services one shard until Close.
+func (m *Manager) worker(sh *shard) {
+	defer m.wg.Done()
+	var (
+		chunk    []Item
+		resolved []*session
+	)
+	for {
+		sh.mu.Lock()
+		sh.busy = false
+		for sh.count == 0 && !sh.closed {
+			// Idle: let Flush observe the empty, not-busy state.
+			sh.cond.Broadcast()
+			sh.cond.Wait()
+		}
+		if sh.count == 0 && sh.closed {
+			sh.cond.Broadcast()
+			sh.mu.Unlock()
+			return
+		}
+		n := sh.count
+		if n > drainChunk {
+			n = drainChunk
+		}
+		chunk = chunk[:0]
+		for i := 0; i < n; i++ {
+			chunk = append(chunk, sh.ring[(sh.head+i)%len(sh.ring)])
+		}
+		sh.head = (sh.head + n) % len(sh.ring)
+		sh.count -= n
+		sh.busy = true
+		sh.mu.Unlock()
+
+		// Resolve sessions for the whole chunk under one lock; the
+		// registry mutates only on Open/CloseSession, and pipeline
+		// processing below runs lock-free (worker-owned state only).
+		resolved = resolved[:0]
+		sh.mu.Lock()
+		for i := range chunk {
+			resolved = append(resolved, sh.sessions[chunk[i].Session])
+		}
+		sh.mu.Unlock()
+		for i := range chunk {
+			m.process(sh, resolved[i], chunk[i])
+			chunk[i] = Item{} // release the frame pointer promptly
+			resolved[i] = nil // and the session
+		}
+	}
+}
+
+// process runs one item through its session's pipeline. Only the
+// shard's owning goroutine calls this for a given shard.
+func (m *Manager) process(sh *shard, s *session, it Item) {
+	if s == nil {
+		m.counters.droppedUnknown.Add(1)
+		return
+	}
+	switch it.Kind {
+	case KindIMU:
+		s.pl.PushIMU(it.IMU)
+		return
+	case KindCamera:
+		s.pl.PushCamera(it.Camera)
+		return
+	case KindFrame:
+		phi, err := csi.Sanitize(it.Frame, 0, 1)
+		if err != nil {
+			m.counters.sanitizeErrors.Add(1)
+			return
+		}
+		it.Time, it.Phi = it.Frame.Time, phi
+	}
+	est, ok := s.pl.PushCSI(it.Time, it.Phi)
+	if !ok {
+		return
+	}
+	m.counters.estimates.Add(1)
+	if m.cfg.OnEstimate != nil {
+		m.cfg.OnEstimate(s.id, est)
+	}
+}
+
+// Flush blocks until every shard queue is empty and every worker is
+// idle — every item pushed before the call has been fully processed
+// (assuming no concurrent pushers keep the queues fed). No-op in
+// deterministic mode.
+func (m *Manager) Flush() {
+	if m.cfg.Deterministic {
+		return
+	}
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for (sh.count > 0 || sh.busy) && !sh.closed {
+			sh.cond.Wait()
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Close drains nothing: it stops the workers after the items already
+// queued are processed, then returns. Call Flush first if you need a
+// quiescence point you can observe before shutdown. Close is
+// idempotent.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		sh.closed = true
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}
+	if !m.cfg.Deterministic {
+		m.wg.Wait()
+	}
+}

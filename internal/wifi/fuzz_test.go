@@ -1,0 +1,80 @@
+package wifi
+
+import (
+	"math"
+	"testing"
+
+	"vihot/internal/csi"
+	"vihot/internal/imu"
+)
+
+// FuzzWireDecode throws arbitrary datagrams at the wire decoder. It
+// must never panic, and any packet it accepts must satisfy the wire
+// contract: a known type, exactly one payload set, a CSI shape within
+// the encoder's bounds (so a decoded frame always re-encodes).
+func FuzzWireDecode(f *testing.F) {
+	// Seed with valid packets and systematic truncations of each.
+	frame := &csi.Frame{Time: 1.5, H: [][]complex128{
+		{1 + 2i, 3 - 4i, complex(math.NaN(), 0)},
+		{-1, 0.5i, 2},
+	}}
+	csiPkt, err := EncodeCSI(nil, frame)
+	if err != nil {
+		f.Fatal(err)
+	}
+	imuPkt := EncodeIMU(nil, &imu.Reading{Time: 2.5, GyroZ: -3, AccelLat: 0.25})
+	for _, pkt := range [][]byte{csiPkt, imuPkt} {
+		for _, n := range []int{0, 4, 5, 6, headerLen - 1, headerLen, headerLen + 1, len(pkt) - 1, len(pkt)} {
+			if n >= 0 && n <= len(pkt) {
+				f.Add(append([]byte(nil), pkt[:n]...))
+			}
+		}
+	}
+	// Bad magic, bad version, bad type, hostile shape bytes.
+	bad := append([]byte(nil), csiPkt...)
+	bad[0] = 'X'
+	f.Add(bad)
+	bad = append([]byte(nil), csiPkt...)
+	bad[4] = 99
+	f.Add(bad)
+	bad = append([]byte(nil), csiPkt...)
+	bad[5] = 77
+	f.Add(bad)
+	bad = append([]byte(nil), csiPkt...)
+	bad[headerLen] = 255 // antenna count way past maxAntennas
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pkt, err := Decode(data)
+		if err != nil {
+			if pkt != nil {
+				t.Fatalf("Decode returned both a packet and error %v", err)
+			}
+			return
+		}
+		switch pkt.Type {
+		case TypeCSI:
+			if pkt.CSI == nil || pkt.IMU != nil {
+				t.Fatalf("CSI packet with wrong payloads set: %+v", pkt)
+			}
+			na, ns := pkt.CSI.NAntennas(), pkt.CSI.NSubcarriers()
+			if na < 1 || na > maxAntennas || ns < 1 || ns > maxSubcarry {
+				t.Fatalf("decoded CSI shape %dx%d outside wire bounds", na, ns)
+			}
+			for a, row := range pkt.CSI.H {
+				if len(row) != ns {
+					t.Fatalf("antenna %d has %d subcarriers, want %d", a, len(row), ns)
+				}
+			}
+			if _, err := EncodeCSI(nil, pkt.CSI); err != nil {
+				t.Fatalf("decoded CSI frame does not re-encode: %v", err)
+			}
+		case TypeIMU:
+			if pkt.IMU == nil || pkt.CSI != nil {
+				t.Fatalf("IMU packet with wrong payloads set: %+v", pkt)
+			}
+		default:
+			t.Fatalf("Decode accepted unknown type %d", pkt.Type)
+		}
+	})
+}

@@ -50,6 +50,10 @@ func (s *Sender) SendIMU(r *imu.Reading) error {
 	return err
 }
 
+// LocalAddr returns the sender's bound local address — the identity a
+// receiver keys multi-driver sessions on (cmd/vihot-serve).
+func (s *Sender) LocalAddr() net.Addr { return s.conn.LocalAddr() }
+
 // Close releases the socket.
 func (s *Sender) Close() error { return s.conn.Close() }
 
@@ -76,23 +80,41 @@ func Listen(addr string) (*Receiver, error) {
 // Addr returns the bound local address.
 func (r *Receiver) Addr() net.Addr { return r.conn.LocalAddr() }
 
+// SetReadBuffer asks the kernel for a receive buffer of the given
+// size. A receiver aggregating many phones' probe streams (≈500
+// frames/s each) should raise this well above the default, or bursts
+// are dropped by the kernel before user space ever sees them.
+func (r *Receiver) SetReadBuffer(bytes int) error { return r.conn.SetReadBuffer(bytes) }
+
 // Recv blocks until one datagram arrives (or the deadline expires)
 // and decodes it. A zero timeout blocks indefinitely.
 func (r *Receiver) Recv(timeout time.Duration) (*Packet, error) {
+	pkt, _, err := r.RecvFrom(timeout)
+	return pkt, err
+}
+
+// RecvFrom is Recv plus the datagram's source address, so a receiver
+// serving several phones at once can demultiplex them into sessions
+// (one phone per car, one car per session).
+func (r *Receiver) RecvFrom(timeout time.Duration) (*Packet, *net.UDPAddr, error) {
 	if timeout > 0 {
 		if err := r.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	} else {
 		if err := r.conn.SetReadDeadline(time.Time{}); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	n, _, err := r.conn.ReadFromUDP(r.buf)
+	n, addr, err := r.conn.ReadFromUDP(r.buf)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return Decode(r.buf[:n])
+	pkt, err := Decode(r.buf[:n])
+	if err != nil {
+		return nil, addr, err
+	}
+	return pkt, addr, nil
 }
 
 // Close releases the socket.

@@ -32,6 +32,7 @@ import (
 	"vihot/internal/core"
 	"vihot/internal/csi"
 	"vihot/internal/imu"
+	"vihot/internal/serve"
 )
 
 // Re-exported core types: the public API is a thin veneer over
@@ -125,3 +126,33 @@ func NewSmoother() *Smoother { return core.NewSmoother() }
 
 // Smoother smooths the estimate stream (see NewSmoother).
 type Smoother = core.Smoother
+
+// Multi-session serving: one process tracking many drivers at once.
+// See the internal/serve package comment for the concurrency model
+// (shard ownership, per-session ordering, load shedding).
+type (
+	// SessionManager runs many independent tracking sessions, sharded
+	// across worker goroutines.
+	SessionManager = serve.Manager
+	// SessionManagerConfig tunes shard count, queue bounds, and the
+	// estimate sink.
+	SessionManagerConfig = serve.Config
+	// SessionItem is one ingested sample addressed to a session.
+	SessionItem = serve.Item
+	// SessionCounters is a snapshot of a manager's traffic counters.
+	SessionCounters = serve.CounterSnapshot
+)
+
+// Session item kinds.
+const (
+	SessionItemPhase  = serve.KindPhase
+	SessionItemFrame  = serve.KindFrame
+	SessionItemIMU    = serve.KindIMU
+	SessionItemCamera = serve.KindCamera
+)
+
+// NewSessionManager starts a concurrent multi-driver tracking engine:
+// open one session per driver (each over that driver's Profile), then
+// feed interleaved samples with Push/PushBatch from any number of
+// goroutines (one per session's stream). Close releases the workers.
+func NewSessionManager(cfg SessionManagerConfig) *SessionManager { return serve.New(cfg) }
