@@ -1,0 +1,29 @@
+# Tier-1 verification lives behind one target so every PR runs the
+# same gate (see ROADMAP.md). Everything is stdlib Go — no tool deps.
+
+GO ?= go
+
+.PHONY: verify build test race vet fuzz-smoke
+
+# verify is the tier-1 gate: vet + build + full test suite + the race
+# runs that give the concurrency and fault-injection tests their teeth.
+verify: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The serving engine's stress/soak tests and the fault injector only
+# mean something under the race detector.
+race:
+	$(GO) test -race ./internal/serve ./internal/faults
+
+# Short open-ended fuzz pass over the two adversarial-input surfaces.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzSanitize -fuzztime=10s ./internal/csi
+	$(GO) test -fuzz=FuzzWireDecode -fuzztime=10s ./internal/wifi

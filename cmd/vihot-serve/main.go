@@ -8,16 +8,21 @@
 // Usage:
 //
 //	vihot-serve [-drivers K] [-shards N] [-seconds S] [-queue Q] [-seed N]
+//	            [-loss P] [-dup P] [-reorder P] [-corrupt P] [-fault-seed N]
 //
 // Each simulated driver replays an internal/driver glance-and-steer
 // scenario; the tool prints per-session tracking accuracy against the
 // scenario's ground truth plus the manager's traffic counters
-// (including frames shed under load).
+// (including frames shed under load). The -loss/-dup/-reorder/-corrupt
+// flags wrap every car's sender in an internal/faults packet injector,
+// so the whole serving stack can be watched riding out a hostile link.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"sort"
 	"sync"
@@ -25,8 +30,10 @@ import (
 
 	"vihot/internal/cabin"
 	"vihot/internal/core"
+	"vihot/internal/csi"
 	"vihot/internal/driver"
 	"vihot/internal/experiment"
+	"vihot/internal/faults"
 	"vihot/internal/geom"
 	"vihot/internal/imu"
 	"vihot/internal/serve"
@@ -34,17 +41,40 @@ import (
 	"vihot/internal/wifi"
 )
 
+// faultFlags is the wire-fault schedule taken from the command line.
+type faultFlags struct {
+	loss, dup, reorder, corrupt float64
+	seed                        int64
+}
+
+func (ff faultFlags) enabled() bool {
+	return ff.loss > 0 || ff.dup > 0 || ff.reorder > 0 || ff.corrupt > 0
+}
+
 func main() {
 	drivers := flag.Int("drivers", 4, "concurrent simulated drivers")
 	shards := flag.Int("shards", 4, "session-manager worker shards")
 	seconds := flag.Float64("seconds", 12, "simulated trip length per driver")
 	queue := flag.Int("queue", 4096, "per-shard queue bound (items)")
 	seed := flag.Int64("seed", 1, "deterministic simulation seed")
+	var ff faultFlags
+	flag.Float64Var(&ff.loss, "loss", 0, "UDP loss probability per datagram")
+	flag.Float64Var(&ff.dup, "dup", 0, "UDP duplication probability per datagram")
+	flag.Float64Var(&ff.reorder, "reorder", 0, "UDP reordering probability per datagram")
+	flag.Float64Var(&ff.corrupt, "corrupt", 0, "UDP bit-corruption probability per datagram")
+	flag.Int64Var(&ff.seed, "fault-seed", 1, "fault-injection seed")
 	flag.Parse()
-	if err := run(*drivers, *shards, *seconds, *queue, *seed); err != nil {
+	if err := run(*drivers, *shards, *seconds, *queue, *seed, ff); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// probeSender is the send surface a car streams through — either the
+// bare wifi.Sender or a faults.Sender wrapping it.
+type probeSender interface {
+	SendCSI(f *csi.Frame) error
+	SendIMU(r *imu.Reading) error
 }
 
 // car is one simulated driver: a private cabin environment, a
@@ -55,9 +85,11 @@ type car struct {
 	scenario *driver.Scenario
 	env      *experiment.Env
 	sender   *wifi.Sender
+	out      probeSender // sender, possibly wrapped in a fault injector
+	flush    func() error
 }
 
-func run(drivers, shards int, seconds float64, queue int, seed int64) error {
+func run(drivers, shards int, seconds float64, queue int, seed int64, ff faultFlags) error {
 	if drivers < 1 {
 		drivers = 1
 	}
@@ -97,8 +129,9 @@ func run(drivers, shards int, seconds float64, queue int, seed int64) error {
 	}
 
 	var (
-		mu        sync.Mutex
-		estimates = map[string][]core.Estimate{}
+		mu          sync.Mutex
+		estimates   = map[string][]core.Estimate{}
+		transitions = map[string]int{}
 	)
 	mgr := serve.New(serve.Config{
 		Shards:   shards,
@@ -106,6 +139,11 @@ func run(drivers, shards int, seconds float64, queue int, seed int64) error {
 		OnEstimate: func(id string, est core.Estimate) {
 			mu.Lock()
 			estimates[id] = append(estimates[id], est)
+			mu.Unlock()
+		},
+		OnHealth: func(id string, t float64, from, to serve.Health) {
+			mu.Lock()
+			transitions[id]++
 			mu.Unlock()
 		},
 	})
@@ -130,10 +168,21 @@ func run(drivers, shards int, seconds float64, queue int, seed int64) error {
 			style:  style,
 			env:    env,
 			sender: sender,
+			out:    sender,
+			flush:  func() error { return nil },
 			scenario: driver.DrivingScenario(env.RNG.Fork(), style, seconds, driver.GlanceOptions{
 				Steering:       true,
 				PositionJitter: 0.008,
 			}),
+		}
+		if ff.enabled() {
+			// One injector per car: each phone link misbehaves on its
+			// own deterministic schedule.
+			pi := faults.NewPacketInjector(faults.PacketConfig{
+				Loss: ff.loss, Dup: ff.dup, Reorder: ff.reorder, Corrupt: ff.corrupt,
+			}, stats.NewRNG(ff.seed+int64(i)))
+			fs := faults.NewSender(sender, pi)
+			c.out, c.flush = fs, fs.Flush
 		}
 		if err := mgr.Open(c.id, profiles[i%len(styles)], core.DefaultPipelineConfig()); err != nil {
 			return err
@@ -149,16 +198,27 @@ func run(drivers, shards int, seconds float64, queue int, seed int64) error {
 		recvDone = make(chan error, 1)
 		decodeEr int
 	)
+	// Receive errors are classified, not string-matched: decode errors
+	// mean the socket is fine (count and keep reading), timeouts mean
+	// poll again, anything else means the socket itself is failing —
+	// retry with capped exponential backoff instead of spinning.
+	const (
+		backoffMin = 10 * time.Millisecond
+		backoffMax = 2 * time.Second
+	)
 	go func() {
+		backoff := backoffMin
 		for {
 			pkt, addr, err := recv.RecvFrom(200 * time.Millisecond)
-			if err != nil {
-				if addr != nil {
-					decodeEr++ // corrupt datagram; the socket is fine
-					continue
-				}
-				// Socket-level timeout: the stream is over once the
-				// senders are done and the buffer has drained.
+			switch {
+			case err == nil:
+				backoff = backoffMin // healthy read: reset the ladder
+			case wifi.IsDecode(err):
+				decodeEr++ // corrupt datagram; the socket is fine
+				continue
+			case wifi.IsTimeout(err):
+				// Deadline expiry: the stream is over once the senders
+				// are done and the buffer has drained.
 				select {
 				case <-sendDone:
 					recvDone <- nil
@@ -166,6 +226,16 @@ func run(drivers, shards int, seconds float64, queue int, seed int64) error {
 				default:
 					continue
 				}
+			case errors.Is(err, net.ErrClosed):
+				recvDone <- nil
+				return
+			default:
+				fmt.Fprintf(os.Stderr, "recv: %v (retrying in %s)\n", err, backoff)
+				time.Sleep(backoff)
+				if backoff *= 2; backoff > backoffMax {
+					backoff = backoffMax
+				}
+				continue
 			}
 			it := serve.Item{Session: addr.String()}
 			switch pkt.Type {
@@ -196,15 +266,17 @@ func run(drivers, shards int, seconds float64, queue int, seed int64) error {
 				}
 				for nextIMU <= t {
 					r := phone.Sample(nextIMU, c.scenario.CarYawRateDPS(nextIMU), c.scenario.SpeedMPS)
-					if err := c.sender.SendIMU(&r); err != nil {
+					if err := c.out.SendIMU(&r); err != nil {
 						return
 					}
 					nextIMU += 0.01
 				}
-				if err := c.sender.SendCSI(c.env.FrameAt(c.scenario.State(t))); err != nil {
+				if err := c.out.SendCSI(c.env.FrameAt(c.scenario.State(t))); err != nil {
 					return
 				}
 			}
+			// Deliver any datagrams still held back for reordering.
+			_ = c.flush()
 		}(c)
 	}
 	senders.Wait()
@@ -215,24 +287,29 @@ func run(drivers, shards int, seconds float64, queue int, seed int64) error {
 	mgr.Flush()
 
 	// Score each session against its scenario's ground truth.
-	fmt.Printf("\n%-22s %-10s %9s %12s\n", "session", "driver", "estimates", "median-err")
+	fmt.Printf("\n%-22s %-10s %9s %12s %8s %6s\n", "session", "driver", "estimates", "median-err", "health", "trans")
 	sort.Slice(cars, func(i, j int) bool { return cars[i].id < cars[j].id })
 	for _, c := range cars {
 		mu.Lock()
 		ests := estimates[c.id]
+		trans := transitions[c.id]
 		mu.Unlock()
 		var errs []float64
 		for _, est := range ests {
 			errs = append(errs, geom.AngleDistDeg(est.Yaw, c.scenario.HeadYaw.At(est.Time)))
 		}
 		med := stats.Median(errs)
-		fmt.Printf("%-22s %-10s %9d %11.1f°\n", c.id, c.style.Name, len(ests), med)
+		h, _ := mgr.Health(c.id)
+		fmt.Printf("%-22s %-10s %9d %11.1f° %8s %6d\n", c.id, c.style.Name, len(ests), med, h, trans)
 	}
 
 	snap := mgr.Counters().Snapshot()
 	fmt.Printf("\ncounters: frames=%d imu=%d estimates=%d shed=%d unknown=%d sanitize-errs=%d decode-errs=%d\n",
 		snap.FramesIn, snap.IMUIn, snap.Estimates, snap.DroppedStale,
 		snap.DroppedUnknown, snap.SanitizeErrors, decodeEr)
+	fmt.Printf("health: rejected-time=%d coasted=%d suppressed-stale=%d degraded=%d coasting=%d stale=%d recovered=%d resets=%d\n",
+		snap.RejectedTime, snap.Coasted, snap.SuppressedStale,
+		snap.ToDegraded, snap.ToCoasting, snap.ToStale, snap.Recoveries, snap.TrackerResets)
 	fmt.Printf("%d drivers × %.0f s simulated through %d shards in %.1f s wall\n",
 		drivers, seconds, shards, time.Since(start).Seconds())
 	return nil

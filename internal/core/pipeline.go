@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"vihot/internal/camera"
 	"vihot/internal/imu"
 )
@@ -57,6 +59,13 @@ type Pipeline struct {
 	nextFallbackEst float64
 	lastIMUTime     float64
 	haveIMU         bool
+
+	// Timestamp discipline: each sensor stream must advance strictly
+	// monotonically. Duplicated or reordered wire packets (and hostile
+	// timestamp regressions) are rejected deterministically instead of
+	// corrupting window resampling and watchdog arithmetic.
+	lastCSITime float64
+	haveCSITime bool
 }
 
 // imuWatchdogS fails the steering identifier open when the IMU feed
@@ -101,6 +110,16 @@ func (pl *Pipeline) PushIMU(r imu.Reading) {
 	if !pl.cfg.SteeringIdentifier {
 		return
 	}
+	if !r.Finite() {
+		// A corrupted reading carries no usable motion information and a
+		// NaN timestamp would wedge the IMU watchdog permanently.
+		return
+	}
+	if pl.haveIMU && r.Time <= pl.lastIMUTime {
+		// Duplicate or reordered reading: the detector already consumed
+		// this instant; replaying it would double-weight the smoother.
+		return
+	}
 	pl.lastIMUTime = r.Time
 	pl.haveIMU = true
 	was := pl.turning
@@ -118,11 +137,21 @@ func (pl *Pipeline) PushIMU(r imu.Reading) {
 // PushCamera feeds one fallback-camera estimate (only consulted while
 // steering).
 func (pl *Pipeline) PushCamera(e camera.Estimate) {
-	if e.Valid {
-		pl.camYaw = e.Yaw
-		pl.camTime = e.Time
-		pl.camValid = true
+	if !e.Valid {
+		return
 	}
+	if math.IsNaN(e.Time) || math.IsInf(e.Time, 0) ||
+		math.IsNaN(e.Yaw) || math.IsInf(e.Yaw, 0) {
+		return
+	}
+	if pl.camValid && e.Time <= pl.camTime {
+		// A duplicated or reordered frame is never fresher than the one
+		// already held; adopting it would regress the fusion age check.
+		return
+	}
+	pl.camYaw = e.Yaw
+	pl.camTime = e.Time
+	pl.camValid = true
 }
 
 // PushCSI feeds one sanitized CSI phase sample and returns an
@@ -130,6 +159,18 @@ func (pl *Pipeline) PushCamera(e camera.Estimate) {
 // after), CSI is quarantined and the camera fallback supplies the
 // estimate instead.
 func (pl *Pipeline) PushCSI(t, phi float64) (Estimate, bool) {
+	if math.IsNaN(t) || math.IsInf(t, 0) || math.IsNaN(phi) || math.IsInf(phi, 0) {
+		return Estimate{}, false
+	}
+	if pl.haveCSITime && t <= pl.lastCSITime {
+		// Out-of-order, duplicated, or backwards-jumping sample: the
+		// window is a time series — accepting it would fold the stream
+		// back on itself. Rejection is deterministic: the same input
+		// sequence always keeps exactly the strictly-increasing prefix
+		// order.
+		return Estimate{}, false
+	}
+	pl.lastCSITime, pl.haveCSITime = t, true
 	if pl.turning && pl.haveIMU && t-pl.lastIMUTime > imuWatchdogS {
 		// IMU watchdog: the gyro feed died while flagged as turning.
 		pl.turning = false

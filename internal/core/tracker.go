@@ -91,6 +91,7 @@ const (
 	SourceHeld                 // continuity filter held the previous value
 	SourceCamera               // camera fallback during steering events
 	SourceFused                // CSI blended with a fresh camera frame
+	SourceCoast                // forecast-coasted output during CSI starvation
 )
 
 // String implements fmt.Stringer.
@@ -106,6 +107,8 @@ func (s Source) String() string {
 		return "camera"
 	case SourceFused:
 		return "fused"
+	case SourceCoast:
+		return "coast"
 	default:
 		return fmt.Sprintf("Source(%d)", int(s))
 	}

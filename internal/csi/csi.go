@@ -38,6 +38,17 @@ func (f *Frame) NSubcarriers() int {
 	return len(f.H[0])
 }
 
+// Clone returns a deep copy of the frame, so a fault injector (or any
+// other mutating consumer) can corrupt its copy without touching the
+// original shared with the rest of the pipeline.
+func (f *Frame) Clone() *Frame {
+	g := &Frame{Time: f.Time, H: make([][]complex128, len(f.H))}
+	for a, row := range f.H {
+		g.H[a] = append([]complex128(nil), row...)
+	}
+	return g
+}
+
 // Hardware models the oscillator and ADC imperfections of one WiFi
 // receiver. Both RX chains share the oscillator, so one Hardware
 // instance corrupts every antenna of a frame identically — the

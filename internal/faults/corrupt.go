@@ -1,0 +1,104 @@
+package faults
+
+import (
+	"vihot/internal/csi"
+	"vihot/internal/stats"
+)
+
+// CSIConfig schedules measurement-level CSI corruption: episodes
+// during which the channel response itself is damaged even though
+// packets keep arriving. These reproduce microwave-oven-class burst
+// interference and a detuned or disconnected RX chain — faults the
+// transport layer cannot see and the sanitizer must absorb or reject.
+// The zero value injects nothing.
+type CSIConfig struct {
+	// NoiseWindows are burst-interference episodes: every subcarrier of
+	// every frame inside one gains complex Gaussian noise of NoiseStd.
+	NoiseWindows []Window
+	// NoiseStd is the per-component noise amplitude, in the same linear
+	// units as the channel response (unit-amplitude paths). Default
+	// 0.5 — strong enough to scramble phase on weak subcarriers.
+	NoiseStd float64
+	// DropoutWindows are antenna-dropout episodes: frames inside one
+	// have antenna DropAntenna zeroed, the signature of a dead RX
+	// chain. With the default sanitizer pair (0,1), zeroing antenna 1
+	// starves the phase-difference sanitizer while the link stays
+	// alive.
+	DropoutWindows []Window
+	// DropAntenna is the antenna index zeroed during dropout windows.
+	// Default 1 (the sanitizer's reference pair partner).
+	DropAntenna int
+}
+
+// CSIStats tallies one CSICorruptor's activity.
+type CSIStats struct {
+	Noised         int // frames given burst noise
+	DroppedAntenna int // frames with an antenna zeroed
+	PhaseNoised    int // pre-sanitized phase samples given noise
+}
+
+// CSICorruptor applies CSIConfig to frames and phase samples by
+// stream time. Deterministic from its RNG; single-goroutine.
+type CSICorruptor struct {
+	cfg CSIConfig
+	rng *stats.RNG
+
+	// Stats is updated in place.
+	Stats CSIStats
+}
+
+// NewCSICorruptor builds a corruptor drawing from rng.
+func NewCSICorruptor(cfg CSIConfig, rng *stats.RNG) *CSICorruptor {
+	if cfg.NoiseStd <= 0 {
+		cfg.NoiseStd = 0.5
+	}
+	if cfg.DropAntenna == 0 {
+		cfg.DropAntenna = 1
+	}
+	return &CSICorruptor{cfg: cfg, rng: rng}
+}
+
+// Frame returns the faulted frame for f's timestamp. Frames outside
+// every episode pass through untouched (same pointer); faulted frames
+// are deep copies, so the caller's original is never mutated.
+func (c *CSICorruptor) Frame(f *csi.Frame) *csi.Frame {
+	if f == nil {
+		return nil
+	}
+	noise := anyContains(c.cfg.NoiseWindows, f.Time)
+	drop := anyContains(c.cfg.DropoutWindows, f.Time)
+	if !noise && !drop {
+		return f
+	}
+	g := f.Clone()
+	if noise {
+		c.Stats.Noised++
+		for a := range g.H {
+			for k := range g.H[a] {
+				g.H[a][k] += complex(
+					c.rng.Normal(0, c.cfg.NoiseStd),
+					c.rng.Normal(0, c.cfg.NoiseStd),
+				)
+			}
+		}
+	}
+	if drop && c.cfg.DropAntenna >= 0 && c.cfg.DropAntenna < len(g.H) {
+		c.Stats.DroppedAntenna++
+		row := g.H[c.cfg.DropAntenna]
+		for k := range row {
+			row[k] = 0
+		}
+	}
+	return g
+}
+
+// Phase applies the burst-noise schedule to an already-sanitized
+// phase sample (KindPhase items skip the sanitizer, so frame-level
+// noise has nowhere to act; this is its phase-domain equivalent).
+func (c *CSICorruptor) Phase(t, phi float64) float64 {
+	if !anyContains(c.cfg.NoiseWindows, t) {
+		return phi
+	}
+	c.Stats.PhaseNoised++
+	return phi + c.rng.Normal(0, c.cfg.NoiseStd)
+}

@@ -1,0 +1,305 @@
+// Package faults is a deterministic, seeded fault-injection layer for
+// the serving stack. It reproduces — on demand and bit-reproducibly —
+// the failure modes a deployed ViHOT receiver actually faces:
+//
+//   - UDP transport faults: packet loss, duplication, reordering, and
+//     bit corruption ([PacketInjector], composable over any
+//     [RawSender] such as wifi.Sender, or in-process via
+//     [Injector.Pump]).
+//   - CSI measurement faults: burst-noise episodes and antenna-dropout
+//     episodes that leave the link alive but the sanitizer starved
+//     ([CSICorruptor]).
+//   - Sensor outages: windows during which CSI, IMU, or camera items
+//     simply never arrive ([Config.CSIBlackouts] and friends).
+//   - Clock faults: timestamp jitter, regressions, and duplicated
+//     deliveries ([ClockConfig]).
+//
+// Nothing under test changes to be testable: the injector sits between
+// a scenario's item stream and serve.Manager (or between an encoder
+// and a socket) and mutates traffic in flight.
+//
+// # Determinism
+//
+// Every random decision derives from [Config.Seed] through a fixed
+// fork order (packet, CSI, clock), so one seed fully determines the
+// fault schedule: the same config applied to the same input stream
+// yields the same output stream, byte for byte, run after run. Fault
+// windows are expressed in stream time, not wall time, so a schedule
+// replays identically at any execution speed.
+//
+// An Injector (like the sender it models) is single-goroutine: one
+// phone, one socket, one injector. Use one Injector per session.
+package faults
+
+import (
+	"vihot/internal/serve"
+	"vihot/internal/stats"
+	"vihot/internal/wifi"
+)
+
+// Window is a half-open fault interval [Start, End) in stream seconds.
+type Window struct {
+	Start, End float64
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t float64) bool { return t >= w.Start && t < w.End }
+
+// anyContains reports whether any window contains t.
+func anyContains(ws []Window, t float64) bool {
+	for _, w := range ws {
+		if w.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// ClockConfig injects timestamp faults: the misbehaviors of a phone
+// whose clock steps, a driver that replays a capture, or a hostile
+// sender. The serving stack is expected to reject the damage
+// deterministically (serve counts it in RejectedTime).
+type ClockConfig struct {
+	// JitterStd is a Gaussian perturbation (seconds) applied to every
+	// item timestamp. Small values reorder nearby items.
+	JitterStd float64
+	// Regress is the probability an item's timestamp is yanked
+	// backwards by RegressBy seconds.
+	Regress float64
+	// RegressBy is the regression distance. Default 0.5.
+	RegressBy float64
+	// Dup is the probability an item is delivered twice.
+	Dup float64
+}
+
+// Config is a full fault schedule. The zero value injects nothing.
+type Config struct {
+	// Seed determines every random decision below.
+	Seed int64
+
+	// Packet configures wire-level datagram faults (applied by Pump and
+	// by Sender).
+	Packet PacketConfig
+	// CSI configures measurement-level CSI corruption.
+	CSI CSIConfig
+	// Clock configures timestamp faults.
+	Clock ClockConfig
+
+	// CSIBlackouts are windows during which no CSI item (frame or
+	// phase) is delivered at all — the probe stream is gone.
+	CSIBlackouts []Window
+	// IMUOutages are windows during which IMU readings are dropped.
+	IMUOutages []Window
+	// CameraOutages are windows during which camera estimates are
+	// dropped.
+	CameraOutages []Window
+}
+
+// Stats tallies what one Injector did. Plain ints: an Injector is
+// single-goroutine by contract.
+type Stats struct {
+	Items        int // items offered to Apply/Pump
+	BlackedOut   int // items swallowed by an outage window
+	Jittered     int // timestamps perturbed
+	Regressed    int // timestamps yanked backwards
+	DupItems     int // items delivered twice at the stream level
+	WireIn       int // datagrams offered to the packet layer by Pump
+	WireOut      int // datagrams decoded back out of the packet layer
+	EncodeErrors int // items that failed wire encoding (dropped)
+	DecodeErrors int // datagrams that failed decoding after faults (dropped)
+}
+
+// Injector composes every fault family over a serve.Item stream.
+type Injector struct {
+	cfg    Config
+	packet *PacketInjector
+	corr   *CSICorruptor
+	clock  *stats.RNG
+	buf    []byte
+
+	// Stats is updated in place as the injector runs.
+	Stats Stats
+}
+
+// New builds an Injector. All randomness derives from cfg.Seed through
+// a fixed fork order (packet, CSI, clock), so each subsystem's
+// schedule is independent of whether the others are enabled.
+func New(cfg Config) *Injector {
+	root := stats.NewRNG(cfg.Seed)
+	pkRNG := root.Fork()
+	csRNG := root.Fork()
+	ckRNG := root.Fork()
+	return &Injector{
+		cfg:    cfg,
+		packet: NewPacketInjector(cfg.Packet, pkRNG),
+		corr:   NewCSICorruptor(cfg.CSI, csRNG),
+		clock:  ckRNG,
+	}
+}
+
+// Packet exposes the wire-fault sub-injector (for wrapping a live
+// socket with NewSender).
+func (in *Injector) Packet() *PacketInjector { return in.packet }
+
+// CSI exposes the measurement-fault sub-injector.
+func (in *Injector) CSI() *CSICorruptor { return in.corr }
+
+// Apply runs a batch of items through the stream-level faults — outage
+// windows, CSI corruption, clock faults — and returns the surviving
+// (possibly mutated, possibly duplicated) items in delivery order.
+// Wire-level packet faults are NOT applied; use Pump for the full
+// chain. Input items are never mutated: faulted frames are deep
+// copies.
+func (in *Injector) Apply(items []serve.Item) []serve.Item {
+	out := make([]serve.Item, 0, len(items))
+	for _, it := range items {
+		out = in.applyOne(out, it)
+	}
+	return out
+}
+
+// Pump is Apply followed by the wire: every surviving KindFrame and
+// KindIMU item is encoded with the real wire format, passed through
+// the packet-fault layer (loss, duplication, reordering, bit
+// corruption), and decoded again — exactly the traffic a
+// wifi.Receiver behind a lossy link would hand a session keyed to
+// this sender. KindPhase and KindCamera items have no wire
+// representation (they are receiver-local) and pass through in stream
+// position. Packets still held for reordering when the batch ends are
+// flushed at the tail, and every emitted item is stamped with the
+// given session.
+func (in *Injector) Pump(session string, items []serve.Item) []serve.Item {
+	faulted := in.Apply(items)
+	out := make([]serve.Item, 0, len(faulted))
+	for _, it := range faulted {
+		switch it.Kind {
+		case serve.KindFrame:
+			b, err := wifi.EncodeCSI(in.buf[:0], it.Frame)
+			if err != nil {
+				in.Stats.EncodeErrors++
+				continue
+			}
+			in.buf = b[:0]
+			in.Stats.WireIn++
+			_ = in.packet.Apply(b, in.decodeEmit(&out, session))
+		case serve.KindIMU:
+			r := it.IMU
+			b := wifi.EncodeIMU(in.buf[:0], &r)
+			in.buf = b[:0]
+			in.Stats.WireIn++
+			_ = in.packet.Apply(b, in.decodeEmit(&out, session))
+		default:
+			it.Session = session
+			out = append(out, it)
+		}
+	}
+	_ = in.packet.Flush(in.decodeEmit(&out, session))
+	return out
+}
+
+// decodeEmit is the receiver side of Pump: decode one post-fault
+// datagram and append the resulting item. Undecodable datagrams are
+// counted and dropped, as a real receive loop would.
+func (in *Injector) decodeEmit(out *[]serve.Item, session string) func([]byte) error {
+	return func(d []byte) error {
+		pkt, err := wifi.Decode(d)
+		if err != nil {
+			in.Stats.DecodeErrors++
+			return nil
+		}
+		in.Stats.WireOut++
+		switch pkt.Type {
+		case wifi.TypeCSI:
+			*out = append(*out, serve.Item{Session: session, Kind: serve.KindFrame, Frame: pkt.CSI})
+		case wifi.TypeIMU:
+			*out = append(*out, serve.Item{Session: session, Kind: serve.KindIMU, IMU: *pkt.IMU})
+		}
+		return nil
+	}
+}
+
+// applyOne applies outage windows, CSI corruption, and clock faults to
+// one item, appending 0, 1, or 2 items to out.
+func (in *Injector) applyOne(out []serve.Item, it serve.Item) []serve.Item {
+	in.Stats.Items++
+	t := itemTime(it)
+	switch it.Kind {
+	case serve.KindPhase, serve.KindFrame:
+		if anyContains(in.cfg.CSIBlackouts, t) {
+			in.Stats.BlackedOut++
+			return out
+		}
+	case serve.KindIMU:
+		if anyContains(in.cfg.IMUOutages, t) {
+			in.Stats.BlackedOut++
+			return out
+		}
+	case serve.KindCamera:
+		if anyContains(in.cfg.CameraOutages, t) {
+			in.Stats.BlackedOut++
+			return out
+		}
+	}
+	switch it.Kind {
+	case serve.KindFrame:
+		it.Frame = in.corr.Frame(it.Frame)
+	case serve.KindPhase:
+		it.Phi = in.corr.Phase(it.Time, it.Phi)
+	}
+	cc := in.cfg.Clock
+	if cc.JitterStd > 0 {
+		setItemTime(&it, t+in.clock.Normal(0, cc.JitterStd))
+		in.Stats.Jittered++
+		t = itemTime(it)
+	}
+	if cc.Regress > 0 && in.clock.Bool(cc.Regress) {
+		back := cc.RegressBy
+		if back <= 0 {
+			back = 0.5
+		}
+		setItemTime(&it, t-back)
+		in.Stats.Regressed++
+	}
+	out = append(out, it)
+	if cc.Dup > 0 && in.clock.Bool(cc.Dup) {
+		in.Stats.DupItems++
+		out = append(out, it)
+	}
+	return out
+}
+
+// itemTime extracts the timestamp the item's kind carries.
+func itemTime(it serve.Item) float64 {
+	switch it.Kind {
+	case serve.KindIMU:
+		return it.IMU.Time
+	case serve.KindCamera:
+		return it.Camera.Time
+	case serve.KindFrame:
+		if it.Frame != nil {
+			return it.Frame.Time
+		}
+		return 0
+	default:
+		return it.Time
+	}
+}
+
+// setItemTime rewrites the item's timestamp in place. Frames are
+// cloned first — the original stream must stay untouched.
+func setItemTime(it *serve.Item, t float64) {
+	switch it.Kind {
+	case serve.KindIMU:
+		it.IMU.Time = t
+	case serve.KindCamera:
+		it.Camera.Time = t
+	case serve.KindFrame:
+		if it.Frame != nil {
+			g := it.Frame.Clone()
+			g.Time = t
+			it.Frame = g
+		}
+	default:
+		it.Time = t
+	}
+}

@@ -1,0 +1,187 @@
+package faults
+
+import (
+	"vihot/internal/csi"
+	"vihot/internal/imu"
+	"vihot/internal/stats"
+	"vihot/internal/wifi"
+)
+
+// PacketConfig tunes wire-level datagram faults — what a congested,
+// interference-ridden 2.4 GHz cabin link does to a UDP probe stream.
+// The zero value injects nothing.
+type PacketConfig struct {
+	// Loss is the i.i.d. probability a datagram is dropped.
+	Loss float64
+	// Dup is the probability a delivered datagram is delivered twice
+	// back-to-back (retransmission race).
+	Dup float64
+	// Reorder is the probability a datagram is held back and delivered
+	// after up to ReorderDepth later datagrams have passed it.
+	Reorder float64
+	// ReorderDepth is the maximum number of datagrams a held one is
+	// delayed past. Default 4.
+	ReorderDepth int
+	// Corrupt is the probability a datagram has 1–8 random bits
+	// flipped. UDP's 16-bit checksum misses plenty of damage; the
+	// decoder and the serving stack must survive what gets through.
+	Corrupt float64
+}
+
+// PacketStats tallies one PacketInjector's decisions.
+type PacketStats struct {
+	Sent       int // datagrams offered
+	Lost       int // dropped
+	Duplicated int // delivered twice
+	Reordered  int // held back for late delivery
+	Corrupted  int // bit-flipped
+}
+
+// heldPacket is a datagram awaiting late (reordered) delivery.
+type heldPacket struct {
+	data  []byte
+	after int // deliver once this many more datagrams have passed
+}
+
+// PacketInjector applies PacketConfig to a sequence of raw datagrams.
+// It is a pure function of (config, seed, input sequence): the same
+// inputs always produce the same output sequence. Single-goroutine,
+// like the socket it models.
+type PacketInjector struct {
+	cfg  PacketConfig
+	rng  *stats.RNG
+	held []heldPacket
+
+	// Stats is updated in place as datagrams flow through.
+	Stats PacketStats
+}
+
+// NewPacketInjector builds an injector drawing from rng.
+func NewPacketInjector(cfg PacketConfig, rng *stats.RNG) *PacketInjector {
+	if cfg.ReorderDepth < 1 {
+		cfg.ReorderDepth = 4
+	}
+	return &PacketInjector{cfg: cfg, rng: rng}
+}
+
+// Apply passes one datagram through the fault channel, invoking emit
+// zero or more times: zero when the datagram is lost or held for
+// reordering, more than once when it is duplicated or when previously
+// held datagrams come due. emit receives buffers the injector owns
+// until emit returns — callers that retain them must copy. b itself is
+// never mutated (corruption flips bits on a copy).
+func (pi *PacketInjector) Apply(b []byte, emit func([]byte) error) error {
+	pi.Stats.Sent++
+	if pi.cfg.Corrupt > 0 && pi.rng.Bool(pi.cfg.Corrupt) {
+		b = pi.corrupt(b)
+	}
+	switch {
+	case pi.cfg.Loss > 0 && pi.rng.Bool(pi.cfg.Loss):
+		pi.Stats.Lost++
+	case pi.cfg.Reorder > 0 && pi.rng.Bool(pi.cfg.Reorder):
+		// Hold a private copy: senders reuse their encode buffers, so
+		// by the time this packet is released b's backing array holds a
+		// different datagram.
+		pi.Stats.Reordered++
+		cp := append([]byte(nil), b...)
+		pi.held = append(pi.held, heldPacket{data: cp, after: 1 + pi.rng.Intn(pi.cfg.ReorderDepth)})
+	default:
+		if err := emit(b); err != nil {
+			return err
+		}
+		if pi.cfg.Dup > 0 && pi.rng.Bool(pi.cfg.Dup) {
+			pi.Stats.Duplicated++
+			if err := emit(b); err != nil {
+				return err
+			}
+		}
+	}
+	return pi.release(emit, false)
+}
+
+// Flush delivers every datagram still held for reordering — the
+// stragglers a channel eventually disgorges.
+func (pi *PacketInjector) Flush(emit func([]byte) error) error {
+	return pi.release(emit, true)
+}
+
+// release advances hold counts and emits due datagrams in hold order.
+func (pi *PacketInjector) release(emit func([]byte) error, all bool) error {
+	if len(pi.held) == 0 {
+		return nil
+	}
+	var due [][]byte
+	kept := pi.held[:0]
+	for i := range pi.held {
+		pi.held[i].after--
+		if all || pi.held[i].after <= 0 {
+			due = append(due, pi.held[i].data)
+		} else {
+			kept = append(kept, pi.held[i])
+		}
+	}
+	pi.held = kept
+	for _, d := range due {
+		if err := emit(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// corrupt returns a copy of b with 1–8 random bits flipped.
+func (pi *PacketInjector) corrupt(b []byte) []byte {
+	if len(b) == 0 {
+		return b
+	}
+	pi.Stats.Corrupted++
+	cp := append([]byte(nil), b...)
+	flips := 1 + pi.rng.Intn(8)
+	for i := 0; i < flips; i++ {
+		pos := pi.rng.Intn(len(cp) * 8)
+		cp[pos/8] ^= 1 << (pos % 8)
+	}
+	return cp
+}
+
+// RawSender is the raw-datagram hook the wire-fault layer composes
+// over. *wifi.Sender implements it via SendRaw.
+type RawSender interface {
+	SendRaw(b []byte) error
+}
+
+// Sender wraps any RawSender with a PacketInjector, presenting the
+// same SendCSI/SendIMU surface as wifi.Sender. Code under test keeps
+// its sender interface; the faults ride underneath.
+type Sender struct {
+	raw RawSender
+	pi  *PacketInjector
+	buf []byte
+}
+
+// NewSender wraps raw with pi.
+func NewSender(raw RawSender, pi *PacketInjector) *Sender {
+	return &Sender{raw: raw, pi: pi, buf: make([]byte, 0, 2048)}
+}
+
+// SendCSI encodes and transmits one CSI frame through the fault
+// channel.
+func (s *Sender) SendCSI(f *csi.Frame) error {
+	b, err := wifi.EncodeCSI(s.buf[:0], f)
+	if err != nil {
+		return err
+	}
+	s.buf = b[:0]
+	return s.pi.Apply(b, s.raw.SendRaw)
+}
+
+// SendIMU encodes and transmits one IMU reading through the fault
+// channel.
+func (s *Sender) SendIMU(r *imu.Reading) error {
+	b := wifi.EncodeIMU(s.buf[:0], r)
+	s.buf = b[:0]
+	return s.pi.Apply(b, s.raw.SendRaw)
+}
+
+// Flush delivers any datagrams still held for reordering.
+func (s *Sender) Flush() error { return s.pi.Flush(s.raw.SendRaw) }

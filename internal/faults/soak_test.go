@@ -1,0 +1,314 @@
+package faults_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"vihot/internal/cabin"
+	"vihot/internal/camera"
+	"vihot/internal/core"
+	"vihot/internal/driver"
+	"vihot/internal/experiment"
+	"vihot/internal/faults"
+	"vihot/internal/imu"
+	"vihot/internal/serve"
+)
+
+// soakDurationS is the simulated drive length per session. The fault
+// schedule below places every episode well inside it.
+const soakDurationS = 32
+
+// soakConfig is the chaos schedule of the acceptance criteria: 20%
+// UDP loss with reordering, duplication and corruption, a 2 s CSI
+// blackout, a camera outage, a burst-noise episode, an
+// antenna-dropout episode, and low-rate clock faults.
+func soakConfig(seed int64) faults.Config {
+	return faults.Config{
+		Seed: seed,
+		Packet: faults.PacketConfig{
+			Loss:         0.20,
+			Reorder:      0.05,
+			ReorderDepth: 6,
+			Dup:          0.02,
+			Corrupt:      0.01,
+		},
+		CSI: faults.CSIConfig{
+			NoiseWindows:   []faults.Window{{Start: 5, End: 5.5}},
+			NoiseStd:       0.6,
+			DropoutWindows: []faults.Window{{Start: 25, End: 25.6}},
+		},
+		Clock: faults.ClockConfig{
+			Regress:   0.002,
+			RegressBy: 0.5,
+			Dup:       0.002,
+		},
+		CSIBlackouts:  []faults.Window{{Start: 10, End: 12}},
+		CameraOutages: []faults.Window{{Start: 20, End: 21.5}},
+	}
+}
+
+// soakFixture is the rendered clean streams plus the shared profile,
+// built once: rendering 2×32 s of CSI is the expensive part.
+type soakFixture struct {
+	profile *core.Profile
+	streams map[string][]serve.Item // clean, pre-fault
+	pumped  map[string][]serve.Item // post-fault, as the receiver sees them
+}
+
+var (
+	soakOnce sync.Once
+	soak     *soakFixture
+	soakErr  error
+)
+
+func getSoakFixture(t *testing.T) *soakFixture {
+	t.Helper()
+	soakOnce.Do(func() { soak, soakErr = buildSoakFixture() })
+	if soakErr != nil {
+		t.Fatal(soakErr)
+	}
+	return soak
+}
+
+func buildSoakFixture() (*soakFixture, error) {
+	env, err := experiment.NewEnv(cabin.DefaultConfig(), 42)
+	if err != nil {
+		return nil, err
+	}
+	popt := experiment.DefaultProfileOptions()
+	popt.Positions = 4
+	popt.PerPositionS = 3
+	profile, _, err := env.CollectProfile(driver.DriverA(), popt)
+	if err != nil {
+		return nil, err
+	}
+	fx := &soakFixture{
+		profile: profile,
+		streams: map[string][]serve.Item{},
+		pumped:  map[string][]serve.Item{},
+	}
+	for i, dp := range []driver.Profile{driver.DriverA(), driver.DriverB()} {
+		id := fmt.Sprintf("car-%d", i)
+		sc := driver.DrivingScenario(env.RNG.Fork(), dp, soakDurationS, driver.GlanceOptions{
+			Steering:       true,
+			PositionJitter: 0.008,
+		})
+		phone := imu.NewPhoneIMU(env.RNG.Fork())
+		cam := camera.NewTracker(env.RNG.Fork())
+		var items []serve.Item
+		nextIMU := 0.0
+		for _, ts := range env.Timing.ArrivalTimes(env.RNG.Fork(), sc.Duration) {
+			for nextIMU <= ts {
+				items = append(items, serve.Item{Session: id, Kind: serve.KindIMU,
+					IMU: phone.Sample(nextIMU, sc.CarYawRateDPS(nextIMU), sc.SpeedMPS)})
+				lag := cam.Latency()
+				if est, ok := cam.Sample(nextIMU, sc.HeadYaw.At(nextIMU-lag), sc.TrueYawRateDPS(nextIMU-lag)); ok {
+					items = append(items, serve.Item{Session: id, Kind: serve.KindCamera, Camera: est})
+				}
+				nextIMU += 0.01
+			}
+			// Raw frames so every CSI sample truly crosses the wire.
+			items = append(items, serve.Item{Session: id, Kind: serve.KindFrame, Frame: env.FrameAt(sc.State(ts))})
+		}
+		fx.streams[id] = items
+		fx.pumped[id] = faults.New(soakConfig(7000 + int64(i))).Pump(id, items)
+	}
+	return fx, nil
+}
+
+// soakLog records health transitions and per-estimate health, keyed by
+// session, safe for concurrent worker callbacks.
+type soakLog struct {
+	mu     sync.Mutex
+	trans  map[string][]serve.Health // "to" states in order
+	staleE map[string]int            // estimates emitted while STALE
+	ests   map[string]int
+}
+
+func newSoakLog() *soakLog {
+	return &soakLog{trans: map[string][]serve.Health{}, staleE: map[string]int{}, ests: map[string]int{}}
+}
+
+func (l *soakLog) onHealth(id string, t float64, from, to serve.Health) {
+	l.mu.Lock()
+	l.trans[id] = append(l.trans[id], to)
+	l.mu.Unlock()
+}
+
+func (l *soakLog) onEst(id string, est core.Estimate, h serve.Health, conf float64) {
+	l.mu.Lock()
+	l.ests[id]++
+	if h == serve.Stale {
+		l.staleE[id]++
+	}
+	l.mu.Unlock()
+}
+
+// TestChaosSoak is the acceptance soak: two sessions, ≥30 s of
+// simulated driving each, pushed concurrently through a sharded
+// Manager while the full fault schedule runs. Every session must ride
+// out every fault window and re-enter HEALTHY, no estimate may be
+// emitted while STALE, and the counters must conserve.
+func TestChaosSoak(t *testing.T) {
+	fx := getSoakFixture(t)
+	log := newSoakLog()
+	m := serve.New(serve.Config{
+		Shards:           2,
+		QueueLen:         1 << 17,
+		OnHealth:         log.onHealth,
+		OnEstimateHealth: log.onEst,
+	})
+	defer m.Close()
+	for id := range fx.pumped {
+		if err := m.Open(id, fx.profile, core.DefaultPipelineConfig()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	var pushed uint64
+	var pushedMu sync.Mutex
+	for _, items := range fx.pumped {
+		wg.Add(1)
+		go func(items []serve.Item) {
+			defer wg.Done()
+			for i := 0; i < len(items); i += 64 {
+				hi := i + 64
+				if hi > len(items) {
+					hi = len(items)
+				}
+				m.PushBatch(items[i:hi])
+			}
+			pushedMu.Lock()
+			pushed += uint64(len(items))
+			pushedMu.Unlock()
+		}(items)
+	}
+	wg.Wait()
+	m.Flush()
+	snap := m.Counters().Snapshot()
+
+	// Conservation: every accepted item is processed or dropped.
+	if snap.Total() != pushed {
+		t.Fatalf("counted in %d items, pushed %d", snap.Total(), pushed)
+	}
+	if snap.Total() != snap.Processed+snap.DroppedStale+snap.DroppedUnknown {
+		t.Fatalf("conservation violated: total=%d processed=%d droppedStale=%d droppedUnknown=%d",
+			snap.Total(), snap.Processed, snap.DroppedStale, snap.DroppedUnknown)
+	}
+
+	log.mu.Lock()
+	defer log.mu.Unlock()
+	var sunk uint64
+	for id := range fx.pumped {
+		sunk += uint64(log.ests[id])
+
+		// Silence while STALE.
+		if log.staleE[id] != 0 {
+			t.Errorf("%s: %d estimates emitted while STALE", id, log.staleE[id])
+		}
+
+		// The session rode out the blackout: it went all the way to
+		// STALE and came back, plus at least one more degradation
+		// (camera outage, antenna dropout) also recovered.
+		trans := log.trans[id]
+		counts := map[serve.Health]int{}
+		for _, h := range trans {
+			counts[h]++
+		}
+		if counts[serve.Stale] == 0 || counts[serve.Coasting] == 0 || counts[serve.Degraded] == 0 {
+			t.Errorf("%s: fault windows missed states: transitions %v", id, trans)
+		}
+		if counts[serve.Healthy] < 2 {
+			t.Errorf("%s: only %d recoveries, want ≥2 (blackout + outage): %v", id, counts[serve.Healthy], trans)
+		}
+		if len(trans) == 0 || trans[len(trans)-1] != serve.Healthy {
+			t.Errorf("%s: did not end HEALTHY: %v", id, trans)
+		}
+		if h, ok := m.Health(id); !ok || h != serve.Healthy {
+			t.Errorf("%s: final Health = %v/%v", id, h, ok)
+		}
+	}
+	if sunk != snap.Estimates {
+		t.Fatalf("sinks saw %d estimates, counters say %d", sunk, snap.Estimates)
+	}
+
+	// The fault schedule visibly exercised every defense layer.
+	if snap.Estimates == 0 {
+		t.Fatal("soak produced no estimates at all")
+	}
+	if snap.Coasted == 0 {
+		t.Fatal("no coasted estimates during a 2 s CSI blackout with a live camera")
+	}
+	if snap.RejectedTime == 0 {
+		t.Fatal("reordering/duplication/clock faults produced no timestamp rejections")
+	}
+	if snap.SanitizeErrors == 0 {
+		t.Fatal("the antenna-dropout episode produced no sanitize errors")
+	}
+	if snap.TrackerResets < 2 {
+		t.Fatalf("TrackerResets = %d, want ≥2 (one per session after the blackout)", snap.TrackerResets)
+	}
+	t.Logf("soak: in=%d processed=%d estimates=%d coasted=%d rejected=%d sanitizeErr=%d transitions(d/c/s/h)=%d/%d/%d/%d",
+		snap.Total(), snap.Processed, snap.Estimates, snap.Coasted, snap.RejectedTime,
+		snap.SanitizeErrors, snap.ToDegraded, snap.ToCoasting, snap.ToStale, snap.Recoveries)
+}
+
+// TestChaosSoakDeterministicReplay replays the identical pumped
+// streams through two deterministic-mode managers: estimates and
+// transition logs must match exactly. Combined with the injector's own
+// determinism (TestInjectorPumpDeterminism), a seed fully determines a
+// chaos run end to end.
+func TestChaosSoakDeterministicReplay(t *testing.T) {
+	fx := getSoakFixture(t)
+	run := func() (map[string][]core.Estimate, map[string][]serve.Health) {
+		log := newSoakLog()
+		ests := map[string][]core.Estimate{}
+		m := serve.New(serve.Config{
+			Deterministic: true,
+			OnHealth:      log.onHealth,
+			OnEstimate: func(id string, est core.Estimate) {
+				ests[id] = append(ests[id], est)
+			},
+		})
+		defer m.Close()
+		ids := []string{"car-0", "car-1"}
+		for _, id := range ids {
+			if err := m.Open(id, fx.profile, core.DefaultPipelineConfig()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, id := range ids {
+			for _, it := range fx.pumped[id] {
+				m.Push(it)
+			}
+		}
+		return ests, log.trans
+	}
+	estA, transA := run()
+	estB, transB := run()
+	for id := range estA {
+		if len(estA[id]) != len(estB[id]) {
+			t.Fatalf("%s: replay produced %d vs %d estimates", id, len(estA[id]), len(estB[id]))
+		}
+		for i := range estA[id] {
+			if estA[id][i] != estB[id][i] {
+				t.Fatalf("%s: estimate %d differs between replays", id, i)
+			}
+		}
+		if len(estA[id]) == 0 {
+			t.Fatalf("%s: replay produced no estimates", id)
+		}
+	}
+	for id := range transA {
+		if len(transA[id]) != len(transB[id]) {
+			t.Fatalf("%s: replay transition counts differ: %v vs %v", id, transA[id], transB[id])
+		}
+		for i := range transA[id] {
+			if transA[id][i] != transB[id][i] {
+				t.Fatalf("%s: transition %d differs between replays", id, i)
+			}
+		}
+	}
+}

@@ -20,6 +20,19 @@ type Reading struct {
 	AccelLat float64
 }
 
+// Finite reports whether every field of the reading is a finite
+// number. Bit-corrupted wire datagrams can carry NaN/Inf payloads; a
+// non-finite reading must be rejected before it poisons the steering
+// detector's smoother or the pipeline's watchdog clocks.
+func (r Reading) Finite() bool {
+	for _, v := range [...]float64{r.Time, r.GyroZ, r.AccelLat} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // PhoneIMU models the dashboard phone's inertial sensors. It sees the
 // car body's motion only: head turning is invisible to it, which is
 // precisely why it can disambiguate head rotation from steering

@@ -46,6 +46,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -80,6 +81,20 @@ type Config struct {
 	// serially per session, concurrently across shards; nil discards
 	// estimates (Counters still tally them).
 	OnEstimate func(session string, est core.Estimate)
+
+	// Health tunes the per-session degradation state machine (see the
+	// Health type). The zero value enables it with defaults;
+	// Health.Disable opts out.
+	Health HealthConfig
+	// OnHealth, if set, receives every degradation-state transition.
+	// Same concurrency contract as OnEstimate: serial per session,
+	// concurrent across shards.
+	OnHealth func(session string, t float64, from, to Health)
+	// OnEstimateHealth, if set, receives every emitted estimate
+	// together with the session's degradation state and confidence
+	// weight at emission time. Same concurrency contract as
+	// OnEstimate.
+	OnEstimateHealth func(session string, est core.Estimate, h Health, confidence float64)
 }
 
 // ItemKind discriminates what an Item carries.
@@ -113,22 +128,49 @@ type Counters struct {
 	framesIn       atomic.Uint64
 	imuIn          atomic.Uint64
 	cameraIn       atomic.Uint64
+	processed      atomic.Uint64
 	estimates      atomic.Uint64
 	droppedStale   atomic.Uint64
 	droppedUnknown atomic.Uint64
 	sanitizeErrors atomic.Uint64
+	rejectedTime   atomic.Uint64
+	suppressedStale atomic.Uint64
+	coasted        atomic.Uint64
+	toDegraded     atomic.Uint64
+	toCoasting     atomic.Uint64
+	toStale        atomic.Uint64
+	recoveries     atomic.Uint64
+	trackerResets  atomic.Uint64
 }
 
-// CounterSnapshot is one observation of the counters.
+// CounterSnapshot is one observation of the counters. Conservation:
+// every accepted item is eventually processed or dropped, so after a
+// Flush with no concurrent pushers,
+//
+//	Total() == Processed + DroppedStale + DroppedUnknown
+//
+// and Estimates equals the number of OnEstimate invocations (pipeline
+// estimates that were not stale-suppressed, plus Coasted).
 type CounterSnapshot struct {
 	PhasesIn       uint64 // KindPhase items accepted into a queue
 	FramesIn       uint64 // KindFrame items accepted into a queue
 	IMUIn          uint64 // KindIMU items accepted into a queue
 	CameraIn       uint64 // KindCamera items accepted into a queue
-	Estimates      uint64 // estimates produced across all sessions
+	Processed      uint64 // items that reached their session's pipeline stage
+	Estimates      uint64 // estimates delivered across all sessions
 	DroppedStale   uint64 // items shed because a shard queue was full
 	DroppedUnknown uint64 // items addressed to sessions never opened
 	SanitizeErrors uint64 // KindFrame items whose sanitizer rejected the frame
+	RejectedTime   uint64 // items rejected for non-finite, non-monotone, or far-future timestamps
+
+	// Degradation state machine traffic (see the Health type).
+	SuppressedStale uint64 // pipeline estimates discarded because the session was STALE
+	Coasted         uint64 // camera/forecast estimates emitted while COASTING
+	ToDegraded      uint64 // transitions into DEGRADED
+	ToCoasting      uint64 // transitions into COASTING
+	ToStale         uint64 // transitions into STALE
+	Recoveries      uint64 // transitions back into HEALTHY
+	TrackerResets   uint64 // tracker restarts after a CSI blackout
 }
 
 // Total returns the number of items accepted into queues.
@@ -139,23 +181,55 @@ func (s CounterSnapshot) Total() uint64 {
 // Snapshot returns the current counter values.
 func (c *Counters) Snapshot() CounterSnapshot {
 	return CounterSnapshot{
-		PhasesIn:       c.phasesIn.Load(),
-		FramesIn:       c.framesIn.Load(),
-		IMUIn:          c.imuIn.Load(),
-		CameraIn:       c.cameraIn.Load(),
-		Estimates:      c.estimates.Load(),
-		DroppedStale:   c.droppedStale.Load(),
-		DroppedUnknown: c.droppedUnknown.Load(),
-		SanitizeErrors: c.sanitizeErrors.Load(),
+		PhasesIn:        c.phasesIn.Load(),
+		FramesIn:        c.framesIn.Load(),
+		IMUIn:           c.imuIn.Load(),
+		CameraIn:        c.cameraIn.Load(),
+		Processed:       c.processed.Load(),
+		Estimates:       c.estimates.Load(),
+		DroppedStale:    c.droppedStale.Load(),
+		DroppedUnknown:  c.droppedUnknown.Load(),
+		SanitizeErrors:  c.sanitizeErrors.Load(),
+		RejectedTime:    c.rejectedTime.Load(),
+		SuppressedStale: c.suppressedStale.Load(),
+		Coasted:         c.coasted.Load(),
+		ToDegraded:      c.toDegraded.Load(),
+		ToCoasting:      c.toCoasting.Load(),
+		ToStale:         c.toStale.Load(),
+		Recoveries:      c.recoveries.Load(),
+		TrackerResets:   c.trackerResets.Load(),
 	}
 }
 
-// session is one driver's pipeline plus its estimate sink state. It is
+// session is one driver's pipeline plus its degradation-state-machine
+// bookkeeping. Everything except the published `health` atomic is
 // touched only by its shard's worker goroutine (or the caller in
 // deterministic mode).
 type session struct {
 	id string
 	pl *core.Pipeline
+
+	// health mirrors h for lock-free Manager.Health reads.
+	health atomic.Uint32
+
+	h       Health
+	now     float64 // session clock: max admitted item timestamp
+	haveNow bool
+
+	lastCSI float64 // last accepted (sanitized, in-order) CSI sample
+	haveCSI bool
+	lastIMU float64
+	haveIMU bool
+	lastCam float64 // last valid camera estimate
+	haveCam bool
+	camYaw  float64 // yaw of that estimate, for camera coasting
+
+	recovering   bool    // CSI resumed after coasting-or-worse; holding at DEGRADED
+	recoverStart float64 // when flow resumed
+
+	lastEst   core.Estimate // last emitted pipeline estimate, for forecast coasting
+	hasEst    bool
+	nextCoast float64 // coasted-output throttle
 }
 
 // shard is one worker's world: a bounded FIFO ring of items plus the
@@ -231,6 +305,7 @@ func New(cfg Config) *Manager {
 	if cfg.QueueLen < 1 {
 		cfg.QueueLen = 4096
 	}
+	cfg.Health = cfg.Health.withDefaults()
 	m := &Manager{cfg: cfg}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{
@@ -412,6 +487,36 @@ func (m *Manager) count(it Item) {
 // drainChunk is how many items a worker claims per queue lock.
 const drainChunk = 256
 
+// maxForwardJumpS bounds how far ahead of the session clock a single
+// item may jump. UDP has no payload integrity beyond its 16-bit
+// checksum; a bit flip in a wire timestamp usually decodes to a huge
+// but finite float64, and adopting one would slam every staleness
+// watchdog past its threshold and leave the session clock wedged in
+// the far future, rejecting all legitimate traffic forever. Five
+// seconds is two orders of magnitude above any legitimate inter-item
+// gap a live stream produces.
+const maxForwardJumpS = 5.0
+
+// advanceClock moves the session clock forward. It is maintained even
+// when the health machine is disabled: the forward-jump guard needs
+// it.
+func (s *session) advanceClock(t float64) {
+	if !s.haveNow || t > s.now {
+		s.now, s.haveNow = t, true
+	}
+}
+
+// admitTime validates an item timestamp against the session clock —
+// finite, and not implausibly far in the future. Rejections count in
+// RejectedTime.
+func (m *Manager) admitTime(s *session, t float64) bool {
+	if math.IsNaN(t) || math.IsInf(t, 0) || (s.haveNow && t > s.now+maxForwardJumpS) {
+		m.counters.rejectedTime.Add(1)
+		return false
+	}
+	return true
+}
+
 // worker services one shard until Close.
 func (m *Manager) worker(sh *shard) {
 	defer m.wg.Done()
@@ -462,36 +567,115 @@ func (m *Manager) worker(sh *shard) {
 	}
 }
 
-// process runs one item through its session's pipeline. Only the
-// shard's owning goroutine calls this for a given shard.
+// process runs one item through its session's pipeline and the
+// degradation state machine. Only the shard's owning goroutine calls
+// this for a given shard. Each sensor item observes the session clock
+// twice: once before it updates its sensor's freshness — so the
+// starvation episode an arrival gap proves is recorded even when the
+// very same item ends it — and once after, so recovery starts on the
+// item that delivers it.
 func (m *Manager) process(sh *shard, s *session, it Item) {
 	if s == nil {
 		m.counters.droppedUnknown.Add(1)
 		return
 	}
+	m.counters.processed.Add(1)
+	hm := !m.cfg.Health.Disable
 	switch it.Kind {
 	case KindIMU:
+		t := it.IMU.Time
+		if !m.admitTime(s, t) {
+			return
+		}
+		if hm {
+			m.observe(s, t)
+		} else {
+			s.advanceClock(t)
+		}
 		s.pl.PushIMU(it.IMU)
+		if it.IMU.Finite() {
+			s.lastIMU, s.haveIMU = t, true
+		}
+		if hm {
+			m.observe(s, t)
+			m.maybeCoast(s, t)
+		}
 		return
 	case KindCamera:
+		t := it.Camera.Time
+		if !m.admitTime(s, t) {
+			return
+		}
+		if hm {
+			m.observe(s, t)
+		} else {
+			s.advanceClock(t)
+		}
 		s.pl.PushCamera(it.Camera)
+		if it.Camera.Valid && !math.IsNaN(it.Camera.Yaw) && !math.IsInf(it.Camera.Yaw, 0) {
+			s.lastCam, s.haveCam, s.camYaw = t, true, it.Camera.Yaw
+		}
+		if hm {
+			m.observe(s, t)
+			m.maybeCoast(s, t)
+		}
 		return
 	case KindFrame:
 		phi, err := csi.Sanitize(it.Frame, 0, 1)
 		if err != nil {
 			m.counters.sanitizeErrors.Add(1)
+			if t := it.Frame.Time; !math.IsNaN(t) && !math.IsInf(t, 0) &&
+				(!s.haveNow || t <= s.now+maxForwardJumpS) {
+				// The frame proves the link is alive at its timestamp
+				// even though it carried no usable CSI.
+				if hm {
+					m.observe(s, t)
+				} else {
+					s.advanceClock(t)
+				}
+			}
 			return
 		}
 		it.Time, it.Phi = it.Frame.Time, phi
+	}
+	// CSI tail: KindPhase items and sanitized KindFrame items.
+	if !m.admitTime(s, it.Time) {
+		return
+	}
+	if math.IsNaN(it.Phi) || math.IsInf(it.Phi, 0) {
+		m.counters.rejectedTime.Add(1)
+		return
+	}
+	if s.haveCSI && it.Time <= s.lastCSI {
+		// Mirror of the pipeline's monotone rule, counted here so wire
+		// duplication and reordering are visible in the snapshot.
+		m.counters.rejectedTime.Add(1)
+		return
+	}
+	if hm {
+		m.observe(s, it.Time)
+		m.noteCSIResumed(s, it.Time)
+	}
+	s.lastCSI, s.haveCSI = it.Time, true
+	if hm {
+		m.observe(s, it.Time)
+	} else {
+		s.advanceClock(it.Time)
 	}
 	est, ok := s.pl.PushCSI(it.Time, it.Phi)
 	if !ok {
 		return
 	}
-	m.counters.estimates.Add(1)
-	if m.cfg.OnEstimate != nil {
-		m.cfg.OnEstimate(s.id, est)
+	if hm && s.h == Stale {
+		// Defensive: a stale session must stay silent. Unreachable with
+		// the standard transitions (an accepted CSI sample lifts the
+		// session out of STALE before the pipeline runs) but cheap to
+		// guarantee against future machine variants.
+		m.counters.suppressedStale.Add(1)
+		return
 	}
+	s.lastEst, s.hasEst = est, true
+	m.emit(s, est)
 }
 
 // Flush blocks until every shard queue is empty and every worker is

@@ -1,0 +1,148 @@
+package wifi
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"vihot/internal/csi"
+	"vihot/internal/imu"
+)
+
+// enc builds a valid datagram for mutation.
+func encCSI(t *testing.T, na, ns int) []byte {
+	t.Helper()
+	f := &csi.Frame{Time: 1, H: make([][]complex128, na)}
+	for a := range f.H {
+		f.H[a] = make([]complex128, ns)
+	}
+	b, err := EncodeCSI(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func encIMU(t *testing.T) []byte {
+	t.Helper()
+	return EncodeIMU(nil, &imu.Reading{Time: 1, GyroZ: 2, AccelLat: 3})
+}
+
+// mut copies b and applies f.
+func mut(b []byte, f func([]byte) []byte) []byte {
+	return f(append([]byte(nil), b...))
+}
+
+// TestDecodeMalformedTable is the decoder's adversarial contract: every
+// malformed shape a lossy or hostile link can produce maps to the
+// right sentinel, and benign oversize (datagram padding) is tolerated.
+func TestDecodeMalformedTable(t *testing.T) {
+	csiPkt := encCSI(t, 2, 30)
+	imuPkt := encIMU(t)
+
+	cases := []struct {
+		name string
+		b    []byte
+		want error // nil means decode must succeed
+	}{
+		{"empty", nil, ErrShortPacket},
+		{"header-minus-one", csiPkt[:headerLen-1], ErrShortPacket},
+		{"header-only-csi", csiPkt[:headerLen], ErrShortPacket},
+		{"bad-magic", mut(csiPkt, func(b []byte) []byte { b[0] = 'X'; return b }), ErrBadMagic},
+		{"bad-version", mut(csiPkt, func(b []byte) []byte { b[4] = 0x7f; return b }), ErrBadVersion},
+		{"unknown-type", mut(csiPkt, func(b []byte) []byte { b[5] = 9; return b }), ErrBadType},
+		{"csi-no-shape-bytes", csiPkt[:headerLen+1], ErrShortPacket},
+		{"csi-zero-antennas", mut(csiPkt, func(b []byte) []byte { b[headerLen] = 0; return b }), ErrBadShape},
+		{"csi-too-many-antennas", mut(csiPkt, func(b []byte) []byte { b[headerLen] = maxAntennas + 1; return b }), ErrBadShape},
+		{"csi-too-many-subcarriers", mut(csiPkt, func(b []byte) []byte { b[headerLen+1] = maxSubcarry + 1; return b }), ErrBadShape},
+		{"csi-truncated-payload", csiPkt[:len(csiPkt)-1], ErrShortPacket},
+		{"csi-payload-claims-more", mut(csiPkt, func(b []byte) []byte { b[headerLen+1] = 31; return b }), ErrShortPacket},
+		{"csi-oversized-tail", append(append([]byte(nil), csiPkt...), 0xde, 0xad), nil},
+		{"imu-short-body", imuPkt[:len(imuPkt)-1], ErrShortPacket},
+		{"imu-header-only", imuPkt[:headerLen], ErrShortPacket},
+		{"imu-oversized-tail", append(append([]byte(nil), imuPkt...), 1, 2, 3, 4), nil},
+		{"valid-csi", csiPkt, nil},
+		{"valid-imu", imuPkt, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pkt, err := Decode(tc.b)
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("Decode() = %v, want success", err)
+				}
+				if pkt == nil || (pkt.CSI == nil && pkt.IMU == nil) {
+					t.Fatalf("Decode() returned empty packet %+v", pkt)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Decode() = %v, want %v", err, tc.want)
+			}
+			if pkt != nil {
+				t.Fatalf("failed decode still returned a packet: %+v", pkt)
+			}
+		})
+	}
+}
+
+// TestRecvErrorClassification pins the receive-error taxonomy the
+// serving loop's backoff logic branches on.
+func TestRecvErrorClassification(t *testing.T) {
+	recv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	send, err := Dial(recv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+
+	// Deadline expiry → ErrTimeout, not fatal.
+	_, err = recv.Recv(30 * time.Millisecond)
+	if !IsTimeout(err) {
+		t.Fatalf("timeout classified as %v", err)
+	}
+	if IsDecode(err) || IsFatal(err) {
+		t.Fatalf("timeout misclassified: decode=%v fatal=%v", IsDecode(err), IsFatal(err))
+	}
+
+	// Undecodable datagram → ErrDecode with the wire error in the
+	// chain; the socket stays usable.
+	if err := send.SendRaw([]byte("JUNKJUNKJUNKJUNK")); err != nil {
+		t.Fatal(err)
+	}
+	_, addr, err := recv.RecvFrom(2 * time.Second)
+	if !IsDecode(err) || !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("garbage datagram classified as %v", err)
+	}
+	if addr == nil {
+		t.Fatal("decode error lost the source address")
+	}
+	if IsTimeout(err) || IsFatal(err) {
+		t.Fatalf("decode error misclassified: timeout=%v fatal=%v", IsTimeout(err), IsFatal(err))
+	}
+	// The socket survived: a good datagram still arrives.
+	if err := send.SendIMU(&imu.Reading{Time: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recv.Recv(2 * time.Second); err != nil {
+		t.Fatalf("socket unusable after decode error: %v", err)
+	}
+
+	// Closed socket → fatal.
+	recv.Close()
+	_, err = recv.Recv(30 * time.Millisecond)
+	if err == nil || !IsFatal(err) {
+		t.Fatalf("closed-socket error classified as %v (fatal=%v)", err, IsFatal(err))
+	}
+
+	// The predicates agree on edge inputs.
+	if IsFatal(nil) {
+		t.Fatal("IsFatal(nil)")
+	}
+	if !IsFatal(errors.New("anything else")) {
+		t.Fatal("unclassified errors must be fatal")
+	}
+}

@@ -1,6 +1,7 @@
 package wifi
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -8,6 +9,46 @@ import (
 	"vihot/internal/csi"
 	"vihot/internal/imu"
 )
+
+// Receive errors fall into three classes a serving loop must treat
+// differently: deadline expiries (keep polling), undecodable datagrams
+// (count and keep reading — the socket is fine), and everything else
+// (the socket itself failed; back off or give up). Recv/RecvFrom wrap
+// their errors so callers can branch with errors.Is / the predicates
+// below instead of string matching.
+var (
+	// ErrTimeout marks a receive deadline expiry.
+	ErrTimeout = errors.New("wifi: receive timed out")
+	// ErrDecode marks a datagram that arrived but failed to decode;
+	// the underlying wire error (ErrShortPacket, ErrBadMagic, …)
+	// remains in the chain.
+	ErrDecode = errors.New("wifi: undecodable datagram")
+)
+
+// IsTimeout reports whether err is a receive deadline expiry — the
+// caller should simply poll again.
+func IsTimeout(err error) bool { return errors.Is(err, ErrTimeout) }
+
+// IsDecode reports whether err is a malformed-datagram error — the
+// socket is healthy and the next read may succeed.
+func IsDecode(err error) bool { return errors.Is(err, ErrDecode) }
+
+// IsFatal reports whether err means the socket itself is broken (for
+// example errors.Is(err, net.ErrClosed)): retrying the same call
+// without backing off will spin. Decode errors and timeouts are not
+// fatal.
+func IsFatal(err error) bool {
+	return err != nil && !IsTimeout(err) && !IsDecode(err)
+}
+
+// wrapRecvErr classifies a socket read error.
+func wrapRecvErr(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %w", ErrTimeout, err)
+	}
+	return err
+}
 
 // Sender streams CSI frames and IMU readings over UDP — the role of
 // the phone's iperf client in the prototype (Sec. 4). It is safe for
@@ -46,6 +87,14 @@ func (s *Sender) SendCSI(f *csi.Frame) error {
 func (s *Sender) SendIMU(r *imu.Reading) error {
 	b := EncodeIMU(s.buf[:0], r)
 	s.buf = b[:0]
+	_, err := s.conn.Write(b)
+	return err
+}
+
+// SendRaw transmits one already-encoded datagram verbatim. It is the
+// raw hook fault injectors (internal/faults) use to deliver mutated,
+// duplicated, or reordered packets without re-encoding them.
+func (s *Sender) SendRaw(b []byte) error {
 	_, err := s.conn.Write(b)
 	return err
 }
@@ -108,11 +157,11 @@ func (r *Receiver) RecvFrom(timeout time.Duration) (*Packet, *net.UDPAddr, error
 	}
 	n, addr, err := r.conn.ReadFromUDP(r.buf)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, wrapRecvErr(err)
 	}
 	pkt, err := Decode(r.buf[:n])
 	if err != nil {
-		return nil, addr, err
+		return nil, addr, fmt.Errorf("%w: %w", ErrDecode, err)
 	}
 	return pkt, addr, nil
 }

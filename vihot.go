@@ -72,6 +72,9 @@ const (
 	SourceFront  = core.SourceFront
 	SourceHeld   = core.SourceHeld
 	SourceCamera = core.SourceCamera
+	// SourceCoast marks estimates forecast forward by the serving
+	// engine while its CSI stream is starved (DESIGN.md §8).
+	SourceCoast = core.SourceCoast
 )
 
 // NewProfiler returns a streaming profiler targeting the given match
@@ -141,6 +144,23 @@ type (
 	SessionItem = serve.Item
 	// SessionCounters is a snapshot of a manager's traffic counters.
 	SessionCounters = serve.CounterSnapshot
+	// SessionHealth is a session's degradation state (DESIGN.md §8).
+	SessionHealth = serve.Health
+	// SessionHealthConfig tunes the degradation state machine's
+	// staleness thresholds and coasting cadence.
+	SessionHealthConfig = serve.HealthConfig
+)
+
+// Degradation states, in order of decreasing confidence. A session
+// moves down this ladder as its CSI stream starves (stream time, not
+// wall clock) and climbs back after sustained clean flow; query with
+// SessionManager.Health or subscribe via Config.OnHealth /
+// Config.OnEstimateHealth.
+const (
+	SessionHealthy  = serve.Healthy
+	SessionDegraded = serve.Degraded
+	SessionCoasting = serve.Coasting
+	SessionStale    = serve.Stale
 )
 
 // Session item kinds.
