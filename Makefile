@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build test race vet fuzz-smoke
+.PHONY: verify build test race vet fuzz-smoke bench-obs
 
 # verify is the tier-1 gate: vet + build + full test suite + the race
 # runs that give the concurrency and fault-injection tests their teeth.
@@ -18,12 +18,18 @@ build:
 test:
 	$(GO) test ./...
 
-# The serving engine's stress/soak tests and the fault injector only
-# mean something under the race detector.
+# The serving engine's stress/soak tests, the fault injector, and the
+# metrics registry (scraped concurrently with the hot path) only mean
+# something under the race detector.
 race:
-	$(GO) test -race ./internal/serve ./internal/faults
+	$(GO) test -race ./internal/serve ./internal/faults ./internal/obs
 
 # Short open-ended fuzz pass over the two adversarial-input surfaces.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzSanitize -fuzztime=10s ./internal/csi
 	$(GO) test -fuzz=FuzzWireDecode -fuzztime=10s ./internal/wifi
+
+# Observability overhead benchmark: serving throughput with obs off vs
+# metrics vs metrics+trace (DESIGN.md §9's overhead budget, measured).
+bench-obs:
+	$(GO) run ./cmd/vihot-bench -obsjson BENCH_obs.json

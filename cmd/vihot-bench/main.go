@@ -41,10 +41,18 @@ func main() {
 	list := flag.Bool("list", false, "list figure IDs and exit")
 	estimate := flag.Float64("estimate", 0, "tracker estimate cadence in seconds (0 = config default)")
 	serveJSON := flag.String("servejson", "", "run the session-manager scaling matrix and write a JSON baseline to this path (skips the figure benches)")
+	obsJSON := flag.String("obsjson", "", "run the observability overhead benchmark (serve throughput with obs off vs on) and write JSON to this path (skips the figure benches)")
 	flag.Parse()
 
 	if *serveJSON != "" {
 		if err := runServeBench(*serveJSON, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *obsJSON != "" {
+		if err := runObsBench(*obsJSON, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"vihot/internal/cabin"
+	"vihot/internal/core"
+	"vihot/internal/driver"
+	"vihot/internal/experiment"
+	"vihot/internal/obs"
+	"vihot/internal/serve"
+)
+
+// obsBaseline is the JSON schema of -obsjson: serving throughput with
+// instrumentation off, with the metrics registry scraping stage
+// histograms, and with span tracing on top — the measured cost of the
+// observability layer. The "off" row is the reference; each other row
+// carries its overhead relative to it, which the overhead budget in
+// DESIGN.md holds under 2% for the disabled case by construction
+// (disabled means no clock reads at all) and aims under 10% enabled.
+type obsBaseline struct {
+	GoVersion  string         `json:"go_version"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"num_cpu"`
+	Seed       int64          `json:"seed"`
+	FramesPer  int            `json:"frames_per_session"`
+	Shards     int            `json:"shards"`
+	Sessions   int            `json:"sessions"`
+	Repeats    int            `json:"repeats"`
+	Results    []obsBenchCell `json:"results"`
+}
+
+type obsBenchCell struct {
+	Mode        string  `json:"mode"` // off | metrics | metrics+trace
+	Frames      int     `json:"frames"`
+	Seconds     float64 `json:"seconds"`
+	FramesPerS  float64 `json:"frames_per_s"`
+	Estimates   uint64  `json:"estimates"`
+	OverheadPct float64 `json:"overhead_pct"` // vs the off row; 0 for off
+}
+
+// runObsBench measures serving throughput with observability off and
+// on. Each mode runs repeat times and keeps the fastest run — the
+// usual way to compare fixed workloads under scheduler noise.
+func runObsBench(path string, seed int64) error {
+	start := time.Now()
+	env, err := experiment.NewEnv(cabin.DefaultConfig(), seed)
+	if err != nil {
+		return err
+	}
+	popt := experiment.DefaultProfileOptions()
+	popt.Positions = 5
+	popt.PerPositionS = 5
+	profile, _, err := env.CollectProfile(driver.DriverA(), popt)
+	if err != nil {
+		return err
+	}
+	sc, _ := driver.SweepScenario(driver.DriverA(), 1, 10, 115)
+	phases, err := env.PhaseSeries(sc)
+	if err != nil {
+		return err
+	}
+	if len(phases) > 1000 {
+		phases = phases[:1000]
+	}
+
+	const (
+		shards   = 4
+		sessions = 16
+		repeats  = 3
+	)
+	base := obsBaseline{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Seed:       seed,
+		FramesPer:  len(phases),
+		Shards:     shards,
+		Sessions:   sessions,
+		Repeats:    repeats,
+	}
+
+	// one bench pass: build a manager in the given mode, replay the
+	// phase stream into every session, report frames/s.
+	pass := func(mode string) (obsBenchCell, error) {
+		var cfg serve.Config
+		cfg.Shards = shards
+		cfg.QueueLen = len(phases)*sessions + 1024
+		switch mode {
+		case "metrics":
+			cfg.Metrics = obs.NewRegistry()
+		case "metrics+trace":
+			cfg.Metrics = obs.NewRegistry()
+			cfg.Trace = obs.NewTracer(obs.DefaultTraceCapacity)
+		}
+		mgr := serve.New(cfg)
+		defer mgr.Close()
+		ids := make([]string, sessions)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("s%03d", i)
+			if err := mgr.Open(ids[i], profile, core.DefaultPipelineConfig()); err != nil {
+				return obsBenchCell{}, err
+			}
+		}
+		t0 := time.Now()
+		batch := make([]serve.Item, 0, sessions)
+		for _, s := range phases {
+			batch = batch[:0]
+			for _, id := range ids {
+				batch = append(batch, serve.Item{Session: id, Kind: serve.KindPhase, Time: s.T, Phi: s.V})
+			}
+			mgr.PushBatch(batch)
+		}
+		mgr.Flush()
+		dt := time.Since(t0).Seconds()
+		snap := mgr.Counters().Snapshot()
+		frames := len(phases) * sessions
+		return obsBenchCell{
+			Mode: mode, Frames: frames, Seconds: dt,
+			FramesPerS: float64(frames) / dt, Estimates: snap.Estimates,
+		}, nil
+	}
+
+	var offRate float64
+	for _, mode := range []string{"off", "metrics", "metrics+trace"} {
+		best := obsBenchCell{}
+		for r := 0; r < repeats; r++ {
+			cell, err := pass(mode)
+			if err != nil {
+				return err
+			}
+			if cell.FramesPerS > best.FramesPerS {
+				best = cell
+			}
+		}
+		if mode == "off" {
+			offRate = best.FramesPerS
+		} else if offRate > 0 {
+			best.OverheadPct = 100 * (offRate - best.FramesPerS) / offRate
+		}
+		base.Results = append(base.Results, best)
+		fmt.Printf("%-14s %8.0f frames/s  (%d estimates, overhead %+.1f%%)\n",
+			best.Mode, best.FramesPerS, best.Estimates, best.OverheadPct)
+	}
+
+	blob, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s in %.0f s\n", path, time.Since(start).Seconds())
+	return nil
+}

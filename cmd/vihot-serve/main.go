@@ -9,6 +9,7 @@
 //
 //	vihot-serve [-drivers K] [-shards N] [-seconds S] [-queue Q] [-seed N]
 //	            [-loss P] [-dup P] [-reorder P] [-corrupt P] [-fault-seed N]
+//	            [-metrics-addr HOST:PORT] [-trace-out FILE]
 //
 // Each simulated driver replays an internal/driver glance-and-steer
 // scenario; the tool prints per-session tracking accuracy against the
@@ -16,16 +17,30 @@
 // (including frames shed under load). The -loss/-dup/-reorder/-corrupt
 // flags wrap every car's sender in an internal/faults packet injector,
 // so the whole serving stack can be watched riding out a hostile link.
+//
+// With -metrics-addr the process serves the internal/obs registry in
+// Prometheus text format at /metrics, Go's profiler at /debug/pprof/,
+// and (when -trace-out is also set) the live span ring at /trace. With
+// -trace-out the per-stage latency spans are written as JSON at exit,
+// ready for vihot-trace spans. Both are off by default, in which case
+// the serving stack reads no extra clocks.
+//
+// SIGINT or SIGTERM stops the senders, drains what already reached the
+// shard queues, and still prints the full per-session summary — so an
+// interrupted run reports what it did instead of dying silently.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 
 	"vihot/internal/cabin"
@@ -36,6 +51,7 @@ import (
 	"vihot/internal/faults"
 	"vihot/internal/geom"
 	"vihot/internal/imu"
+	"vihot/internal/obs"
 	"vihot/internal/serve"
 	"vihot/internal/stats"
 	"vihot/internal/wifi"
@@ -63,8 +79,12 @@ func main() {
 	flag.Float64Var(&ff.reorder, "reorder", 0, "UDP reordering probability per datagram")
 	flag.Float64Var(&ff.corrupt, "corrupt", 0, "UDP bit-corruption probability per datagram")
 	flag.Int64Var(&ff.seed, "fault-seed", 1, "fault-injection seed")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve Prometheus /metrics and /debug/pprof/ on this address (e.g. :9090); empty disables")
+	traceOut := flag.String("trace-out", "",
+		"write per-stage latency spans as JSON to this file at exit; empty disables tracing")
 	flag.Parse()
-	if err := run(*drivers, *shards, *seconds, *queue, *seed, ff); err != nil {
+	if err := run(*drivers, *shards, *seconds, *queue, *seed, ff, *metricsAddr, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -89,11 +109,30 @@ type car struct {
 	flush    func() error
 }
 
-func run(drivers, shards int, seconds float64, queue int, seed int64, ff faultFlags) error {
+func run(drivers, shards int, seconds float64, queue int, seed int64, ff faultFlags,
+	metricsAddr, traceOut string) error {
 	if drivers < 1 {
 		drivers = 1
 	}
 	start := time.Now()
+
+	// SIGINT/SIGTERM turns into context cancellation: the senders stop,
+	// the receiver drains, and the summary still prints.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Observability is opt-in: without these flags no registry or tracer
+	// exists and the serving stack reads no instrumentation clocks.
+	var (
+		reg    *obs.Registry
+		tracer *obs.Tracer
+	)
+	if metricsAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	if traceOut != "" {
+		tracer = obs.NewTracer(obs.DefaultTraceCapacity)
+	}
 
 	// One profile per driver style, shared by every car of that style —
 	// profiling is per-driver, not per-trip (Sec. 5.2.4).
@@ -127,6 +166,29 @@ func run(drivers, shards int, seconds float64, queue int, seed int64, ff faultFl
 	if err := recv.SetReadBuffer(8 << 20); err != nil {
 		return err
 	}
+	if reg != nil {
+		// The receiver keeps its own atomic tallies; export them as
+		// function-backed counters so a scrape reads the live values.
+		st := func(field func(wifi.RecvStats) uint64) func() uint64 {
+			return func() uint64 { return field(recv.Stats()) }
+		}
+		reg.CounterFunc("vihot_wifi_recv_packets_total",
+			"datagrams decoded off the UDP socket", st(func(s wifi.RecvStats) uint64 { return s.Packets }))
+		reg.CounterFunc("vihot_wifi_recv_bytes_total",
+			"payload bytes read off the UDP socket", st(func(s wifi.RecvStats) uint64 { return s.Bytes }))
+		reg.CounterFunc("vihot_wifi_recv_timeouts_total",
+			"receive deadline expiries", st(func(s wifi.RecvStats) uint64 { return s.Timeouts }))
+		reg.CounterFunc("vihot_wifi_recv_decode_errors_total",
+			"datagrams read but undecodable", st(func(s wifi.RecvStats) uint64 { return s.DecodeErrors }))
+	}
+	if metricsAddr != "" {
+		srv, maddr, err := obs.Serve(metricsAddr, reg, tracer)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/metrics (profiler at /debug/pprof/)\n", maddr)
+	}
 
 	var (
 		mu          sync.Mutex
@@ -136,6 +198,8 @@ func run(drivers, shards int, seconds float64, queue int, seed int64, ff faultFl
 	mgr := serve.New(serve.Config{
 		Shards:   shards,
 		QueueLen: queue,
+		Metrics:  reg,
+		Trace:    tracer,
 		OnEstimate: func(id string, est core.Estimate) {
 			mu.Lock()
 			estimates[id] = append(estimates[id], est)
@@ -181,6 +245,9 @@ func run(drivers, shards int, seconds float64, queue int, seed int64, ff faultFl
 			pi := faults.NewPacketInjector(faults.PacketConfig{
 				Loss: ff.loss, Dup: ff.dup, Reorder: ff.reorder, Corrupt: ff.corrupt,
 			}, stats.NewRNG(ff.seed+int64(i)))
+			// Idempotent registration: every car's injector accumulates
+			// into the same vihot_faults_packets_total series.
+			pi.BindMetrics(reg)
 			fs := faults.NewSender(sender, pi)
 			c.out, c.flush = fs, fs.Flush
 		}
@@ -258,6 +325,11 @@ func run(drivers, shards int, seconds float64, queue int, seed int64, ff faultFl
 			nextIMU := 0.0
 			sent := 0
 			for _, t := range c.env.Timing.ArrivalTimes(c.env.RNG.Fork(), c.scenario.Duration) {
+				// Graceful shutdown: a signal stops the stream mid-trip;
+				// whatever already reached the wire still gets processed.
+				if ctx.Err() != nil {
+					break
+				}
 				// Light pacing: full-blast loopback UDP overruns the
 				// kernel socket buffer long before the manager sheds;
 				// a real phone is rate-limited by the air anyway.
@@ -281,6 +353,10 @@ func run(drivers, shards int, seconds float64, queue int, seed int64, ff faultFl
 	}
 	senders.Wait()
 	close(sendDone)
+	interrupted := ctx.Err() != nil
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "\nsignal received: stopping senders, draining sessions")
+	}
 	if err := <-recvDone; err != nil {
 		return err
 	}
@@ -310,7 +386,26 @@ func run(drivers, shards int, seconds float64, queue int, seed int64, ff faultFl
 	fmt.Printf("health: rejected-time=%d coasted=%d suppressed-stale=%d degraded=%d coasting=%d stale=%d recovered=%d resets=%d\n",
 		snap.RejectedTime, snap.Coasted, snap.SuppressedStale,
 		snap.ToDegraded, snap.ToCoasting, snap.ToStale, snap.Recoveries, snap.TrackerResets)
-	fmt.Printf("%d drivers × %.0f s simulated through %d shards in %.1f s wall\n",
-		drivers, seconds, shards, time.Since(start).Seconds())
+	if tracer != nil {
+		d := tracer.Dump()
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d spans (%d overwritten) -> %s\n", len(d.Spans), d.Overwritten, traceOut)
+	}
+	mode := "simulated"
+	if interrupted {
+		mode = "interrupted; drained"
+	}
+	fmt.Printf("%d drivers × %.0f s %s through %d shards in %.1f s wall\n",
+		drivers, seconds, mode, shards, time.Since(start).Seconds())
 	return nil
 }

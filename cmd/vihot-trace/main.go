@@ -7,6 +7,13 @@
 //	vihot-trace record -out drive.vht [-duration S] [-steering] [-seed N]
 //	vihot-trace info   drive.vht
 //	vihot-trace replay drive.vht [-profile-seed N]
+//	vihot-trace spans  spans.json [-stage NAME]
+//
+// The spans subcommand digests a latency-span dump written by
+// vihot-serve -trace-out (or scraped from its /trace endpoint): for
+// each pipeline stage it prints span counts and wall-latency
+// percentiles, turning the raw ring into the per-stage latency budget
+// the span tracer exists to answer for.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"vihot/internal/experiment"
 	"vihot/internal/geom"
 	"vihot/internal/imu"
+	"vihot/internal/obs"
 	"vihot/internal/stats"
 	"vihot/internal/trace"
 )
@@ -35,13 +43,15 @@ func main() {
 		info(os.Args[2:])
 	case "replay":
 		replay(os.Args[2:])
+	case "spans":
+		spans(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: vihot-trace record|info|replay [flags] [file]")
+	fmt.Fprintln(os.Stderr, "usage: vihot-trace record|info|replay|spans [flags] [file]")
 	os.Exit(2)
 }
 
@@ -160,4 +170,67 @@ func replay(args []string) {
 	s := stats.Summarize(errs)
 	fmt.Printf("replayed %d estimates: median %.1f°, mean %.1f°, p90 %.1f°, max %.1f°\n",
 		s.N, s.Median, s.Mean, s.P90, s.Max)
+}
+
+// spanStageOrder lists the known stages in pipeline order, so the
+// summary reads top-to-bottom the way an item flows. Unknown stages
+// (future instrumentation) follow in first-seen order.
+var spanStageOrder = []string{"dwell", "sanitize", "match", "track", "fuse"}
+
+func spans(args []string) {
+	fs := flag.NewFlagSet("spans", flag.ExitOnError)
+	only := fs.String("stage", "", "restrict the summary to one stage name")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	d, err := obs.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	byStage := map[string][]float64{} // stage -> durations in ms
+	sessions := map[string]bool{}
+	order := append([]string(nil), spanStageOrder...)
+	for _, sp := range d.Spans {
+		if *only != "" && sp.Stage != *only {
+			continue
+		}
+		if _, seen := byStage[sp.Stage]; !seen {
+			known := false
+			for _, s := range order {
+				if s == sp.Stage {
+					known = true
+					break
+				}
+			}
+			if !known {
+				order = append(order, sp.Stage)
+			}
+		}
+		byStage[sp.Stage] = append(byStage[sp.Stage], float64(sp.DurNS)*1e-6)
+		if sp.Session != "" {
+			sessions[sp.Session] = true
+		}
+	}
+
+	fmt.Printf("%d spans held (%d recorded, %d overwritten), %d sessions\n\n",
+		len(d.Spans), d.Recorded, d.Overwritten, len(sessions))
+	fmt.Printf("%-10s %8s %9s %9s %9s %9s %9s\n",
+		"stage", "count", "mean-ms", "p50-ms", "p90-ms", "p99-ms", "max-ms")
+	for _, stage := range order {
+		ds := byStage[stage]
+		if len(ds) == 0 {
+			continue
+		}
+		s := stats.Summarize(ds)
+		p99, _ := stats.Percentile(ds, 99)
+		fmt.Printf("%-10s %8d %9.4f %9.4f %9.4f %9.4f %9.4f\n",
+			stage, s.N, s.Mean, s.Median, s.P90, p99, s.Max)
+	}
 }

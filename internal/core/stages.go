@@ -1,0 +1,35 @@
+package core
+
+// StageObserver receives the wall-clock cost of one named pipeline
+// stage, anchored at the stream time of the sample that drove it:
+// streamT is the sensor timestamp (the timeline estimates, golden
+// traces, and the degradation machine run on), durNS the wall-clock
+// nanoseconds the stage just took. internal/serve installs an observer
+// that feeds the obs registry's per-stage histograms and the span
+// tracer.
+//
+// Observers run synchronously on the pipeline's owning goroutine, so
+// they must be cheap and must not call back into the pipeline. A nil
+// observer disables stage timing entirely — the pipeline then reads no
+// clocks, which is what keeps deterministic runs byte-identical and
+// the uninstrumented hot path free.
+type StageObserver func(stage string, streamT float64, durNS int64)
+
+// Stage names reported through StageObserver, in pipeline order. The
+// serving layer adds its own stages (queue dwell) on top; these are
+// the ones the core pipeline itself can time.
+const (
+	// StageSanitize is raw-frame CSI sanitization (Eq. 3). The
+	// sanitizer lives in internal/csi and is invoked by the serving
+	// layer, which reports this stage.
+	StageSanitize = "sanitize"
+	// StageMatch is the DTW series-matching step inside an estimate
+	// (Algorithm 1) — the dominant per-estimate cost.
+	StageMatch = "match"
+	// StageTrack is one full Tracker.Push: window maintenance,
+	// stability detection, matching, and the continuity filter.
+	// StageMatch is a sub-interval of StageTrack.
+	StageTrack = "track"
+	// StageFuse is the camera-fusion blend applied to a CSI estimate.
+	StageFuse = "fuse"
+)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"vihot/internal/dsp"
 	"vihot/internal/dtw"
@@ -167,6 +168,8 @@ type Tracker struct {
 	unwrapped  float64
 	lastRawPhi float64
 	haveRawPhi bool
+
+	stageObs StageObserver
 }
 
 // maxConsecutiveHolds bounds how long the continuity filter may
@@ -269,6 +272,11 @@ func (tk *Tracker) SetMatcher(m *dtw.Matcher) {
 	}
 }
 
+// SetStageObserver installs (or, with nil, removes) the tracker's
+// stage-latency observer; see the StageObserver type. With none
+// installed the tracker reads no clocks at all.
+func (tk *Tracker) SetStageObserver(fn StageObserver) { tk.stageObs = fn }
+
 // Position returns the current head-position estimate (profile
 // index) and whether it has locked via Eq. (4) yet.
 func (tk *Tracker) Position() (int, bool) { return tk.posIdx, tk.posLocked }
@@ -356,7 +364,14 @@ func (tk *Tracker) Push(t, phi float64) (Estimate, bool) {
 		return est, true
 	}
 
+	var mt0 time.Time
+	if tk.stageObs != nil {
+		mt0 = time.Now()
+	}
 	est, err := tk.estimate(t)
+	if tk.stageObs != nil {
+		tk.stageObs(StageMatch, t, time.Since(mt0).Nanoseconds())
+	}
 	if err != nil {
 		return Estimate{}, false
 	}

@@ -119,6 +119,9 @@ type Injector struct {
 
 	// Stats is updated in place as the injector runs.
 	Stats Stats
+	// m optionally shadows Stats into a shared obs registry; see
+	// BindMetrics. All-nil (no-op) until bound.
+	m injectorMetrics
 }
 
 // New builds an Injector. All randomness derives from cfg.Seed through
@@ -177,16 +180,19 @@ func (in *Injector) Pump(session string, items []serve.Item) []serve.Item {
 			b, err := wifi.EncodeCSI(in.buf[:0], it.Frame)
 			if err != nil {
 				in.Stats.EncodeErrors++
+				in.m.encodeErrors.Add(1)
 				continue
 			}
 			in.buf = b[:0]
 			in.Stats.WireIn++
+			in.m.wireIn.Add(1)
 			_ = in.packet.Apply(b, in.decodeEmit(&out, session))
 		case serve.KindIMU:
 			r := it.IMU
 			b := wifi.EncodeIMU(in.buf[:0], &r)
 			in.buf = b[:0]
 			in.Stats.WireIn++
+			in.m.wireIn.Add(1)
 			_ = in.packet.Apply(b, in.decodeEmit(&out, session))
 		default:
 			it.Session = session
@@ -205,9 +211,11 @@ func (in *Injector) decodeEmit(out *[]serve.Item, session string) func([]byte) e
 		pkt, err := wifi.Decode(d)
 		if err != nil {
 			in.Stats.DecodeErrors++
+			in.m.decodeErrors.Add(1)
 			return nil
 		}
 		in.Stats.WireOut++
+		in.m.wireOut.Add(1)
 		switch pkt.Type {
 		case wifi.TypeCSI:
 			*out = append(*out, serve.Item{Session: session, Kind: serve.KindFrame, Frame: pkt.CSI})
@@ -222,21 +230,25 @@ func (in *Injector) decodeEmit(out *[]serve.Item, session string) func([]byte) e
 // one item, appending 0, 1, or 2 items to out.
 func (in *Injector) applyOne(out []serve.Item, it serve.Item) []serve.Item {
 	in.Stats.Items++
+	in.m.items.Add(1)
 	t := itemTime(it)
 	switch it.Kind {
 	case serve.KindPhase, serve.KindFrame:
 		if anyContains(in.cfg.CSIBlackouts, t) {
 			in.Stats.BlackedOut++
+			in.m.blackedOut.Add(1)
 			return out
 		}
 	case serve.KindIMU:
 		if anyContains(in.cfg.IMUOutages, t) {
 			in.Stats.BlackedOut++
+			in.m.blackedOut.Add(1)
 			return out
 		}
 	case serve.KindCamera:
 		if anyContains(in.cfg.CameraOutages, t) {
 			in.Stats.BlackedOut++
+			in.m.blackedOut.Add(1)
 			return out
 		}
 	}
@@ -250,6 +262,7 @@ func (in *Injector) applyOne(out []serve.Item, it serve.Item) []serve.Item {
 	if cc.JitterStd > 0 {
 		setItemTime(&it, t+in.clock.Normal(0, cc.JitterStd))
 		in.Stats.Jittered++
+		in.m.jittered.Add(1)
 		t = itemTime(it)
 	}
 	if cc.Regress > 0 && in.clock.Bool(cc.Regress) {
@@ -259,10 +272,12 @@ func (in *Injector) applyOne(out []serve.Item, it serve.Item) []serve.Item {
 		}
 		setItemTime(&it, t-back)
 		in.Stats.Regressed++
+		in.m.regressed.Add(1)
 	}
 	out = append(out, it)
 	if cc.Dup > 0 && in.clock.Bool(cc.Dup) {
 		in.Stats.DupItems++
+		in.m.dupItems.Add(1)
 		out = append(out, it)
 	}
 	return out

@@ -1,0 +1,89 @@
+package faults
+
+import "vihot/internal/obs"
+
+// Metric shadows of the Stats counters. Stats stays plain ints — the
+// injector's single-goroutine contract makes them exact and cheap, and
+// tests assert on them — while the *obs.Counter fields below are an
+// optional second tally into a shared registry so a scrape sees fault
+// traffic across every concurrent car. Unbound injectors hold nil
+// counters, whose Add is a no-op: injection without a registry costs
+// one nil check per event.
+//
+// Registration is idempotent by (name, labels), so any number of
+// per-session injectors bound to the same registry accumulate into the
+// same series — the fleet-wide totals are what an operator wants.
+type injectorMetrics struct {
+	items        *obs.Counter
+	blackedOut   *obs.Counter
+	jittered     *obs.Counter
+	regressed    *obs.Counter
+	dupItems     *obs.Counter
+	wireIn       *obs.Counter
+	wireOut      *obs.Counter
+	encodeErrors *obs.Counter
+	decodeErrors *obs.Counter
+}
+
+// BindMetrics mirrors this injector's Stats into registry-backed
+// counters (vihot_faults_*), including its packet sub-injector. Safe to
+// call on any number of injectors sharing one registry; a nil registry
+// is ignored. Call before injecting — binding is not synchronized with
+// a running injector.
+func (in *Injector) BindMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	fault := func(kind string) *obs.Counter {
+		return r.Counter("vihot_faults_injected_total",
+			"stream-level faults injected, by fault kind", "fault", kind)
+	}
+	wire := func(dir string) *obs.Counter {
+		return r.Counter("vihot_faults_wire_datagrams_total",
+			"datagrams through the injected wire, by direction", "dir", dir)
+	}
+	codec := func(op string) *obs.Counter {
+		return r.Counter("vihot_faults_codec_errors_total",
+			"wire codec failures during pump, by operation", "op", op)
+	}
+	in.m = injectorMetrics{
+		items:        r.Counter("vihot_faults_items_total", "items offered to the fault injector"),
+		blackedOut:   fault("blackout"),
+		jittered:     fault("jitter"),
+		regressed:    fault("regress"),
+		dupItems:     fault("dup"),
+		wireIn:       wire("in"),
+		wireOut:      wire("out"),
+		encodeErrors: codec("encode"),
+		decodeErrors: codec("decode"),
+	}
+	in.packet.BindMetrics(r)
+}
+
+// packetMetrics shadows PacketStats; see injectorMetrics.
+type packetMetrics struct {
+	sent       *obs.Counter
+	lost       *obs.Counter
+	duplicated *obs.Counter
+	reordered  *obs.Counter
+	corrupted  *obs.Counter
+}
+
+// BindMetrics mirrors this packet injector's Stats into
+// vihot_faults_packets_total{fate=...}. A nil registry is ignored.
+func (pi *PacketInjector) BindMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	fate := func(what string) *obs.Counter {
+		return r.Counter("vihot_faults_packets_total",
+			"datagram fates in the wire-fault channel", "fate", what)
+	}
+	pi.m = packetMetrics{
+		sent:       fate("sent"),
+		lost:       fate("lost"),
+		duplicated: fate("duplicated"),
+		reordered:  fate("reordered"),
+		corrupted:  fate("corrupted"),
+	}
+}

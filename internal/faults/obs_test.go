@@ -1,0 +1,109 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"vihot/internal/imu"
+	"vihot/internal/obs"
+	"vihot/internal/serve"
+)
+
+// TestBindMetricsMirrorsStats drives an injector hard enough to hit
+// every fault family and checks the registry-backed counters agree
+// with the plain Stats ints they shadow.
+func TestBindMetricsMirrorsStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	in := New(Config{
+		Seed:         3,
+		Packet:       PacketConfig{Loss: 0.2, Dup: 0.2, Reorder: 0.2, Corrupt: 0.2},
+		Clock:        ClockConfig{JitterStd: 0.0001, Regress: 0.1, Dup: 0.1},
+		CSIBlackouts: []Window{{Start: 0.2, End: 0.4}},
+	})
+	in.BindMetrics(reg)
+
+	// Phases exercise the stream-level faults; IMU readings round-trip
+	// the wire, exercising the packet layer.
+	items := make([]serve.Item, 0, 1200)
+	for i := 0; i < 600; i++ {
+		t := float64(i) * 0.002
+		items = append(items,
+			serve.Item{Kind: serve.KindPhase, Time: t, Phi: 0.1},
+			serve.Item{Kind: serve.KindIMU, IMU: imu.Reading{Time: t, GyroZ: 1}},
+		)
+	}
+	_ = in.Pump("s1", items)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	expect := map[string]int{
+		`vihot_faults_items_total`:                      in.Stats.Items,
+		`vihot_faults_injected_total{fault="blackout"}`: in.Stats.BlackedOut,
+		`vihot_faults_injected_total{fault="jitter"}`:   in.Stats.Jittered,
+		`vihot_faults_injected_total{fault="regress"}`:  in.Stats.Regressed,
+		`vihot_faults_injected_total{fault="dup"}`:      in.Stats.DupItems,
+		`vihot_faults_packets_total{fate="sent"}`:       in.Packet().Stats.Sent,
+		`vihot_faults_packets_total{fate="lost"}`:       in.Packet().Stats.Lost,
+		`vihot_faults_packets_total{fate="duplicated"}`: in.Packet().Stats.Duplicated,
+		`vihot_faults_packets_total{fate="reordered"}`:  in.Packet().Stats.Reordered,
+		`vihot_faults_packets_total{fate="corrupted"}`:  in.Packet().Stats.Corrupted,
+	}
+	for series, stat := range expect {
+		if stat == 0 {
+			t.Errorf("fault schedule never exercised %s", series)
+		}
+		want := series + " " + itoa(stat)
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestBindMetricsSharedSeries: two injectors bound to one registry
+// accumulate into the same series (idempotent registration).
+func TestBindMetricsSharedSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	a, b := New(Config{Seed: 1}), New(Config{Seed: 2})
+	a.BindMetrics(reg)
+	b.BindMetrics(reg)
+	items := []serve.Item{{Kind: serve.KindPhase, Time: 0.1, Phi: 0}}
+	a.Apply(items)
+	b.Apply(items)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "vihot_faults_items_total 2\n") {
+		t.Fatalf("injectors did not share the items series:\n%s", sb.String())
+	}
+}
+
+// TestUnboundInjectorNoops: injecting without BindMetrics must work
+// (all shadow counters nil).
+func TestUnboundInjectorNoops(t *testing.T) {
+	in := New(Config{Seed: 1, Clock: ClockConfig{JitterStd: 0.001}})
+	out := in.Apply([]serve.Item{{Kind: serve.KindPhase, Time: 0.1, Phi: 0}})
+	if len(out) != 1 || in.Stats.Items != 1 {
+		t.Fatalf("unbound injector misbehaved: %d items, %+v", len(out), in.Stats)
+	}
+}
+
+func itoa(v int) string {
+	if v < 0 {
+		panic("negative stat")
+	}
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

@@ -54,6 +54,9 @@ type PacketInjector struct {
 
 	// Stats is updated in place as datagrams flow through.
 	Stats PacketStats
+	// m optionally shadows Stats into a shared obs registry; see
+	// BindMetrics. All-nil (no-op) until bound.
+	m packetMetrics
 }
 
 // NewPacketInjector builds an injector drawing from rng.
@@ -72,17 +75,20 @@ func NewPacketInjector(cfg PacketConfig, rng *stats.RNG) *PacketInjector {
 // never mutated (corruption flips bits on a copy).
 func (pi *PacketInjector) Apply(b []byte, emit func([]byte) error) error {
 	pi.Stats.Sent++
+	pi.m.sent.Add(1)
 	if pi.cfg.Corrupt > 0 && pi.rng.Bool(pi.cfg.Corrupt) {
 		b = pi.corrupt(b)
 	}
 	switch {
 	case pi.cfg.Loss > 0 && pi.rng.Bool(pi.cfg.Loss):
 		pi.Stats.Lost++
+		pi.m.lost.Add(1)
 	case pi.cfg.Reorder > 0 && pi.rng.Bool(pi.cfg.Reorder):
 		// Hold a private copy: senders reuse their encode buffers, so
 		// by the time this packet is released b's backing array holds a
 		// different datagram.
 		pi.Stats.Reordered++
+		pi.m.reordered.Add(1)
 		cp := append([]byte(nil), b...)
 		pi.held = append(pi.held, heldPacket{data: cp, after: 1 + pi.rng.Intn(pi.cfg.ReorderDepth)})
 	default:
@@ -91,6 +97,7 @@ func (pi *PacketInjector) Apply(b []byte, emit func([]byte) error) error {
 		}
 		if pi.cfg.Dup > 0 && pi.rng.Bool(pi.cfg.Dup) {
 			pi.Stats.Duplicated++
+			pi.m.duplicated.Add(1)
 			if err := emit(b); err != nil {
 				return err
 			}
@@ -135,6 +142,7 @@ func (pi *PacketInjector) corrupt(b []byte) []byte {
 		return b
 	}
 	pi.Stats.Corrupted++
+	pi.m.corrupted.Add(1)
 	cp := append([]byte(nil), b...)
 	flips := 1 + pi.rng.Intn(8)
 	for i := 0; i < flips; i++ {

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram: observations land in the
+// first bucket whose upper bound is ≥ the value (Prometheus `le`
+// semantics), with an implicit +Inf overflow bucket. Observe is one
+// binary search plus three atomic adds; there is no lock anywhere.
+// A nil Histogram discards observations, so an instrumented call site
+// costs one nil check when the histogram was never registered.
+type Histogram struct {
+	bounds []float64       // strictly increasing finite upper bounds
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Uint64
+	sum    Gauge // observed-value sum (CAS float add)
+}
+
+// NewHistogram builds a histogram over the given upper bounds, which
+// must be non-empty, finite, and strictly increasing. Most callers
+// want Registry.Histogram instead, which also registers the series.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic("obs: histogram bucket bounds must be finite")
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic("obs: histogram bucket bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// sameBounds reports whether two bound slices are identical.
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Observe records one value. NaN observations are dropped (a latency
+// or ratio that failed to compute carries no distribution information).
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	// First bound ≥ v, i.e. the smallest le-bucket that contains v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations (0 for a nil Histogram).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 for a nil Histogram).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear
+// interpolation inside the bucket holding the target rank — the same
+// estimate Prometheus's histogram_quantile computes server-side.
+// Values in the +Inf overflow bucket clamp to the largest finite
+// bound. Returns NaN for an empty histogram, a nil Histogram, or q
+// outside [0, 1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c > 0 && cum+c >= rank {
+			if i == len(h.bounds) {
+				// Overflow bucket: nothing credible beyond the last bound.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			if rank <= cum {
+				return lo
+			}
+			return lo + (hi-lo)*(rank-cum)/c
+		}
+		cum += c
+	}
+	// A concurrent Observe tore count vs buckets; clamp to the top.
+	return h.bounds[len(h.bounds)-1]
+}
+
+// LinearBuckets returns n bounds start, start+width, …
+func LinearBuckets(start, width float64, n int) []float64 {
+	if n < 1 || width <= 0 {
+		panic("obs: LinearBuckets needs n ≥ 1 and width > 0")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExpBuckets returns n bounds start, start·factor, start·factor², …
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n < 1 || start <= 0 || factor <= 1 {
+		panic("obs: ExpBuckets needs n ≥ 1, start > 0, factor > 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets is the default bucket scheme for wall-clock stage
+// latencies, in seconds: powers of two from 1 µs to ~2.1 s. The
+// pipeline's whole per-frame budget is sub-millisecond, so the bottom
+// decade carries the resolution and the top exists only to make
+// pathology (a blocked sink, a stalled scrape) visible.
+func LatencyBuckets() []float64 { return ExpBuckets(1e-6, 2, 22) }

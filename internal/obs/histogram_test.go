@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"vihot/internal/stats"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 5, 100, math.NaN()} {
+		h.Observe(v)
+	}
+	// le semantics: v lands in the first bucket whose bound is ≥ v.
+	want := []uint64{2, 2, 2, 2} // {0.5,1}, {1.5,2}, {3,4}, {5,100}; NaN dropped
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+1.5+2+3+4+5+100; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+// TestHistogramQuantileAgainstReference checks the interpolated
+// quantile against the exact percentile of the same sample set: the
+// histogram estimate must land within the width of the bucket holding
+// the true value — the best any fixed-bucket sketch can promise.
+func TestHistogramQuantileAgainstReference(t *testing.T) {
+	bounds := ExpBuckets(1e-4, 2, 16)
+	h := NewHistogram(bounds)
+	rng := stats.NewRNG(7)
+	xs := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over the bucket range, the shape latency data takes.
+		v := 1e-4 * math.Pow(2, rng.Float64()*15)
+		h.Observe(v)
+		xs = append(xs, v)
+	}
+	sort.Float64s(xs)
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		exact, err := stats.Percentile(xs, q*100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Tolerance: the bucket containing the exact value.
+		i := sort.SearchFloat64s(bounds, exact)
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[len(bounds)-1]
+		if i < len(bounds) {
+			hi = bounds[i]
+		}
+		if got < lo || got > hi {
+			t.Errorf("q=%v: estimate %v outside bucket [%v, %v] of exact %v", q, got, lo, hi, exact)
+		}
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram produced a quantile")
+	}
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(10) // overflow bucket
+	if got := h.Quantile(1); got != 2 {
+		t.Fatalf("q=1 with overflow = %v, want clamp to 2", got)
+	}
+	if !math.IsNaN(h.Quantile(-0.1)) || !math.IsNaN(h.Quantile(1.1)) {
+		t.Fatal("out-of-range q produced a value")
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("q=0 = %v, want 0 (lower edge of first bucket)", got)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(0.1, 0.1, 3)
+	for i, want := range []float64{0.1, 0.2, 0.3} {
+		if math.Abs(lin[i]-want) > 1e-12 {
+			t.Fatalf("LinearBuckets[%d] = %v, want %v", i, lin[i], want)
+		}
+	}
+	exp := ExpBuckets(1, 10, 3)
+	for i, want := range []float64{1, 10, 100} {
+		if exp[i] != want {
+			t.Fatalf("ExpBuckets[%d] = %v, want %v", i, exp[i], want)
+		}
+	}
+	lb := LatencyBuckets()
+	if lb[0] != 1e-6 || len(lb) != 22 {
+		t.Fatalf("LatencyBuckets = [%v…] len %d", lb[0], len(lb))
+	}
+	for _, bad := range []func(){
+		func() { NewHistogram(nil) },
+		func() { NewHistogram([]float64{1, 1}) },
+		func() { NewHistogram([]float64{math.Inf(1)}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid bounds accepted")
+				}
+			}()
+			bad()
+		}()
+	}
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// NewMux builds the observability endpoint: /metrics for the registry,
+// /debug/pprof/… for the runtime profiler, and — when tr is non-nil —
+// /trace for a JSON span dump. pprof is wired onto this private mux
+// explicitly rather than through net/http/pprof's DefaultServeMux side
+// effect, so importing obs never mounts profiling on a mux the caller
+// didn't ask for.
+func NewMux(r *Registry, tr *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if tr != nil {
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = tr.WriteJSON(w)
+		})
+	}
+	return mux
+}
+
+// Serve starts the observability endpoint on addr in a background
+// goroutine and returns the server (for Shutdown/Close) and the bound
+// address (useful with ":0"). tr may be nil.
+func Serve(addr string, r *Registry, tr *Tracer) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: NewMux(r, tr)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}

@@ -1,0 +1,349 @@
+// Package obs is the serving stack's zero-dependency observability
+// subsystem: a lock-cheap metrics registry (counters, gauges,
+// fixed-bucket histograms) with Prometheus text exposition, plus a
+// stream-time span tracer for per-stage pipeline latency (see span.go)
+// and an HTTP mux bundling /metrics, /debug/pprof, and /trace (see
+// http.go).
+//
+// # Design constraints
+//
+// Everything here is stdlib-only and built to sit inside the serving
+// hot path without changing it:
+//
+//   - Update paths are a single atomic add (counters, histogram
+//     buckets) or store (gauges). No metric update takes a lock.
+//   - Every metric method is nil-safe: calling Add/Set/Observe on a
+//     nil *Counter/*Gauge/*Histogram is a no-op, so call sites can be
+//     wired unconditionally and instrumentation stays off by default
+//     simply by never registering the metric.
+//   - Registration is idempotent for counters, gauges, and histograms:
+//     asking the registry for an already-registered series returns the
+//     existing one, so independent components (one fault injector per
+//     car, say) can share a series without coordination.
+//
+// # Consistency
+//
+// A scrape is not a consistent cut: each value is read atomically, but
+// two metrics (or a histogram's buckets and its count) may be torn
+// relative to one another by concurrent updates. Per-series values are
+// monotone for counters and histogram buckets, which is all Prometheus
+// rate arithmetic needs.
+//
+// # Naming scheme
+//
+// Metric families follow vihot_<subsystem>_<noun>[_<unit>][_total]:
+// counters end in _total, durations are histograms in seconds, and
+// discriminators (item kind, drop reason, fault fate, pipeline stage)
+// are labels rather than name suffixes so dashboards can aggregate
+// across them. DESIGN.md §9 records the full scheme.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// ready to use; a nil Counter discards updates.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil Counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can go up and down. The zero value is
+// ready to use; a nil Gauge discards updates.
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits of the current value
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add moves the gauge by delta (negative deltas decrement).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nu := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nu) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 for a nil Gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// metricKind discriminates a family's exposition type.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// series is one labelled instance of a metric family.
+type series struct {
+	labels string // rendered `k="v",k2="v2"` (no braces), "" when unlabelled
+	c      *Counter
+	g      *Gauge
+	cf     func() uint64
+	gf     func() float64
+	h      *Histogram
+}
+
+// family is one metric name: a HELP/TYPE pair plus its labelled series.
+type family struct {
+	name     string
+	help     string
+	kind     metricKind
+	series   []*series
+	byLabels map[string]*series
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. The zero value is not usable; call NewRegistry.
+// All methods are safe for concurrent use; a nil *Registry returns nil
+// metrics from every constructor, which (being nil-safe) makes an
+// unregistered subsystem free.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// lookup finds or creates the (family, series) slot for name+labels,
+// enforcing kind agreement. Returns nil when the series is new.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []string) (*family, *series, string) {
+	mustValidName(name)
+	ls := renderLabels(labels)
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, byLabels: make(map[string]*series)}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: %s re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	return f, f.byLabels[ls], ls
+}
+
+// add inserts a new series into a family.
+func (f *family) add(ls string, s *series) {
+	s.labels = ls
+	f.byLabels[ls] = s
+	f.series = append(f.series, s)
+}
+
+// Counter returns the counter series name{labels}, registering it on
+// first use. labels are alternating key, value pairs. A nil Registry
+// returns nil (a no-op counter).
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, s, ls := r.lookup(name, help, kindCounter, labels)
+	if s != nil {
+		return s.c
+	}
+	c := &Counter{}
+	f.add(ls, &series{c: c})
+	return c
+}
+
+// Gauge returns the gauge series name{labels}, registering it on first
+// use. A nil Registry returns nil (a no-op gauge).
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, s, ls := r.lookup(name, help, kindGauge, labels)
+	if s != nil {
+		return s.g
+	}
+	g := &Gauge{}
+	f.add(ls, &series{g: g})
+	return g
+}
+
+// Histogram returns the histogram series name{labels} over the given
+// bucket upper bounds, registering it on first use. Re-registering an
+// existing series must supply identical bounds. A nil Registry returns
+// nil (a no-op histogram).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, s, ls := r.lookup(name, help, kindHistogram, labels)
+	if s != nil {
+		if !sameBounds(s.h.bounds, bounds) {
+			panic(fmt.Sprintf("obs: histogram %s{%s} re-registered with different buckets", name, ls))
+		}
+		return s.h
+	}
+	h := NewHistogram(bounds)
+	f.add(ls, &series{h: h})
+	return h
+}
+
+// CounterFunc registers a counter whose value is sampled from fn at
+// scrape time — the bridge for components that keep their own atomic
+// tallies (wifi.Receiver, say). fn must be safe to call from the
+// scrape goroutine and should be monotone. Registering the same
+// name+labels twice panics: two callbacks cannot share a series.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, s, ls := r.lookup(name, help, kindCounter, labels)
+	if s != nil {
+		panic(fmt.Sprintf("obs: duplicate CounterFunc %s{%s}", name, ls))
+	}
+	f.add(ls, &series{cf: fn})
+}
+
+// GaugeFunc registers a gauge sampled from fn at scrape time. Same
+// contract as CounterFunc.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, s, ls := r.lookup(name, help, kindGauge, labels)
+	if s != nil {
+		panic(fmt.Sprintf("obs: duplicate GaugeFunc %s{%s}", name, ls))
+	}
+	f.add(ls, &series{gf: fn})
+}
+
+// labelEscaper escapes label values per the exposition format.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// helpEscaper escapes HELP text per the exposition format.
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// renderLabels renders alternating key, value pairs as
+// `k="v",k2="v2"`, sorted by key so the same label set always names
+// the same series regardless of call-site ordering.
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: odd label list (want alternating key, value)")
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		mustValidLabelName(labels[i])
+		kvs = append(kvs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(labelEscaper.Replace(p.v))
+		b.WriteString(`"`)
+	}
+	return b.String()
+}
+
+// mustValidName panics unless name is a legal metric name.
+func mustValidName(name string) {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+}
+
+// mustValidLabelName panics unless name is a legal label name.
+func mustValidLabelName(name string) {
+	if !validName(name) || strings.Contains(name, ":") {
+		panic(fmt.Sprintf("obs: invalid label name %q", name))
+	}
+}
+
+// validName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4): families in registration order,
+// series within a family in registration order, histogram buckets
+// cumulated with the trailing +Inf bucket, _sum, and _count series.
+// A nil Registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.families {
+		if _, err := bw.WriteString("# HELP " + f.name + " " + helpEscaper.Replace(f.help) + "\n"); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString("# TYPE " + f.name + " " + f.kind.String() + "\n"); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if err := writeSeries(bw, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSeries renders one labelled series.
+func writeSeries(bw *bufio.Writer, f *family, s *series) error {
+	switch {
+	case s.c != nil:
+		return writeSample(bw, f.name, s.labels, formatUint(s.c.Value()))
+	case s.cf != nil:
+		return writeSample(bw, f.name, s.labels, formatUint(s.cf()))
+	case s.g != nil:
+		return writeSample(bw, f.name, s.labels, formatFloat(s.g.Value()))
+	case s.gf != nil:
+		return writeSample(bw, f.name, s.labels, formatFloat(s.gf()))
+	case s.h != nil:
+		h := s.h
+		cum := uint64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			le := `le="` + formatFloat(b) + `"`
+			if err := writeSample(bw, f.name+"_bucket", joinLabels(s.labels, le), formatUint(cum)); err != nil {
+				return err
+			}
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		if err := writeSample(bw, f.name+"_bucket", joinLabels(s.labels, `le="+Inf"`), formatUint(cum)); err != nil {
+			return err
+		}
+		if err := writeSample(bw, f.name+"_sum", s.labels, formatFloat(h.Sum())); err != nil {
+			return err
+		}
+		return writeSample(bw, f.name+"_count", s.labels, formatUint(cum))
+	}
+	return nil
+}
+
+// writeSample renders `name{labels} value`.
+func writeSample(bw *bufio.Writer, name, labels, value string) error {
+	if _, err := bw.WriteString(name); err != nil {
+		return err
+	}
+	if labels != "" {
+		if _, err := bw.WriteString("{" + labels + "}"); err != nil {
+			return err
+		}
+	}
+	_, err := bw.WriteString(" " + value + "\n")
+	return err
+}
+
+// joinLabels appends one rendered label to a rendered label list.
+func joinLabels(base, extra string) string {
+	if base == "" {
+		return extra
+	}
+	return base + "," + extra
+}
+
+// formatUint renders a counter value.
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// formatFloat renders a float per the exposition format.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate testdata golden files")
+
+// buildGoldenRegistry constructs a registry covering every exposition
+// shape: labelled and unlabelled counters, gauges, callback metrics,
+// escaping, and a histogram with all three derived series.
+func buildGoldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("vihot_golden_items_total", "items ingested", "kind", "phase").Add(12)
+	r.Counter("vihot_golden_items_total", "items ingested", "kind", "frame").Add(3)
+	r.Counter("vihot_golden_plain_total", "an unlabelled counter").Add(7)
+	r.Gauge("vihot_golden_sessions_open", "open sessions").Set(4)
+	r.Gauge("vihot_golden_ratio", "a fractional gauge").Set(0.625)
+	r.CounterFunc("vihot_golden_sampled_total", "callback counter", func() uint64 { return 99 })
+	r.GaugeFunc("vihot_golden_temp_celsius", "callback gauge", func() float64 { return -1.5 })
+	r.Counter("vihot_golden_escaped_total", "help with \\ and\nnewline",
+		"path", `C:\drive "quoted"`+"\n").Add(1)
+	h := r.Histogram("vihot_golden_latency_seconds", "stage latency", []float64{0.001, 0.01, 0.1}, "stage", "track")
+	for _, v := range []float64{0.0005, 0.002, 0.002, 0.05, 2} {
+		h.Observe(v)
+	}
+	return r
+}
+
+// TestPrometheusGolden locks the exposition format byte-for-byte: a
+// scraper parses this text, so format drift is an interface break, not
+// a cosmetic change. Run with -update to accept an intentional change
+// and review the diff in git.
+func TestPrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := buildGoldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	path := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run go test ./internal/obs -run TestPrometheusGolden -update to create it)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionParses walks the output line-by-line checking the
+// shape every Prometheus parser assumes, independent of the golden
+// bytes: comment lines are HELP/TYPE, samples are `name[{labels}]
+// value`, and histogram buckets are cumulative.
+func TestExpositionParses(t *testing.T) {
+	var sb strings.Builder
+	if err := buildGoldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var lastBucket uint64
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") {
+				t.Fatalf("bad comment line %q", line)
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("sample line %q has no value", line)
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("unterminated label set in %q", line)
+			}
+			name = name[:i]
+		}
+		if !validName(name) {
+			t.Fatalf("invalid sample name in %q", line)
+		}
+		if strings.HasPrefix(line, "vihot_golden_latency_seconds_bucket") {
+			var v uint64
+			for _, c := range line[sp+1:] {
+				v = v*10 + uint64(c-'0')
+			}
+			if v < lastBucket {
+				t.Fatalf("buckets not cumulative at %q", line)
+			}
+			lastBucket = v
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"math"
+
+	"vihot/internal/core"
+	"vihot/internal/obs"
+)
+
+// StageDwell is the serving layer's own span stage: the wall-clock
+// time an item spent in its shard queue between Push and the worker
+// picking it up. Queue dwell is the latency the concurrency model
+// *adds* to the pipeline's own cost, so it gets a first-class stage
+// next to core's sanitize/match/track/fuse.
+const StageDwell = "dwell"
+
+// newCounters registers the manager's traffic counters in r. Every
+// field is a registry-backed counter whose Add is one atomic add —
+// exactly the hot-path cost of the hand-rolled atomic.Uint64 fields
+// these replaced — so the counters exist (and the Snapshot API works)
+// whether or not the caller supplied a registry to scrape them from.
+func newCounters(r *obs.Registry) Counters {
+	items := func(kind string) *obs.Counter {
+		return r.Counter("vihot_serve_items_total",
+			"items accepted into shard queues, by item kind", "kind", kind)
+	}
+	dropped := func(reason string) *obs.Counter {
+		return r.Counter("vihot_serve_dropped_total",
+			"items dropped before reaching a pipeline, by reason", "reason", reason)
+	}
+	trans := func(to string) *obs.Counter {
+		return r.Counter("vihot_serve_health_transitions_total",
+			"degradation state-machine transitions, by destination state", "to", to)
+	}
+	return Counters{
+		phasesIn:        items("phase"),
+		framesIn:        items("frame"),
+		imuIn:           items("imu"),
+		cameraIn:        items("camera"),
+		processed:       r.Counter("vihot_serve_processed_total", "items that reached their session's pipeline stage"),
+		estimates:       r.Counter("vihot_serve_estimates_total", "estimates delivered across all sessions"),
+		droppedStale:    dropped("queue_full"),
+		droppedUnknown:  dropped("unknown_session"),
+		sanitizeErrors:  r.Counter("vihot_serve_sanitize_errors_total", "raw CSI frames rejected by the sanitizer"),
+		rejectedTime:    r.Counter("vihot_serve_rejected_time_total", "items rejected for non-finite, non-monotone, or far-future timestamps"),
+		suppressedStale: r.Counter("vihot_serve_suppressed_stale_total", "pipeline estimates discarded because the session was stale"),
+		coasted:         r.Counter("vihot_serve_coasted_total", "camera/forecast estimates emitted while coasting"),
+		toDegraded:      trans("degraded"),
+		toCoasting:      trans("coasting"),
+		toStale:         trans("stale"),
+		recoveries:      trans("healthy"),
+		trackerResets:   r.Counter("vihot_serve_tracker_resets_total", "tracker restarts after a CSI blackout"),
+	}
+}
+
+// managerObs is the manager's opt-in instrumentation: per-stage wall
+// latency histograms (when Config.Metrics is set) and span tracing
+// (when Config.Trace is set). The Manager holds a nil *managerObs when
+// neither is configured, and every timing call site is gated on that
+// nil — an uninstrumented manager reads no clocks, which is what keeps
+// the deterministic/golden-trace guarantees intact by construction.
+type managerObs struct {
+	sanitize *obs.Histogram
+	match    *obs.Histogram
+	track    *obs.Histogram
+	fuse     *obs.Histogram
+	dwellH   *obs.Histogram
+	tracer   *obs.Tracer
+}
+
+// newManagerObs wires histograms (r may be nil: histograms stay nil
+// and only tracing runs) and the tracer (tr may be nil: vice versa).
+func newManagerObs(r *obs.Registry, tr *obs.Tracer) *managerObs {
+	stage := func(name string) *obs.Histogram {
+		return r.Histogram("vihot_pipeline_stage_seconds",
+			"wall-clock latency of one pipeline stage", obs.LatencyBuckets(), "stage", name)
+	}
+	return &managerObs{
+		sanitize: stage(core.StageSanitize),
+		match:    stage(core.StageMatch),
+		track:    stage(core.StageTrack),
+		fuse:     stage(core.StageFuse),
+		dwellH: r.Histogram("vihot_serve_queue_dwell_seconds",
+			"wall-clock time items spend in a shard queue before processing", obs.LatencyBuckets()),
+		tracer: tr,
+	}
+}
+
+// stage records one pipeline-stage duration into the matching
+// histogram and the span tracer. It is the Manager's core.StageObserver
+// (bound per session in Open) and also serves the serving layer's own
+// sanitize timing.
+func (mo *managerObs) stage(session, stage string, streamT float64, durNS int64) {
+	switch stage {
+	case core.StageSanitize:
+		mo.sanitize.Observe(float64(durNS) * 1e-9)
+	case core.StageMatch:
+		mo.match.Observe(float64(durNS) * 1e-9)
+	case core.StageTrack:
+		mo.track.Observe(float64(durNS) * 1e-9)
+	case core.StageFuse:
+		mo.fuse.Observe(float64(durNS) * 1e-9)
+	}
+	mo.tracer.Record(session, stage, streamT, durNS)
+}
+
+// dwell records one queue-dwell interval.
+func (mo *managerObs) dwell(session string, streamT float64, durNS int64) {
+	mo.dwellH.Observe(float64(durNS) * 1e-9)
+	mo.tracer.Record(session, StageDwell, streamT, durNS)
+}
+
+// streamTime extracts the stream-time anchor an item carries, for span
+// records. Items whose kind carries no timestamp (or a nil frame)
+// anchor at NaN rather than inventing zero.
+func streamTime(it Item) float64 {
+	switch it.Kind {
+	case KindPhase:
+		return it.Time
+	case KindFrame:
+		if it.Frame != nil {
+			return it.Frame.Time
+		}
+		return math.NaN()
+	case KindIMU:
+		return it.IMU.Time
+	case KindCamera:
+		return it.Camera.Time
+	default:
+		return math.NaN()
+	}
+}

@@ -49,12 +49,14 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vihot/internal/camera"
 	"vihot/internal/core"
 	"vihot/internal/csi"
 	"vihot/internal/dtw"
 	"vihot/internal/imu"
+	"vihot/internal/obs"
 )
 
 // Errors returned by the Manager.
@@ -95,6 +97,18 @@ type Config struct {
 	// weight at emission time. Same concurrency contract as
 	// OnEstimate.
 	OnEstimateHealth func(session string, est core.Estimate, h Health, confidence float64)
+
+	// Metrics, if set, registers the manager's metrics there (traffic
+	// counters, session gauge, per-stage latency and queue-dwell
+	// histograms) for scraping — typically via obs.NewMux. If nil the
+	// counters still work (Counters/Snapshot read them) but stage
+	// timing is disabled: the manager reads no wall clocks at all, so
+	// deterministic runs stay byte-identical.
+	Metrics *obs.Registry
+	// Trace, if set, records per-item spans (pipeline stages plus
+	// queue dwell) into the tracer's ring for JSON export. Independent
+	// of Metrics; either enables stage timing.
+	Trace *obs.Tracer
 }
 
 // ItemKind discriminates what an Item carries.
@@ -118,29 +132,37 @@ type Item struct {
 	Frame   *csi.Frame      // KindFrame
 	IMU     imu.Reading     // KindIMU
 	Camera  camera.Estimate // KindCamera
+
+	// enqNS is the wall-clock enqueue instant (UnixNano), stamped only
+	// when instrumentation is on, so workers can report queue dwell.
+	enqNS int64
 }
 
-// Counters tallies a Manager's traffic. Every field is updated with
-// atomic adds — no shared lock sits between shards — so a Snapshot is
-// monotone per field but not a cross-field consistent cut.
+// Counters tallies a Manager's traffic. Every field is a
+// registry-backed obs.Counter updated with atomic adds — no shared
+// lock sits between shards — so a Snapshot is monotone per field but
+// not a cross-field consistent cut. When Config.Metrics is set these
+// are the same series a scrape sees (DESIGN.md §9 names them); when it
+// is not, they live in a private registry and Snapshot is the only
+// reader.
 type Counters struct {
-	phasesIn       atomic.Uint64
-	framesIn       atomic.Uint64
-	imuIn          atomic.Uint64
-	cameraIn       atomic.Uint64
-	processed      atomic.Uint64
-	estimates      atomic.Uint64
-	droppedStale   atomic.Uint64
-	droppedUnknown atomic.Uint64
-	sanitizeErrors atomic.Uint64
-	rejectedTime   atomic.Uint64
-	suppressedStale atomic.Uint64
-	coasted        atomic.Uint64
-	toDegraded     atomic.Uint64
-	toCoasting     atomic.Uint64
-	toStale        atomic.Uint64
-	recoveries     atomic.Uint64
-	trackerResets  atomic.Uint64
+	phasesIn        *obs.Counter
+	framesIn        *obs.Counter
+	imuIn           *obs.Counter
+	cameraIn        *obs.Counter
+	processed       *obs.Counter
+	estimates       *obs.Counter
+	droppedStale    *obs.Counter
+	droppedUnknown  *obs.Counter
+	sanitizeErrors  *obs.Counter
+	rejectedTime    *obs.Counter
+	suppressedStale *obs.Counter
+	coasted         *obs.Counter
+	toDegraded      *obs.Counter
+	toCoasting      *obs.Counter
+	toStale         *obs.Counter
+	recoveries      *obs.Counter
+	trackerResets   *obs.Counter
 }
 
 // CounterSnapshot is one observation of the counters. Conservation:
@@ -181,23 +203,23 @@ func (s CounterSnapshot) Total() uint64 {
 // Snapshot returns the current counter values.
 func (c *Counters) Snapshot() CounterSnapshot {
 	return CounterSnapshot{
-		PhasesIn:        c.phasesIn.Load(),
-		FramesIn:        c.framesIn.Load(),
-		IMUIn:           c.imuIn.Load(),
-		CameraIn:        c.cameraIn.Load(),
-		Processed:       c.processed.Load(),
-		Estimates:       c.estimates.Load(),
-		DroppedStale:    c.droppedStale.Load(),
-		DroppedUnknown:  c.droppedUnknown.Load(),
-		SanitizeErrors:  c.sanitizeErrors.Load(),
-		RejectedTime:    c.rejectedTime.Load(),
-		SuppressedStale: c.suppressedStale.Load(),
-		Coasted:         c.coasted.Load(),
-		ToDegraded:      c.toDegraded.Load(),
-		ToCoasting:      c.toCoasting.Load(),
-		ToStale:         c.toStale.Load(),
-		Recoveries:      c.recoveries.Load(),
-		TrackerResets:   c.trackerResets.Load(),
+		PhasesIn:        c.phasesIn.Value(),
+		FramesIn:        c.framesIn.Value(),
+		IMUIn:           c.imuIn.Value(),
+		CameraIn:        c.cameraIn.Value(),
+		Processed:       c.processed.Value(),
+		Estimates:       c.estimates.Value(),
+		DroppedStale:    c.droppedStale.Value(),
+		DroppedUnknown:  c.droppedUnknown.Value(),
+		SanitizeErrors:  c.sanitizeErrors.Value(),
+		RejectedTime:    c.rejectedTime.Value(),
+		SuppressedStale: c.suppressedStale.Value(),
+		Coasted:         c.coasted.Value(),
+		ToDegraded:      c.toDegraded.Value(),
+		ToCoasting:      c.toCoasting.Value(),
+		ToStale:         c.toStale.Value(),
+		Recoveries:      c.recoveries.Value(),
+		TrackerResets:   c.trackerResets.Value(),
 	}
 }
 
@@ -286,6 +308,8 @@ type Manager struct {
 	cfg      Config
 	shards   []*shard
 	counters Counters
+	obs      *managerObs // nil unless Metrics or Trace configured
+	sessOpen *obs.Gauge
 	wg       sync.WaitGroup
 
 	mu     sync.Mutex
@@ -307,6 +331,18 @@ func New(cfg Config) *Manager {
 	}
 	cfg.Health = cfg.Health.withDefaults()
 	m := &Manager{cfg: cfg}
+	// The counters always exist (Snapshot is part of the API); without
+	// a caller-supplied registry they live in a private one. Stage
+	// timing, dwell tracking, and spans exist only on request.
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	m.counters = newCounters(reg)
+	m.sessOpen = reg.Gauge("vihot_serve_sessions_open", "currently open tracking sessions")
+	if cfg.Metrics != nil || cfg.Trace != nil {
+		m.obs = newManagerObs(cfg.Metrics, cfg.Trace)
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{
 			ring:     make([]Item, cfg.QueueLen),
@@ -382,11 +418,20 @@ func (m *Manager) Open(id string, profile *core.Profile, cfg core.PipelineConfig
 	// any worker touches it; results are unchanged (matcher state does
 	// not carry between calls).
 	pl.Tracker().SetMatcher(sh.matcher)
+	if m.obs != nil {
+		// Stage observers run on the shard worker that owns the
+		// pipeline; histograms and the tracer absorb the concurrency.
+		mo := m.obs
+		pl.SetStageObserver(func(stage string, streamT float64, durNS int64) {
+			mo.stage(id, stage, streamT, durNS)
+		})
+	}
 	sh.sessions[id] = &session{id: id, pl: pl}
 	sh.mu.Unlock()
 	m.mu.Lock()
 	m.nOpen++
 	m.mu.Unlock()
+	m.sessOpen.Add(1)
 	return nil
 }
 
@@ -404,6 +449,7 @@ func (m *Manager) CloseSession(id string) error {
 	m.mu.Lock()
 	m.nOpen--
 	m.mu.Unlock()
+	m.sessOpen.Add(-1)
 	return nil
 }
 
@@ -419,6 +465,9 @@ func (m *Manager) Push(it Item) {
 		sh.mu.Unlock()
 		m.process(sh, s, it)
 		return
+	}
+	if m.obs != nil {
+		it.enqNS = time.Now().UnixNano()
 	}
 	if sh.push(it) {
 		m.counters.droppedStale.Add(1)
@@ -440,6 +489,7 @@ func (m *Manager) PushBatch(items []Item) {
 			}
 			return
 		}
+		m.stampBatch(items)
 		for i := range items {
 			m.count(items[i])
 		}
@@ -448,6 +498,7 @@ func (m *Manager) PushBatch(items []Item) {
 		}
 		return
 	}
+	m.stampBatch(items)
 	// Group by shard, preserving in-batch order within each group.
 	idx := make([]int, len(items))
 	for i := range items {
@@ -468,6 +519,19 @@ func (m *Manager) PushBatch(items []Item) {
 		if d := sh.enqueue(byShard); d > 0 {
 			m.counters.droppedStale.Add(uint64(d))
 		}
+	}
+}
+
+// stampBatch marks a batch's enqueue instant for queue-dwell
+// tracking: one clock read covers the whole batch, since its items
+// enter their queues together.
+func (m *Manager) stampBatch(items []Item) {
+	if m.obs == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	for i := range items {
+		items[i].enqNS = now
 	}
 }
 
@@ -580,6 +644,9 @@ func (m *Manager) process(sh *shard, s *session, it Item) {
 		return
 	}
 	m.counters.processed.Add(1)
+	if m.obs != nil && it.enqNS != 0 {
+		m.obs.dwell(it.Session, streamTime(it), time.Now().UnixNano()-it.enqNS)
+	}
 	hm := !m.cfg.Health.Disable
 	switch it.Kind {
 	case KindIMU:
@@ -621,7 +688,14 @@ func (m *Manager) process(sh *shard, s *session, it Item) {
 		}
 		return
 	case KindFrame:
+		var t0 time.Time
+		if m.obs != nil {
+			t0 = time.Now()
+		}
 		phi, err := csi.Sanitize(it.Frame, 0, 1)
+		if m.obs != nil {
+			m.obs.stage(s.id, core.StageSanitize, it.Frame.Time, time.Since(t0).Nanoseconds())
+		}
 		if err != nil {
 			m.counters.sanitizeErrors.Add(1)
 			if t := it.Frame.Time; !math.IsNaN(t) && !math.IsInf(t, 0) &&

@@ -1,0 +1,35 @@
+package wifi
+
+import "sync/atomic"
+
+// RecvStats is a snapshot of one Receiver's traffic. The receiver
+// itself is driven by one goroutine, but scrapes happen from an HTTP
+// handler's goroutine, so the live tallies are atomics and Stats reads
+// them without coordination (fields may be skewed by a packet relative
+// to each other — fine for monitoring).
+type RecvStats struct {
+	Packets      uint64 // datagrams decoded successfully
+	Bytes        uint64 // payload bytes of datagrams read off the socket
+	Timeouts     uint64 // receive deadline expiries
+	DecodeErrors uint64 // datagrams read but undecodable
+}
+
+// recvStats holds the live atomic tallies embedded in Receiver.
+type recvStats struct {
+	packets   atomic.Uint64
+	bytes     atomic.Uint64
+	timeouts  atomic.Uint64
+	decodeErr atomic.Uint64
+}
+
+// Stats snapshots the receiver's traffic counters. Safe to call
+// concurrently with RecvFrom — this is the hook cmd/vihot-serve binds
+// to obs.Registry.CounterFunc for the vihot_wifi_recv_* series.
+func (r *Receiver) Stats() RecvStats {
+	return RecvStats{
+		Packets:      r.stats.packets.Load(),
+		Bytes:        r.stats.bytes.Load(),
+		Timeouts:     r.stats.timeouts.Load(),
+		DecodeErrors: r.stats.decodeErr.Load(),
+	}
+}

@@ -108,8 +108,9 @@ func (s *Sender) Close() error { return s.conn.Close() }
 
 // Receiver listens for the probe stream — the laptop/head-unit side.
 type Receiver struct {
-	conn *net.UDPConn
-	buf  []byte
+	conn  *net.UDPConn
+	buf   []byte
+	stats recvStats
 }
 
 // Listen binds a Receiver. Pass ":0" to let the kernel pick a port;
@@ -157,12 +158,19 @@ func (r *Receiver) RecvFrom(timeout time.Duration) (*Packet, *net.UDPAddr, error
 	}
 	n, addr, err := r.conn.ReadFromUDP(r.buf)
 	if err != nil {
-		return nil, nil, wrapRecvErr(err)
+		err = wrapRecvErr(err)
+		if IsTimeout(err) {
+			r.stats.timeouts.Add(1)
+		}
+		return nil, nil, err
 	}
+	r.stats.bytes.Add(uint64(n))
 	pkt, err := Decode(r.buf[:n])
 	if err != nil {
+		r.stats.decodeErr.Add(1)
 		return nil, addr, fmt.Errorf("%w: %w", ErrDecode, err)
 	}
+	r.stats.packets.Add(1)
 	return pkt, addr, nil
 }
 

@@ -28,10 +28,13 @@
 package vihot
 
 import (
+	"net/http"
+
 	"vihot/internal/camera"
 	"vihot/internal/core"
 	"vihot/internal/csi"
 	"vihot/internal/imu"
+	"vihot/internal/obs"
 	"vihot/internal/serve"
 )
 
@@ -176,3 +179,40 @@ const (
 // feed interleaved samples with Push/PushBatch from any number of
 // goroutines (one per session's stream). Close releases the workers.
 func NewSessionManager(cfg SessionManagerConfig) *SessionManager { return serve.New(cfg) }
+
+// Observability: the zero-dependency metrics/tracing layer of
+// internal/obs, re-exported because SessionManagerConfig.Metrics and
+// .Trace take these types. Everything is opt-in — a manager built
+// without them reads no instrumentation clocks (DESIGN.md §9).
+type (
+	// MetricsRegistry holds counters, gauges, and latency histograms
+	// with atomic hot paths, exposable in Prometheus text format.
+	MetricsRegistry = obs.Registry
+	// StreamTracer records per-stage latency spans anchored at stream
+	// time into a fixed-capacity ring.
+	StreamTracer = obs.Tracer
+	// TraceSpan is one recorded stage interval.
+	TraceSpan = obs.Span
+	// TraceDump is a tracer snapshot (oldest span first).
+	TraceDump = obs.TraceDump
+)
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewStreamTracer builds a span tracer holding the last capacity spans
+// (<=0 selects the default of 65536).
+func NewStreamTracer(capacity int) *StreamTracer { return obs.NewTracer(capacity) }
+
+// ObsMux mounts /metrics (Prometheus text), /debug/pprof/, and — when
+// tr is non-nil — /trace (span dump JSON) on a new mux, for embedding
+// the observability endpoints in an existing server.
+func ObsMux(r *MetricsRegistry, tr *StreamTracer) *http.ServeMux { return obs.NewMux(r, tr) }
+
+// ServeObs starts the observability endpoints on addr (":0" picks a
+// port; the returned server's Addr field holds the bound address).
+// Close the returned server to stop it.
+func ServeObs(addr string, r *MetricsRegistry, tr *StreamTracer) (*http.Server, error) {
+	srv, _, err := obs.Serve(addr, r, tr)
+	return srv, err
+}
