@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build test race vet fuzz-smoke bench-obs
+.PHONY: verify build test race vet fuzz-smoke bench-obs bench-profilestore
 
 # verify is the tier-1 gate: vet + build + full test suite + the race
 # runs that give the concurrency and fault-injection tests their teeth.
@@ -18,11 +18,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The serving engine's stress/soak tests, the fault injector, and the
-# metrics registry (scraped concurrently with the hot path) only mean
-# something under the race detector.
+# The serving engine's stress/soak tests, the fault injector, the
+# metrics registry (scraped concurrently with the hot path), and the
+# profile store's cold-key storms only mean something under the race
+# detector.
 race:
-	$(GO) test -race ./internal/serve ./internal/faults ./internal/obs
+	$(GO) test -race ./internal/serve ./internal/faults ./internal/obs ./internal/profilestore
 
 # Short open-ended fuzz pass over the two adversarial-input surfaces.
 fuzz-smoke:
@@ -33,3 +34,8 @@ fuzz-smoke:
 # metrics vs metrics+trace (DESIGN.md §9's overhead budget, measured).
 bench-obs:
 	$(GO) run ./cmd/vihot-bench -obsjson BENCH_obs.json
+
+# Profile-store benchmark: cold disk load, zero-allocation hot hit,
+# and a 64-goroutine contention run (DESIGN.md §10).
+bench-profilestore:
+	$(GO) run ./cmd/vihot-bench -profilejson BENCH_profilestore.json

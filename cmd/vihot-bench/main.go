@@ -42,7 +42,16 @@ func main() {
 	estimate := flag.Float64("estimate", 0, "tracker estimate cadence in seconds (0 = config default)")
 	serveJSON := flag.String("servejson", "", "run the session-manager scaling matrix and write a JSON baseline to this path (skips the figure benches)")
 	obsJSON := flag.String("obsjson", "", "run the observability overhead benchmark (serve throughput with obs off vs on) and write JSON to this path (skips the figure benches)")
+	profileJSON := flag.String("profilejson", "", "run the profile-store benchmark (cold load, hot hit, 64-way contention) and write JSON to this path (skips the figure benches)")
 	flag.Parse()
+
+	if *profileJSON != "" {
+		if err := runProfileBench(*profileJSON, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *serveJSON != "" {
 		if err := runServeBench(*serveJSON, *seed); err != nil {

@@ -1,0 +1,153 @@
+// Command vihot-profile is the profile-file toolbox for the versioned
+// on-disk format (see internal/core persist.go): it inspects a
+// profile without trusting it, migrates legacy unversioned-gob files
+// to the current envelope, and prints content fingerprints for
+// comparing profile generations across a fleet.
+//
+// Usage:
+//
+//	vihot-profile inspect FILE...
+//	vihot-profile migrate SRC DST
+//	vihot-profile fingerprint FILE...
+//
+// inspect decodes each file (either encoding), validates it, and
+// reports encoding, shape, and fingerprint. migrate rewrites SRC into
+// DST in the current format, refusing to proceed if the re-read
+// fingerprint does not match the source byte-for-byte semantics.
+// fingerprint prints one `<hex> <path>` line per file — the same
+// 64-bit content hash core.Profile.Fingerprint computes, identical
+// across encodings of the same profile.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"vihot/internal/core"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	var err error
+	switch cmd, args := os.Args[1], os.Args[2:]; cmd {
+	case "inspect":
+		err = runInspect(os.Stdout, args)
+	case "migrate":
+		err = runMigrate(os.Stdout, args)
+	case "fingerprint":
+		err = runFingerprint(os.Stdout, args)
+	case "help", "-h", "--help":
+		usage(os.Stdout)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "vihot-profile: unknown subcommand %q\n", cmd)
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vihot-profile:", err)
+		os.Exit(1)
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
+  vihot-profile inspect FILE...      decode, validate, and describe profile files
+  vihot-profile migrate SRC DST      rewrite SRC (any encoding) as a current-format DST
+  vihot-profile fingerprint FILE...  print each file's 64-bit content fingerprint
+`)
+}
+
+// decodeFile opens and decodes one profile file, reporting its
+// on-disk encoding.
+func decodeFile(path string) (*core.Profile, core.ProfileEncoding, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	return core.DecodeProfile(f)
+}
+
+// runInspect implements the inspect subcommand.
+func runInspect(w io.Writer, paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("inspect: no files given")
+	}
+	for _, path := range paths {
+		p, enc, err := decodeFile(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s:\n", path)
+		fmt.Fprintf(w, "  encoding:     %s\n", enc)
+		if enc == core.EncodingV1 {
+			fmt.Fprintf(w, "  version:      %d (checksum verified)\n", core.ProfileFormatVersion)
+		} else {
+			fmt.Fprintf(w, "  version:      none (no checksum; migrate to fix)\n")
+		}
+		fmt.Fprintf(w, "  size:         %d bytes\n", fi.Size())
+		fmt.Fprintf(w, "  match rate:   %g Hz\n", p.MatchRateHz)
+		fmt.Fprintf(w, "  positions:    %d\n", len(p.Positions))
+		fmt.Fprintf(w, "  grid samples: %d\n", p.GridSamples())
+		fmt.Fprintf(w, "  fingerprint:  %016x\n", p.Fingerprint())
+	}
+	return nil
+}
+
+// runMigrate implements the migrate subcommand: decode (any
+// encoding), re-encode current, and prove the round trip preserved
+// the content by fingerprint before leaving DST in place.
+func runMigrate(w io.Writer, args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("migrate: want SRC DST")
+	}
+	src, dst := args[0], args[1]
+	p, enc, err := decodeFile(src)
+	if err != nil {
+		return fmt.Errorf("%s: %w", src, err)
+	}
+	want := p.Fingerprint()
+	if err := core.SaveProfile(dst, p); err != nil {
+		return fmt.Errorf("%s: %w", dst, err)
+	}
+	// Re-read what we wrote: the migrated file must decode as current
+	// format and fingerprint identically, or the migration is void.
+	q, reEnc, err := decodeFile(dst)
+	if err == nil && reEnc != core.EncodingV1 {
+		err = fmt.Errorf("rewrote as %s, want v1", reEnc)
+	}
+	if err == nil && q.Fingerprint() != want {
+		err = fmt.Errorf("fingerprint changed %016x -> %016x", want, q.Fingerprint())
+	}
+	if err != nil {
+		os.Remove(dst)
+		return fmt.Errorf("migrate verification failed, %s removed: %w", dst, err)
+	}
+	fmt.Fprintf(w, "%s (%s) -> %s (%s), fingerprint %016x preserved\n",
+		src, enc, dst, reEnc, want)
+	return nil
+}
+
+// runFingerprint implements the fingerprint subcommand.
+func runFingerprint(w io.Writer, paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("fingerprint: no files given")
+	}
+	for _, path := range paths {
+		p, _, err := decodeFile(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Fprintf(w, "%016x  %s\n", p.Fingerprint(), path)
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vihot/internal/core"
+)
+
+// goldenProfile reproduces the exact profile the committed
+// testdata/legacy.profile fixture was generated from, so the golden
+// fingerprint is re-derivable from source.
+func goldenProfile() *core.Profile {
+	p := &core.Profile{MatchRateHz: 100}
+	for i := 0; i < 3; i++ {
+		pos := core.PositionProfile{Position: i, Fingerprint: 0.3*float64(i) - 0.5}
+		for k := 0; k < 40; k++ {
+			pos.PhiGrid = append(pos.PhiGrid, math.Sin(float64(k)*0.13+float64(i)))
+			pos.ThetaGrid = append(pos.ThetaGrid, 80*math.Sin(float64(k)*0.17+float64(i)))
+		}
+		p.Positions = append(p.Positions, pos)
+	}
+	return p
+}
+
+func goldenFingerprint(t *testing.T) string {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", "legacy.fingerprint"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimSpace(string(raw))
+}
+
+// TestMigrateGoldenRoundTrip is the satellite acceptance test: the
+// committed legacy-gob fixture migrates into the v1 envelope with an
+// identical Fingerprint(), pinned against both the committed golden
+// value and the source-derived profile.
+func TestMigrateGoldenRoundTrip(t *testing.T) {
+	src := filepath.Join("testdata", "legacy.profile")
+	p, enc, err := decodeFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc != core.EncodingLegacyGob {
+		t.Fatalf("fixture encoding = %v, want legacy-gob", enc)
+	}
+	golden := goldenFingerprint(t)
+	if got := fpHex(p.Fingerprint()); got != golden {
+		t.Fatalf("fixture fingerprint = %s, want golden %s", got, golden)
+	}
+	if got := fpHex(goldenProfile().Fingerprint()); got != golden {
+		t.Fatalf("source-derived fingerprint = %s, want golden %s", got, golden)
+	}
+
+	dst := filepath.Join(t.TempDir(), "migrated.profile")
+	var out strings.Builder
+	if err := runMigrate(&out, []string{src, dst}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), golden) {
+		t.Errorf("migrate output %q does not report the preserved fingerprint", out.String())
+	}
+	q, enc2, err := decodeFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc2 != core.EncodingV1 {
+		t.Errorf("migrated encoding = %v, want v1", enc2)
+	}
+	if fpHex(q.Fingerprint()) != golden {
+		t.Errorf("migrated fingerprint = %s, want %s", fpHex(q.Fingerprint()), golden)
+	}
+
+	// Migrating an already-current file is a no-op rewrite that still
+	// preserves the fingerprint.
+	dst2 := filepath.Join(t.TempDir(), "again.profile")
+	if err := runMigrate(&out, []string{dst, dst2}); err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := decodeFile(dst2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpHex(r.Fingerprint()) != golden {
+		t.Error("second migration changed the fingerprint")
+	}
+}
+
+func TestInspectAndFingerprintSubcommands(t *testing.T) {
+	src := filepath.Join("testdata", "legacy.profile")
+	golden := goldenFingerprint(t)
+
+	var out strings.Builder
+	if err := runInspect(&out, []string{src}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"legacy-gob", "positions:    3", "match rate:   100 Hz", golden} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("inspect output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	if err := runFingerprint(&out, []string{src}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), golden) {
+		t.Errorf("fingerprint output = %q, want prefix %s", out.String(), golden)
+	}
+
+	if err := runInspect(&out, []string{filepath.Join(t.TempDir(), "missing")}); err == nil {
+		t.Error("inspect of missing file succeeded")
+	}
+	if err := runMigrate(&out, []string{"just-one-arg"}); err == nil {
+		t.Error("migrate with one arg succeeded")
+	}
+}
+
+func fpHex(fp uint64) string {
+	const hex = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hex[fp&0xf]
+		fp >>= 4
+	}
+	return string(b[:])
+}

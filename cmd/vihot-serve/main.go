@@ -10,6 +10,7 @@
 //	vihot-serve [-drivers K] [-shards N] [-seconds S] [-queue Q] [-seed N]
 //	            [-loss P] [-dup P] [-reorder P] [-corrupt P] [-fault-seed N]
 //	            [-metrics-addr HOST:PORT] [-trace-out FILE]
+//	            [-profile-dir DIR] [-profile-cache N]
 //
 // Each simulated driver replays an internal/driver glance-and-steer
 // scenario; the tool prints per-session tracking accuracy against the
@@ -24,6 +25,15 @@
 // -trace-out the per-stage latency spans are written as JSON at exit,
 // ready for vihot-trace spans. Both are off by default, in which case
 // the serving stack reads no extra clocks.
+//
+// With -profile-dir the driver profiles take the production lifecycle
+// path: saved to DIR in the versioned profile format, then resolved
+// back through an internal/profilestore shared LRU cache as each
+// session opens (Manager.OpenByKey) — cars sharing a driver style
+// share one cached immutable profile instance, and the store's
+// hit/miss/eviction counters print with the summary (and export via
+// -metrics-addr as vihot_profilestore_*). -profile-cache bounds the
+// cache.
 //
 // SIGINT or SIGTERM stops the senders, drains what already reached the
 // shard queues, and still prints the full per-session summary — so an
@@ -52,6 +62,7 @@ import (
 	"vihot/internal/geom"
 	"vihot/internal/imu"
 	"vihot/internal/obs"
+	"vihot/internal/profilestore"
 	"vihot/internal/serve"
 	"vihot/internal/stats"
 	"vihot/internal/wifi"
@@ -83,8 +94,13 @@ func main() {
 		"serve Prometheus /metrics and /debug/pprof/ on this address (e.g. :9090); empty disables")
 	traceOut := flag.String("trace-out", "",
 		"write per-stage latency spans as JSON to this file at exit; empty disables tracing")
+	profileDir := flag.String("profile-dir", "",
+		"persist driver profiles here and resolve sessions through the shared profile store (OpenByKey); empty keeps the direct Open path")
+	profileCache := flag.Int("profile-cache", 64,
+		"profile-store LRU capacity in profiles (with -profile-dir)")
 	flag.Parse()
-	if err := run(*drivers, *shards, *seconds, *queue, *seed, ff, *metricsAddr, *traceOut); err != nil {
+	if err := run(*drivers, *shards, *seconds, *queue, *seed, ff, *metricsAddr, *traceOut,
+		*profileDir, *profileCache); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -110,7 +126,7 @@ type car struct {
 }
 
 func run(drivers, shards int, seconds float64, queue int, seed int64, ff faultFlags,
-	metricsAddr, traceOut string) error {
+	metricsAddr, traceOut, profileDir string, profileCache int) error {
 	if drivers < 1 {
 		drivers = 1
 	}
@@ -153,6 +169,28 @@ func run(drivers, shards int, seconds float64, queue int, seed int64, ff faultFl
 		profiles[i] = p
 	}
 	fmt.Printf("profiled %d driver styles in %.1f s\n", len(styles), time.Since(start).Seconds())
+
+	// With -profile-dir the profiles take the production path: saved to
+	// disk in the versioned format, then resolved back through the
+	// shared store's LRU cache as sessions open — every car of one
+	// style shares a single cached instance instead of holding its own
+	// copy. Without it, profiles are handed to Open directly.
+	var store *profilestore.Store
+	if profileDir != "" {
+		dl := profilestore.NewDirLoader(profileDir)
+		for i, st := range styles {
+			if err := dl.Save(st.Name, profiles[i]); err != nil {
+				return fmt.Errorf("saving profile %s: %w", st.Name, err)
+			}
+		}
+		store = profilestore.New(profilestore.Config{
+			Capacity: profileCache,
+			Loader:   dl,
+			Metrics:  reg,
+		})
+		fmt.Printf("profile store: %d profiles in %s (cache capacity %d)\n",
+			len(styles), profileDir, profileCache)
+	}
 
 	// The receiver: one UDP socket feeding the session manager.
 	recv, err := wifi.Listen("127.0.0.1:0")
@@ -200,6 +238,7 @@ func run(drivers, shards int, seconds float64, queue int, seed int64, ff faultFl
 		QueueLen: queue,
 		Metrics:  reg,
 		Trace:    tracer,
+		Profiles: store,
 		OnEstimate: func(id string, est core.Estimate) {
 			mu.Lock()
 			estimates[id] = append(estimates[id], est)
@@ -251,7 +290,14 @@ func run(drivers, shards int, seconds float64, queue int, seed int64, ff faultFl
 			fs := faults.NewSender(sender, pi)
 			c.out, c.flush = fs, fs.Flush
 		}
-		if err := mgr.Open(c.id, profiles[i%len(styles)], core.DefaultPipelineConfig()); err != nil {
+		if store != nil {
+			// Resolve through the store: cars sharing a driver style
+			// share one cached immutable profile instance.
+			err = mgr.OpenByKey(c.id, style.Name, core.DefaultPipelineConfig())
+		} else {
+			err = mgr.Open(c.id, profiles[i%len(styles)], core.DefaultPipelineConfig())
+		}
+		if err != nil {
 			return err
 		}
 		cars[i] = c
@@ -386,6 +432,11 @@ func run(drivers, shards int, seconds float64, queue int, seed int64, ff faultFl
 	fmt.Printf("health: rejected-time=%d coasted=%d suppressed-stale=%d degraded=%d coasting=%d stale=%d recovered=%d resets=%d\n",
 		snap.RejectedTime, snap.Coasted, snap.SuppressedStale,
 		snap.ToDegraded, snap.ToCoasting, snap.ToStale, snap.Recoveries, snap.TrackerResets)
+	if store != nil {
+		st := store.Stats()
+		fmt.Printf("profile store: hits=%d misses=%d loads=%d errors=%d evictions=%d cached=%d (%d bytes)\n",
+			st.Hits, st.Misses, st.Loads, st.LoadErrors, st.Evictions, st.Profiles, st.Bytes)
+	}
 	if tracer != nil {
 		d := tracer.Dump()
 		f, err := os.Create(traceOut)

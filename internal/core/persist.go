@@ -1,49 +1,216 @@
 package core
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math"
 	"os"
 )
 
 // Profile persistence: a driver profiles once (≈100 s) and reuses the
 // profile across trips (Sec. 5.2.4 shows a week-old profile still
 // tracks), so the profile must outlive the process.
+//
+// # File format (v1)
+//
+// Profiles are written in a versioned, self-describing envelope so a
+// fleet server can validate a file before trusting it and future
+// format revisions can coexist on disk:
+//
+//	offset  size  field
+//	0       4     magic "ViHP"
+//	4       2     format version, big-endian uint16 (currently 1)
+//	6       2     reserved, must be zero
+//	8       8     payload length, big-endian uint64
+//	16      4     CRC-32 (IEEE) of the payload, big-endian uint32
+//	20      n     payload: encoding/gob of Profile
+//
+// ReadProfile sniffs the magic: files without it fall back to the
+// legacy unversioned-gob decoder, so profiles written before the
+// envelope existed keep loading (cmd/vihot-profile migrate rewrites
+// them). Both paths share one validator, which rejects structurally
+// broken profiles and any non-finite phase/orientation value — a NaN
+// in a grid would otherwise poison every DTW match made against it.
 
-// WriteProfile serializes a profile with encoding/gob.
+// profileMagic opens every versioned profile file.
+const profileMagic = "ViHP"
+
+// ProfileFormatVersion is the newest format version this build writes
+// and the highest it accepts.
+const ProfileFormatVersion = 1
+
+// maxProfilePayload caps the payload length a reader will believe. A
+// corrupt length field must not translate into an arbitrary-size
+// allocation.
+const maxProfilePayload = 1 << 30
+
+// profileHeaderLen is the fixed envelope size before the payload.
+const profileHeaderLen = 20
+
+// ErrCorruptProfile wraps every structural failure of the versioned
+// decoder: bad version, truncation, checksum mismatch, undecodable
+// payload.
+var ErrCorruptProfile = errors.New("core: corrupt profile file")
+
+// ProfileEncoding identifies how a profile file was encoded on disk.
+type ProfileEncoding uint8
+
+// Profile encodings, oldest first.
+const (
+	// EncodingLegacyGob is the original unversioned gob stream.
+	EncodingLegacyGob ProfileEncoding = iota
+	// EncodingV1 is the magic+version+checksum envelope.
+	EncodingV1
+)
+
+// String names the encoding for tooling output.
+func (e ProfileEncoding) String() string {
+	switch e {
+	case EncodingLegacyGob:
+		return "legacy-gob"
+	case EncodingV1:
+		return "v1"
+	default:
+		return fmt.Sprintf("unknown(%d)", uint8(e))
+	}
+}
+
+// WriteProfile serializes a profile in the current (v1) envelope.
 func WriteProfile(w io.Writer, p *Profile) error {
 	if p == nil || len(p.Positions) == 0 {
 		return ErrEmptyProfile
 	}
-	return gob.NewEncoder(w).Encode(p)
+	if err := ValidateProfile(p); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		return fmt.Errorf("core: encode profile: %w", err)
+	}
+	var hdr [profileHeaderLen]byte
+	copy(hdr[0:4], profileMagic)
+	binary.BigEndian.PutUint16(hdr[4:6], ProfileFormatVersion)
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(buf.Len()))
+	binary.BigEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(buf.Bytes()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
 }
 
-// ReadProfile deserializes a profile and validates its shape.
+// ReadProfile deserializes a profile (either encoding) and validates
+// it.
 func ReadProfile(r io.Reader) (*Profile, error) {
+	p, _, err := DecodeProfile(r)
+	return p, err
+}
+
+// DecodeProfile deserializes a profile and reports which on-disk
+// encoding carried it — the seam cmd/vihot-profile inspect/migrate is
+// built on. Corrupt versioned files fail with ErrCorruptProfile.
+func DecodeProfile(r io.Reader) (*Profile, ProfileEncoding, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(profileMagic))
+	if err == nil && string(head) == profileMagic {
+		p, err := decodeV1(br)
+		return p, EncodingV1, err
+	}
+	// No magic: the legacy unversioned gob stream (whose first byte is
+	// a small type-descriptor length, never 'V').
 	var p Profile
-	if err := gob.NewDecoder(r).Decode(&p); err != nil {
-		return nil, fmt.Errorf("core: decode profile: %w", err)
+	if err := gob.NewDecoder(br).Decode(&p); err != nil {
+		return nil, EncodingLegacyGob, fmt.Errorf("core: decode profile: %w", err)
 	}
-	if len(p.Positions) == 0 {
-		return nil, ErrEmptyProfile
+	if err := ValidateProfile(&p); err != nil {
+		return nil, EncodingLegacyGob, err
 	}
-	if p.MatchRateHz <= 0 {
-		return nil, fmt.Errorf("core: profile has invalid match rate %v", p.MatchRateHz)
+	return &p, EncodingLegacyGob, nil
+}
+
+// decodeV1 reads the envelope after the magic has been sniffed.
+func decodeV1(br *bufio.Reader) (*Profile, error) {
+	var hdr [profileHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated header: %v", ErrCorruptProfile, err)
 	}
-	for i, pos := range p.Positions {
-		if len(pos.PhiGrid) != len(pos.ThetaGrid) {
-			return nil, fmt.Errorf("core: profile position %d grids misaligned (%d vs %d)",
-				i, len(pos.PhiGrid), len(pos.ThetaGrid))
-		}
-		if len(pos.PhiGrid) == 0 {
-			return nil, fmt.Errorf("core: profile position %d is empty", i)
-		}
+	if v := binary.BigEndian.Uint16(hdr[4:6]); v == 0 || v > ProfileFormatVersion {
+		return nil, fmt.Errorf("%w: unsupported format version %d (this build reads <= %d)",
+			ErrCorruptProfile, v, ProfileFormatVersion)
+	}
+	if rsv := binary.BigEndian.Uint16(hdr[6:8]); rsv != 0 {
+		return nil, fmt.Errorf("%w: reserved header bytes set (%#04x)", ErrCorruptProfile, rsv)
+	}
+	n := binary.BigEndian.Uint64(hdr[8:16])
+	if n == 0 || n > maxProfilePayload {
+		return nil, fmt.Errorf("%w: implausible payload length %d", ErrCorruptProfile, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, fmt.Errorf("%w: truncated payload: %v", ErrCorruptProfile, err)
+	}
+	want := binary.BigEndian.Uint32(hdr[16:20])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (have %08x, want %08x)",
+			ErrCorruptProfile, got, want)
+	}
+	var p Profile
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("%w: undecodable payload: %v", ErrCorruptProfile, err)
+	}
+	if err := ValidateProfile(&p); err != nil {
+		return nil, err
 	}
 	return &p, nil
 }
 
-// SaveProfile writes a profile to a file.
+// ValidateProfile checks the structural invariants every consumer of
+// a loaded (or about-to-be-saved) profile relies on: non-empty,
+// finite positive match rate, index-aligned non-empty grids, and no
+// non-finite value anywhere — mirroring the NaN/Inf guard the live
+// CSI path applies in csi.Sanitize.
+func ValidateProfile(p *Profile) error {
+	if p == nil || len(p.Positions) == 0 {
+		return ErrEmptyProfile
+	}
+	if p.MatchRateHz <= 0 || math.IsNaN(p.MatchRateHz) || math.IsInf(p.MatchRateHz, 0) {
+		return fmt.Errorf("core: profile has invalid match rate %v", p.MatchRateHz)
+	}
+	for i, pos := range p.Positions {
+		if len(pos.PhiGrid) != len(pos.ThetaGrid) {
+			return fmt.Errorf("core: profile position %d grids misaligned (%d vs %d)",
+				i, len(pos.PhiGrid), len(pos.ThetaGrid))
+		}
+		if len(pos.PhiGrid) == 0 {
+			return fmt.Errorf("core: profile position %d is empty", i)
+		}
+		if math.IsNaN(pos.Fingerprint) || math.IsInf(pos.Fingerprint, 0) {
+			return fmt.Errorf("core: profile position %d has non-finite fingerprint %v",
+				i, pos.Fingerprint)
+		}
+		for k, v := range pos.PhiGrid {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("core: profile position %d has non-finite phase %v at sample %d",
+					i, v, k)
+			}
+		}
+		for k, v := range pos.ThetaGrid {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("core: profile position %d has non-finite orientation %v at sample %d",
+					i, v, k)
+			}
+		}
+	}
+	return nil
+}
+
+// SaveProfile writes a profile to a file in the current format.
 func SaveProfile(path string, p *Profile) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -56,7 +223,7 @@ func SaveProfile(path string, p *Profile) error {
 	return f.Sync()
 }
 
-// LoadProfile reads a profile from a file.
+// LoadProfile reads a profile (either encoding) from a file.
 func LoadProfile(path string) (*Profile, error) {
 	f, err := os.Open(path)
 	if err != nil {

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"encoding/gob"
 	"errors"
+	"math"
 	"path/filepath"
+	"reflect"
 	"testing"
 )
 
@@ -100,8 +102,179 @@ func TestSaveLoadProfileFile(t *testing.T) {
 	}
 }
 
-// gobEncode writes raw gob without WriteProfile's validation, to test
-// ReadProfile's own checks.
+// gobEncode writes raw gob without WriteProfile's validation — both
+// the legacy on-disk encoding and the way to test ReadProfile's own
+// checks.
 func gobEncode(buf *bytes.Buffer, p *Profile) error {
 	return gob.NewEncoder(buf).Encode(p)
+}
+
+func TestWriteProfileEmitsV1Envelope(t *testing.T) {
+	p := synthProfile(t, 2)
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if string(raw[:4]) != profileMagic {
+		t.Fatalf("magic = %q", raw[:4])
+	}
+	got, enc, err := DecodeProfile(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc != EncodingV1 {
+		t.Errorf("encoding = %v, want v1", enc)
+	}
+	if got.Fingerprint() != p.Fingerprint() {
+		t.Error("fingerprint changed across v1 round trip")
+	}
+}
+
+func TestDecodeProfileLegacyGob(t *testing.T) {
+	p := synthProfile(t, 3)
+	var buf bytes.Buffer
+	if err := gobEncode(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, enc, err := DecodeProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc != EncodingLegacyGob {
+		t.Errorf("encoding = %v, want legacy-gob", enc)
+	}
+	if got.Fingerprint() != p.Fingerprint() {
+		t.Error("fingerprint changed across legacy decode")
+	}
+}
+
+// TestReadProfileCorruptInputs is the adversarial table: every way a
+// profile file can be broken must fail loudly, never load quietly.
+func TestReadProfileCorruptInputs(t *testing.T) {
+	p := synthProfile(t, 2)
+	var good bytes.Buffer
+	if err := WriteProfile(&good, p); err != nil {
+		t.Fatal(err)
+	}
+	v1 := good.Bytes()
+
+	nonFinite := func(poison func(*Profile)) []byte {
+		q := p.Clone()
+		poison(q)
+		var buf bytes.Buffer
+		if err := gobEncode(&buf, q); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	flip := func(off int) []byte {
+		b := append([]byte(nil), v1...)
+		b[off] ^= 0x40
+		return b
+	}
+	cases := []struct {
+		name    string
+		in      []byte
+		corrupt bool // must be ErrCorruptProfile specifically
+	}{
+		{"empty", nil, false},
+		{"garbage", []byte("not a profile at all"), false},
+		{"truncated header", v1[:10], true},
+		{"truncated payload", v1[:len(v1)-5], true},
+		{"bad version", flip(5), true},
+		{"reserved bytes set", flip(7), true},
+		{"implausible length", flip(9), true},
+		{"payload bit flip", flip(profileHeaderLen + 11), true},
+		{"checksum bit flip", flip(17), true},
+		{"legacy NaN phase", nonFinite(func(q *Profile) { q.Positions[0].PhiGrid[3] = math.NaN() }), false},
+		{"legacy Inf phase", nonFinite(func(q *Profile) { q.Positions[1].PhiGrid[0] = math.Inf(1) }), false},
+		{"legacy NaN orientation", nonFinite(func(q *Profile) { q.Positions[0].ThetaGrid[2] = math.NaN() }), false},
+		{"legacy Inf fingerprint", nonFinite(func(q *Profile) { q.Positions[0].Fingerprint = math.Inf(-1) }), false},
+		{"legacy NaN match rate", nonFinite(func(q *Profile) { q.MatchRateHz = math.NaN() }), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadProfile(bytes.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("corrupt input accepted")
+			}
+			if tc.corrupt && !errors.Is(err, ErrCorruptProfile) {
+				t.Errorf("err = %v, want ErrCorruptProfile", err)
+			}
+		})
+	}
+}
+
+func TestWriteProfileRejectsNonFinite(t *testing.T) {
+	p := synthProfile(t, 1)
+	p.Positions[0].PhiGrid[0] = math.Inf(1)
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, p); err == nil {
+		t.Error("non-finite phase written without error")
+	}
+}
+
+// TestV1FingerprintStableAcrossEncodings is the migration invariant
+// the CLI's migrate subcommand relies on: the fingerprint is a
+// content hash, so legacy and v1 bytes of the same profile agree.
+func TestV1FingerprintStableAcrossEncodings(t *testing.T) {
+	p := synthProfile(t, 3)
+	var legacy, v1 bytes.Buffer
+	if err := gobEncode(&legacy, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteProfile(&v1, p); err != nil {
+		t.Fatal(err)
+	}
+	pl, err := ReadProfile(&legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv, err := ReadProfile(&v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Fingerprint() != pv.Fingerprint() || pl.Fingerprint() != p.Fingerprint() {
+		t.Errorf("fingerprints diverged: legacy %016x v1 %016x source %016x",
+			pl.Fingerprint(), pv.Fingerprint(), p.Fingerprint())
+	}
+}
+
+// TestProfileImmutableUnderUse deep-freezes a profile and proves the
+// consumers the serving stack shares it across keep their hands off:
+// tracking, persistence, cloning, and merging all leave it untouched.
+func TestProfileImmutableUnderUse(t *testing.T) {
+	p := synthProfile(t, 3)
+	frozen := p.Clone() // the deep-freeze reference snapshot
+	fp := p.Fingerprint()
+
+	pl, err := NewPipeline(p, DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay the profile's own first grid against the tracker: enough
+	// pushes to lock a position and emit estimates.
+	grid := p.Positions[0]
+	for k, phi := range grid.PhiGrid {
+		pl.PushCSI(float64(k)/p.MatchRateHz, phi)
+	}
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadProfile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Merge(frozen); err != nil {
+		t.Fatal(err)
+	}
+	_ = p.Clone()
+
+	if p.Fingerprint() != fp {
+		t.Error("profile fingerprint changed while in use")
+	}
+	if !reflect.DeepEqual(p, frozen) {
+		t.Error("profile content changed while in use")
+	}
 }

@@ -101,6 +101,11 @@ func NewPipeline(p *Profile, cfg PipelineConfig) (*Pipeline, error) {
 // Tracker exposes the underlying CSI tracker (for forecasting).
 func (pl *Pipeline) Tracker() *Tracker { return pl.tracker }
 
+// Profile returns the driver profile the pipeline tracks against —
+// the same shared instance the pipeline was built over, never a copy
+// (see the Profile immutability contract).
+func (pl *Pipeline) Profile() *Profile { return pl.tracker.Profile() }
+
 // SetStageObserver installs (or, with nil, removes) a stage-latency
 // observer on the pipeline and its tracker; see the StageObserver
 // type. With none installed the pipeline reads no clocks at all.

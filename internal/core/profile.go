@@ -49,9 +49,80 @@ type PositionProfile struct {
 }
 
 // Profile is a driver's full CSI profile P = {C₁ … Cₙ} (Sec. 3.3).
+//
+// # Immutability contract
+//
+// Once a Profile has been handed to a consumer — NewTracker,
+// NewPipeline, serve.Manager.Open, or a profilestore cache — it is
+// immutable: no field, slice element, or nested slice may be written
+// again. The serving stack relies on this to share one Profile
+// instance across many concurrent sessions (and with the cache that
+// loaded it) without copies or locks. Operations that conceptually
+// modify a profile return a new one instead: see Merge and Clone.
+// TestProfileImmutableUnderUse deep-freezes a profile and proves the
+// tracker honours the contract.
 type Profile struct {
 	MatchRateHz float64
 	Positions   []PositionProfile
+}
+
+// fnv64 offset/prime constants (FNV-1a), inlined so Fingerprint needs
+// no hash.Hash allocation.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Fingerprint returns a 64-bit FNV-1a hash over the profile's
+// semantic content: match rate, and every position's index,
+// front-facing fingerprint phase, and grids, in order. It is a pure
+// function of the data — independent of how the profile was encoded —
+// so a legacy-gob profile and its migrated v1 copy fingerprint
+// identically, and two sessions can cheaply verify they share the
+// same profile generation. It is not a cryptographic digest.
+func (p *Profile) Fingerprint() uint64 {
+	h := uint64(fnvOffset64)
+	mix := func(v uint64) {
+		for i := 0; i < 64; i += 8 {
+			h ^= (v >> i) & 0xff
+			h *= fnvPrime64
+		}
+	}
+	mixF := func(f float64) { mix(math.Float64bits(f)) }
+	mixF(p.MatchRateHz)
+	mix(uint64(len(p.Positions)))
+	for _, pos := range p.Positions {
+		mix(uint64(int64(pos.Position)))
+		mixF(pos.Fingerprint)
+		mix(uint64(len(pos.PhiGrid)))
+		for _, v := range pos.PhiGrid {
+			mixF(v)
+		}
+		mix(uint64(len(pos.ThetaGrid)))
+		for _, v := range pos.ThetaGrid {
+			mixF(v)
+		}
+	}
+	return h
+}
+
+// Clone returns a deep copy of p sharing no memory with it. Use it
+// when code needs a mutable scratch profile derived from a shared
+// (immutable) one.
+func (p *Profile) Clone() *Profile {
+	q := &Profile{
+		MatchRateHz: p.MatchRateHz,
+		Positions:   make([]PositionProfile, len(p.Positions)),
+	}
+	for i, pos := range p.Positions {
+		q.Positions[i] = PositionProfile{
+			Position:    pos.Position,
+			Fingerprint: pos.Fingerprint,
+			PhiGrid:     append([]float64(nil), pos.PhiGrid...),
+			ThetaGrid:   append([]float64(nil), pos.ThetaGrid...),
+		}
+	}
+	return q
 }
 
 // DefaultMatchRateHz is the uniform grid both the profile and the
@@ -158,19 +229,24 @@ func (p *Profile) NearestPositions(phi0r float64, k int) ([]int, error) {
 	return out, nil
 }
 
-// Merge appends the positions of other onto p, supporting the paper's
-// "keep updating a driver's CSI profile by adding new traces after
-// each trip" (Sec. 3.3). Match rates must agree.
-func (p *Profile) Merge(other *Profile) error {
+// Merge returns a NEW profile holding p's positions followed by
+// other's, supporting the paper's "keep updating a driver's CSI
+// profile by adding new traces after each trip" (Sec. 3.3). Match
+// rates must agree. Neither p nor other is modified and the result
+// shares no memory with either — merging is safe even when p is a
+// cached instance other sessions are concurrently tracking against
+// (see the Profile immutability contract).
+func (p *Profile) Merge(other *Profile) (*Profile, error) {
 	if other == nil || len(other.Positions) == 0 {
-		return nil
+		return p.Clone(), nil
 	}
 	if other.MatchRateHz != p.MatchRateHz {
-		return fmt.Errorf("core: cannot merge profiles with match rates %v and %v",
+		return nil, fmt.Errorf("core: cannot merge profiles with match rates %v and %v",
 			p.MatchRateHz, other.MatchRateHz)
 	}
-	p.Positions = append(p.Positions, other.Positions...)
-	return nil
+	m := p.Clone()
+	m.Positions = append(m.Positions, other.Clone().Positions...)
+	return m, nil
 }
 
 // GridSamples returns the total number of profile grid samples, a

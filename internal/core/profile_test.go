@@ -143,18 +143,73 @@ func TestNearestPositionCircular(t *testing.T) {
 func TestMerge(t *testing.T) {
 	p := synthProfile(t, 2)
 	q := synthProfile(t, 3)
-	if err := p.Merge(q); err != nil {
+	pFP, qFP := p.Fingerprint(), q.Fingerprint()
+	m, err := p.Merge(q)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if len(p.Positions) != 5 {
-		t.Errorf("merged positions = %d", len(p.Positions))
+	if len(m.Positions) != 5 {
+		t.Errorf("merged positions = %d", len(m.Positions))
 	}
-	if err := p.Merge(nil); err != nil {
-		t.Errorf("nil merge err = %v", err)
+	// Merge must not mutate either input: another session may be
+	// tracking against the same cached instance right now.
+	if len(p.Positions) != 2 || p.Fingerprint() != pFP {
+		t.Error("Merge mutated the receiver")
+	}
+	if len(q.Positions) != 3 || q.Fingerprint() != qFP {
+		t.Error("Merge mutated the argument")
+	}
+	// ... and the result must not alias the inputs' grids.
+	m.Positions[0].PhiGrid[0] += 1
+	if p.Positions[0].PhiGrid[0] == m.Positions[0].PhiGrid[0] {
+		t.Error("merged profile shares grid memory with receiver")
+	}
+	if mn, err := p.Merge(nil); err != nil || len(mn.Positions) != 2 {
+		t.Errorf("nil merge = %v, %v", mn, err)
 	}
 	bad := &Profile{MatchRateHz: 50, Positions: q.Positions}
-	if err := p.Merge(bad); err == nil {
+	if _, err := p.Merge(bad); err == nil {
 		t.Error("rate mismatch accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := synthProfile(t, 2)
+	c := p.Clone()
+	if c.Fingerprint() != p.Fingerprint() {
+		t.Fatal("clone fingerprint differs")
+	}
+	c.Positions[1].ThetaGrid[3] += 90
+	if p.Positions[1].ThetaGrid[3] == c.Positions[1].ThetaGrid[3] {
+		t.Error("clone shares grid memory with original")
+	}
+	if c.Fingerprint() == p.Fingerprint() {
+		t.Error("fingerprint blind to grid change")
+	}
+}
+
+func TestFingerprintSemantics(t *testing.T) {
+	p := synthProfile(t, 3)
+	if p.Fingerprint() != p.Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if p.Fingerprint() != p.Clone().Fingerprint() {
+		t.Fatal("equal-content profiles fingerprint differently")
+	}
+	// Sensitive to every semantic field.
+	for name, mutate := range map[string]func(*Profile){
+		"match rate":  func(q *Profile) { q.MatchRateHz++ },
+		"position id": func(q *Profile) { q.Positions[0].Position++ },
+		"fingerprint": func(q *Profile) { q.Positions[1].Fingerprint += 0.01 },
+		"phase":       func(q *Profile) { q.Positions[2].PhiGrid[7] += 1e-9 },
+		"orientation": func(q *Profile) { q.Positions[2].ThetaGrid[7] += 1e-9 },
+		"truncation":  func(q *Profile) { q.Positions = q.Positions[:2] },
+	} {
+		q := p.Clone()
+		mutate(q)
+		if q.Fingerprint() == p.Fingerprint() {
+			t.Errorf("fingerprint blind to %s change", name)
+		}
 	}
 }
 

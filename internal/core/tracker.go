@@ -277,6 +277,11 @@ func (tk *Tracker) SetMatcher(m *dtw.Matcher) {
 // installed the tracker reads no clocks at all.
 func (tk *Tracker) SetStageObserver(fn StageObserver) { tk.stageObs = fn }
 
+// Profile returns the profile the tracker matches against. It is
+// shared, not copied (see the Profile immutability contract); callers
+// must not modify it.
+func (tk *Tracker) Profile() *Profile { return tk.profile }
+
 // Position returns the current head-position estimate (profile
 // index) and whether it has locked via Eq. (4) yet.
 func (tk *Tracker) Position() (int, bool) { return tk.posIdx, tk.posLocked }

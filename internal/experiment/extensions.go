@@ -125,9 +125,11 @@ func ExtProfileUpdate(opt Options) (*FigureResult, error) {
 				if err != nil {
 					return nil, err
 				}
-				if err := prof.Merge(prof2); err != nil {
+				merged, err := prof.Merge(prof2)
+				if err != nil {
 					return nil, err
 				}
+				prof = merged
 			}
 			sc := sweepAt(driver.DriverA(), o.RuntimeS, 115, reseat, stats.NewRNG(o.Seed+33))
 			return env.Track(prof, sc, TrackOptions{Pipeline: o.pipeline()})

@@ -1,0 +1,80 @@
+package profilestore
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vihot/internal/core"
+)
+
+// ProfileExt is the file extension a DirLoader expects:
+// <dir>/<key>.profile.
+const ProfileExt = ".profile"
+
+// Errors returned by DirLoader.
+var (
+	// ErrBadKey rejects keys that could escape the profile directory
+	// or collide with path syntax.
+	ErrBadKey = errors.New("profilestore: key is not a valid profile name")
+	// ErrNotFound wraps fs.ErrNotExist so callers can distinguish "no
+	// such driver" from a broken file.
+	ErrNotFound = errors.New("profilestore: profile not found")
+)
+
+// DirLoader loads profiles from a flat directory, one file per key:
+// <dir>/<key>.profile, in either on-disk encoding (core.ReadProfile
+// sniffs). It is the store's default production Loader; anything
+// fancier (object store, database, replication) implements Loader
+// itself.
+type DirLoader struct {
+	dir string
+}
+
+// NewDirLoader builds a loader over dir. The directory needs to exist
+// only by the first Load.
+func NewDirLoader(dir string) *DirLoader { return &DirLoader{dir: dir} }
+
+// Path returns the file a key resolves to, or ErrBadKey for keys that
+// are empty, contain path separators, dots-only traversal, or NUL.
+// Keys are IDs, not paths: the loader never joins anything that could
+// climb out of its directory.
+func (dl *DirLoader) Path(key string) (string, error) {
+	if key == "" {
+		return "", ErrEmptyKey
+	}
+	if strings.ContainsAny(key, "/\\\x00") || key == "." || key == ".." {
+		return "", fmt.Errorf("%w: %q", ErrBadKey, key)
+	}
+	return filepath.Join(dl.dir, key+ProfileExt), nil
+}
+
+// Load implements Loader.
+func (dl *DirLoader) Load(key string) (*core.Profile, error) {
+	path, err := dl.Path(key)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.LoadProfile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return p, err
+}
+
+// Save writes a profile for key into the loader's directory in the
+// current format, creating the directory if needed — the write half
+// of the directory layout, used by profiling tools and tests.
+func (dl *DirLoader) Save(key string, p *core.Profile) error {
+	path, err := dl.Path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dl.dir, 0o755); err != nil {
+		return err
+	}
+	return core.SaveProfile(path, p)
+}

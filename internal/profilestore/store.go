@@ -1,0 +1,407 @@
+// Package profilestore resolves driver profiles by key (driver or
+// cabin ID) through a sharded LRU cache of immutable, fingerprinted
+// *core.Profile instances — the profile lifecycle layer a fleet
+// server needs between "millions of drivers on disk" and "thousands
+// of open tracking sessions in RAM".
+//
+// # Sharing model
+//
+// The store hands out the cached *core.Profile itself, never a copy.
+// That is safe because profiles are immutable once published (see the
+// core.Profile contract): N sessions opened for one driver all track
+// against one instance, and the cache costs one profile of memory per
+// distinct driver, not per session. Eviction only drops the store's
+// reference — sessions already holding the profile keep it alive (the
+// GC, not the cache, owns lifetime), so evicting a hot driver can
+// never invalidate an open session.
+//
+// # Concurrency
+//
+// Keys hash onto independent shards (FNV-1a, like serve's session
+// routing), each guarded by its own mutex, so unrelated drivers never
+// contend. The hot hit path is one shard lock, one map probe, and an
+// intrusive-list splice: zero allocations (proved by
+// BenchmarkStoreHotHit). Cold keys dedupe loads singleflight-style:
+// the first Get for a key starts the loader, concurrent Gets for the
+// same key park on that flight's done channel, and all of them
+// receive the one loaded instance — N racing opens cost one disk
+// read, never N.
+//
+// # Metrics
+//
+// With Config.Metrics set the store exports
+// vihot_profilestore_{hits,misses,evictions,loads,load_errors}_total,
+// the vihot_profilestore_bytes / _profiles gauges, and a
+// vihot_profilestore_load_seconds latency histogram. Without it the
+// same counters back Stats() from a private registry.
+package profilestore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"vihot/internal/core"
+	"vihot/internal/obs"
+)
+
+// Errors returned by the store.
+var (
+	// ErrNoLoader means the store was built without a Loader and a Get
+	// missed the cache.
+	ErrNoLoader = errors.New("profilestore: no loader configured")
+	// ErrEmptyKey rejects "" as a profile key.
+	ErrEmptyKey = errors.New("profilestore: empty profile key")
+)
+
+// Loader fetches the profile for a key on a cache miss. Load runs
+// outside all shard locks and may be called concurrently for
+// *different* keys; the store guarantees at most one in-flight Load
+// per key. The returned profile is published as immutable and shared
+// — a loader must hand over ownership, never retain and mutate it.
+type Loader interface {
+	Load(key string) (*core.Profile, error)
+}
+
+// LoaderFunc adapts a function to the Loader interface.
+type LoaderFunc func(key string) (*core.Profile, error)
+
+// Load implements Loader.
+func (f LoaderFunc) Load(key string) (*core.Profile, error) { return f(key) }
+
+// Config tunes a Store. The zero value of every field selects a
+// default.
+type Config struct {
+	// Shards is the number of independent cache shards. Default 8.
+	Shards int
+	// Capacity is the maximum number of cached profiles across all
+	// shards; when a shard exceeds its slice the least-recently-used
+	// entry is evicted. Default 256. Capacity is advisory per shard
+	// (each shard holds up to ceil(Capacity/Shards) entries), so a
+	// pathological key distribution can cap slightly below Capacity.
+	Capacity int
+	// Loader resolves cache misses. Optional: a store without one is a
+	// pure cache fed by Put, and Get on a cold key fails ErrNoLoader.
+	Loader Loader
+	// Metrics, if set, registers the store's series there for
+	// scraping. Stats() works either way.
+	Metrics *obs.Registry
+}
+
+// entry is one cached profile plus its intrusive LRU links.
+// prev/next are only touched under the owning shard's lock.
+type entry struct {
+	key        string
+	p          *core.Profile
+	fp         uint64
+	bytes      int64
+	prev, next *entry
+}
+
+// flight is one in-progress load that concurrent Gets for the same
+// key share.
+type flight struct {
+	done chan struct{}
+	p    *core.Profile
+	fp   uint64
+	err  error
+}
+
+// shard is an independent slice of the keyspace: a map for O(1)
+// probes, an intrusive doubly-linked LRU list (head = most recent),
+// and the in-flight load table.
+type shard struct {
+	mu       sync.Mutex
+	items    map[string]*entry
+	head     *entry
+	tail     *entry
+	capacity int
+	inflight map[string]*flight
+}
+
+// Store is the concurrency-safe profile resolver. Build with New.
+type Store struct {
+	shards []*shard
+	loader Loader
+
+	hits       *obs.Counter
+	misses     *obs.Counter
+	evictions  *obs.Counter
+	loads      *obs.Counter
+	loadErrors *obs.Counter
+	bytes      *obs.Gauge
+	profiles   *obs.Gauge
+	loadSec    *obs.Histogram
+}
+
+// New builds a Store.
+func New(cfg Config) *Store {
+	if cfg.Shards < 1 {
+		cfg.Shards = 8
+	}
+	if cfg.Capacity < 1 {
+		cfg.Capacity = 256
+	}
+	if cfg.Capacity < cfg.Shards {
+		// Fewer slots than shards would zero some shards' capacity;
+		// shrink the shard count instead so Capacity stays honest.
+		cfg.Shards = cfg.Capacity
+	}
+	perShard := (cfg.Capacity + cfg.Shards - 1) / cfg.Shards
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Store{
+		loader: cfg.Loader,
+		hits: reg.Counter("vihot_profilestore_hits_total",
+			"profile lookups served from cache"),
+		misses: reg.Counter("vihot_profilestore_misses_total",
+			"profile lookups that missed the cache"),
+		evictions: reg.Counter("vihot_profilestore_evictions_total",
+			"profiles evicted by LRU pressure"),
+		loads: reg.Counter("vihot_profilestore_loads_total",
+			"loader invocations (deduplicated across concurrent misses)"),
+		loadErrors: reg.Counter("vihot_profilestore_load_errors_total",
+			"loader invocations that failed"),
+		bytes: reg.Gauge("vihot_profilestore_bytes",
+			"approximate heap bytes of cached profile grids"),
+		profiles: reg.Gauge("vihot_profilestore_profiles",
+			"profiles currently cached"),
+		loadSec: reg.Histogram("vihot_profilestore_load_seconds",
+			"wall-clock latency of one loader invocation", obs.LatencyBuckets()),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s.shards = append(s.shards, &shard{
+			items:    make(map[string]*entry),
+			capacity: perShard,
+			inflight: make(map[string]*flight),
+		})
+	}
+	return s
+}
+
+// shardFor routes a key to its shard (FNV-1a, allocation-free).
+func (s *Store) shardFor(key string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return s.shards[h%uint32(len(s.shards))]
+}
+
+// moveToFront splices e to the head of the LRU list. Caller holds
+// sh.mu.
+func (sh *shard) moveToFront(e *entry) {
+	if sh.head == e {
+		return
+	}
+	sh.unlink(e)
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+// unlink removes e from the LRU list. Caller holds sh.mu.
+func (sh *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if sh.head == e {
+		sh.head = e.next
+	}
+	if sh.tail == e {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// profileBytes approximates a profile's heap footprint: the grids
+// dominate, headers are noise.
+func profileBytes(p *core.Profile) int64 {
+	n := int64(16) // MatchRateHz + slice header, roughly
+	for _, pos := range p.Positions {
+		n += 32 + 8*int64(len(pos.PhiGrid)+len(pos.ThetaGrid))
+	}
+	return n
+}
+
+// Get resolves key to its profile: cache hit, joining an in-flight
+// load, or a fresh loader call — whichever the moment requires. All
+// concurrent callers for one cold key receive the same instance from
+// one loader invocation.
+func (s *Store) Get(key string) (*core.Profile, error) {
+	p, _, err := s.Resolve(key)
+	return p, err
+}
+
+// Resolve is Get plus the cached content fingerprint, saving the
+// caller the O(grid) recompute when it wants to label a session with
+// the profile generation it tracks against.
+func (s *Store) Resolve(key string) (*core.Profile, uint64, error) {
+	if key == "" {
+		return nil, 0, ErrEmptyKey
+	}
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	if e, ok := sh.items[key]; ok {
+		sh.moveToFront(e)
+		// Capture under the lock: a concurrent Put may replace e's
+		// instance the moment we release it.
+		p, fp := e.p, e.fp
+		sh.mu.Unlock()
+		s.hits.Add(1)
+		return p, fp, nil
+	}
+	s.misses.Add(1)
+	if f, ok := sh.inflight[key]; ok {
+		// Someone is already loading this key: park on their flight.
+		sh.mu.Unlock()
+		<-f.done
+		return f.p, f.fp, f.err
+	}
+	if s.loader == nil {
+		sh.mu.Unlock()
+		return nil, 0, fmt.Errorf("%w (key %q)", ErrNoLoader, key)
+	}
+	f := &flight{done: make(chan struct{})}
+	sh.inflight[key] = f
+	sh.mu.Unlock()
+
+	// The load runs outside the shard lock: a slow disk stalls only
+	// Gets for this key, and hits for other keys on the same shard
+	// proceed unhindered.
+	start := time.Now()
+	p, err := s.loader.Load(key)
+	s.loadSec.Observe(time.Since(start).Seconds())
+	s.loads.Add(1)
+	if err == nil && p == nil {
+		err = fmt.Errorf("profilestore: loader returned nil profile for key %q", key)
+	}
+	if err != nil {
+		s.loadErrors.Add(1)
+		f.err = fmt.Errorf("profilestore: load %q: %w", key, err)
+		sh.mu.Lock()
+		delete(sh.inflight, key) // errors are not cached: next Get retries
+		sh.mu.Unlock()
+		close(f.done)
+		return nil, 0, f.err
+	}
+	f.p, f.fp = p, p.Fingerprint()
+	sh.mu.Lock()
+	delete(sh.inflight, key)
+	s.insertLocked(sh, key, f.p, f.fp)
+	sh.mu.Unlock()
+	close(f.done)
+	return f.p, f.fp, nil
+}
+
+// Put publishes a profile under key, bypassing the loader — for
+// warming a cache at startup or registering a freshly built profile.
+// The store takes the instance as-is (no copy); the caller must treat
+// it as immutable from this point on. An existing entry for key is
+// replaced (sessions holding the old instance keep it).
+func (s *Store) Put(key string, p *core.Profile) error {
+	if key == "" {
+		return ErrEmptyKey
+	}
+	if p == nil || len(p.Positions) == 0 {
+		return core.ErrEmptyProfile
+	}
+	fp := p.Fingerprint()
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	s.insertLocked(sh, key, p, fp)
+	sh.mu.Unlock()
+	return nil
+}
+
+// insertLocked adds or replaces the entry for key and evicts down to
+// capacity. Caller holds sh.mu.
+func (s *Store) insertLocked(sh *shard, key string, p *core.Profile, fp uint64) {
+	if e, ok := sh.items[key]; ok {
+		s.bytes.Add(float64(-e.bytes))
+		e.p, e.fp, e.bytes = p, fp, profileBytes(p)
+		s.bytes.Add(float64(e.bytes))
+		sh.moveToFront(e)
+		return
+	}
+	e := &entry{key: key, p: p, fp: fp, bytes: profileBytes(p)}
+	sh.items[key] = e
+	sh.moveToFront(e)
+	s.bytes.Add(float64(e.bytes))
+	s.profiles.Add(1)
+	for len(sh.items) > sh.capacity && sh.tail != nil {
+		victim := sh.tail
+		sh.unlink(victim)
+		delete(sh.items, victim.key)
+		s.bytes.Add(float64(-victim.bytes))
+		s.profiles.Add(-1)
+		s.evictions.Add(1)
+	}
+}
+
+// Invalidate drops key from the cache (a re-profiled driver, say) and
+// reports whether it was present. Sessions already tracking against
+// the dropped instance are unaffected; the next Get loads fresh.
+func (s *Store) Invalidate(key string) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.items[key]
+	if !ok {
+		return false
+	}
+	sh.unlink(e)
+	delete(sh.items, key)
+	s.bytes.Add(float64(-e.bytes))
+	s.profiles.Add(-1)
+	return true
+}
+
+// Len returns the number of cached profiles.
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.items)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats is one observation of the store's counters (see the Counters
+// consistency note in internal/obs: monotone per field, not a
+// consistent cut).
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Loads      uint64
+	LoadErrors uint64
+	Bytes      int64 // approximate cached grid bytes
+	Profiles   int   // cached profile count
+}
+
+// Stats returns the current counter values.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:       s.hits.Value(),
+		Misses:     s.misses.Value(),
+		Evictions:  s.evictions.Value(),
+		Loads:      s.loads.Value(),
+		LoadErrors: s.loadErrors.Value(),
+		Bytes:      int64(s.bytes.Value()),
+		Profiles:   int(s.profiles.Value()),
+	}
+}

@@ -1,0 +1,157 @@
+package serve_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vihot/internal/core"
+	"vihot/internal/profilestore"
+	"vihot/internal/serve"
+)
+
+// slowLoader hands out one profile after a deliberate delay, counting
+// calls — the delay widens the cold-key race window so a storm of
+// OpenByKey calls really does pile onto one in-flight load.
+type slowLoader struct {
+	p     *core.Profile
+	calls atomic.Int64
+}
+
+func (sl *slowLoader) Load(key string) (*core.Profile, error) {
+	sl.calls.Add(1)
+	time.Sleep(20 * time.Millisecond)
+	return sl.p, nil
+}
+
+// TestOpenByKeyColdStormSharesProfile proves the serving half of the
+// shared-profile contract under -race: 64 sessions racing to open one
+// cold driver key cause exactly one loader read, and every session's
+// pipeline references the identical profile instance (same pointer,
+// same fingerprint) — one profile of memory for the whole fleet key.
+func TestOpenByKeyColdStormSharesProfile(t *testing.T) {
+	fix := getFixture(t)
+	sl := &slowLoader{p: fix.profile}
+	store := profilestore.New(profilestore.Config{Loader: sl})
+	mgr := serve.New(serve.Config{Shards: 4, Profiles: store})
+	defer mgr.Close()
+
+	const storm = 64
+	var (
+		wg   sync.WaitGroup
+		gate = make(chan struct{})
+		errs [storm]error
+	)
+	wg.Add(storm)
+	for i := 0; i < storm; i++ {
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			errs[i] = mgr.OpenByKey(sessID(i), "driver-a", core.DefaultPipelineConfig())
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("open %d: %v", i, errs[i])
+		}
+	}
+	if calls := sl.calls.Load(); calls != 1 {
+		t.Errorf("loader calls = %d, want exactly 1 for one cold key", calls)
+	}
+	if n := mgr.Sessions(); n != storm {
+		t.Fatalf("sessions = %d, want %d", n, storm)
+	}
+	ref, ok := mgr.Profile(sessID(0))
+	if !ok || ref == nil {
+		t.Fatal("session 0 has no profile")
+	}
+	fp := ref.Fingerprint()
+	for i := 1; i < storm; i++ {
+		p, ok := mgr.Profile(sessID(i))
+		if !ok {
+			t.Fatalf("session %d missing", i)
+		}
+		if p != ref {
+			t.Fatalf("session %d tracks a different profile instance", i)
+		}
+		if p.Fingerprint() != fp {
+			t.Fatalf("session %d fingerprint diverged", i)
+		}
+	}
+
+	// The shared instance must actually serve traffic: feed every
+	// session the same short stream and require estimates from all.
+	stream := fix.streams["driver-a"]
+	if len(stream) > 400 {
+		stream = stream[:400]
+	}
+	var estimates sync.Map
+	mgr2 := serve.New(serve.Config{
+		Shards:   4,
+		Profiles: store,
+		OnEstimate: func(id string, est core.Estimate) {
+			v, _ := estimates.LoadOrStore(id, new(atomic.Int64))
+			v.(*atomic.Int64).Add(1)
+		},
+	})
+	defer mgr2.Close()
+	const active = 8
+	for i := 0; i < active; i++ {
+		if err := mgr2.OpenByKey(sessID(i), "driver-a", core.DefaultPipelineConfig()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, it := range stream {
+		for i := 0; i < active; i++ {
+			it.Session = sessID(i)
+			mgr2.Push(it)
+		}
+	}
+	mgr2.Flush()
+	for i := 0; i < active; i++ {
+		v, ok := estimates.Load(sessID(i))
+		if !ok || v.(*atomic.Int64).Load() == 0 {
+			t.Errorf("session %d produced no estimates over the shared profile", i)
+		}
+	}
+}
+
+func sessID(i int) string {
+	return "sess-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+}
+
+func TestOpenByKeyWithoutStore(t *testing.T) {
+	mgr := serve.New(serve.Config{Deterministic: true})
+	defer mgr.Close()
+	if err := mgr.OpenByKey("s", "k", core.DefaultPipelineConfig()); !errors.Is(err, serve.ErrNoProfileStore) {
+		t.Errorf("err = %v, want ErrNoProfileStore", err)
+	}
+	if err := mgr.OpenByKey("", "k", core.DefaultPipelineConfig()); !errors.Is(err, serve.ErrNoSessionID) {
+		t.Errorf("empty id err = %v, want ErrNoSessionID", err)
+	}
+}
+
+func TestOpenByKeyLoaderFailure(t *testing.T) {
+	boom := errors.New("profile service down")
+	store := profilestore.New(profilestore.Config{
+		Loader: profilestore.LoaderFunc(func(key string) (*core.Profile, error) {
+			return nil, boom
+		}),
+	})
+	mgr := serve.New(serve.Config{Deterministic: true, Profiles: store})
+	defer mgr.Close()
+	if err := mgr.OpenByKey("s", "k", core.DefaultPipelineConfig()); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want the loader's error", err)
+	}
+	if mgr.Sessions() != 0 {
+		t.Error("failed open leaked a session")
+	}
+	if _, ok := mgr.Profile("s"); ok {
+		t.Error("failed open registered a profile")
+	}
+}

@@ -31,6 +31,14 @@
 // any one session, concurrently across sessions on different shards.
 // It must therefore be safe for concurrent use keyed by session.
 //
+// Profile resolution: Open takes a caller-supplied *core.Profile;
+// OpenByKey resolves one through the Config.Profiles store instead.
+// Either way the profile is shared by reference across every session
+// opened over it — profiles are immutable (core.Profile's contract),
+// so sharing needs no locks and costs one profile of memory per
+// driver, not per session. Evicting a profile from the store never
+// affects sessions already holding it.
+//
 // # Deterministic mode
 //
 // Config.Deterministic disables the workers entirely: Push and
@@ -57,6 +65,7 @@ import (
 	"vihot/internal/dtw"
 	"vihot/internal/imu"
 	"vihot/internal/obs"
+	"vihot/internal/profilestore"
 )
 
 // Errors returned by the Manager.
@@ -65,6 +74,7 @@ var (
 	ErrDuplicateID    = errors.New("serve: session already open")
 	ErrUnknownSession = errors.New("serve: unknown session")
 	ErrNoSessionID    = errors.New("serve: empty session id")
+	ErrNoProfileStore = errors.New("serve: no profile store configured")
 )
 
 // Config tunes a Manager. The zero value selects the defaults.
@@ -83,6 +93,15 @@ type Config struct {
 	// serially per session, concurrently across shards; nil discards
 	// estimates (Counters still tally them).
 	OnEstimate func(session string, est core.Estimate)
+
+	// Profiles, if set, lets OpenByKey resolve driver profiles by key
+	// through the store's sharded cache instead of requiring callers
+	// to load and hand over a *core.Profile themselves. Sessions
+	// opened for the same key share one immutable profile instance
+	// (see the core.Profile immutability contract); concurrent opens
+	// for a cold key collapse to a single loader read inside the
+	// store. Optional: Open keeps working without it.
+	Profiles *profilestore.Store
 
 	// Health tunes the per-session degradation state machine (see the
 	// Health type). The zero value enables it with defaults;
@@ -391,9 +410,12 @@ func (m *Manager) Sessions() int {
 	return m.nOpen
 }
 
-// Open creates a tracking session over a driver profile. The session
-// is pinned to one shard; its pipeline shares the shard worker's DTW
-// scratch.
+// Open creates a tracking session over a caller-supplied driver
+// profile. The session is pinned to one shard; its pipeline shares
+// the shard worker's DTW scratch. The profile is adopted by
+// reference, never copied — it must honour the core.Profile
+// immutability contract, and the same instance may back any number of
+// sessions (OpenByKey arranges exactly that through the store).
 func (m *Manager) Open(id string, profile *core.Profile, cfg core.PipelineConfig) error {
 	if id == "" {
 		return ErrNoSessionID
@@ -433,6 +455,41 @@ func (m *Manager) Open(id string, profile *core.Profile, cfg core.PipelineConfig
 	m.mu.Unlock()
 	m.sessOpen.Add(1)
 	return nil
+}
+
+// OpenByKey creates a tracking session over the profile the
+// configured store resolves for key (driver/cabin ID). Cold keys cost
+// one loader read no matter how many sessions race to open them, hot
+// keys are a lock-and-probe, and every session for one key references
+// the same immutable profile instance — a fleet caching one profile
+// per driver, not per session. Requires Config.Profiles.
+func (m *Manager) OpenByKey(id, key string, cfg core.PipelineConfig) error {
+	if id == "" {
+		return ErrNoSessionID
+	}
+	if m.cfg.Profiles == nil {
+		return ErrNoProfileStore
+	}
+	p, err := m.cfg.Profiles.Get(key)
+	if err != nil {
+		return fmt.Errorf("serve: open %q by key %q: %w", id, key, err)
+	}
+	return m.Open(id, p, cfg)
+}
+
+// Profile returns the profile instance a session tracks against and
+// whether the session exists. The pointer identifies the shared
+// instance (sessions opened via one store key return the very same
+// profile); treat it as read-only.
+func (m *Manager) Profile(id string) (*core.Profile, bool) {
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
+	sh.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return s.pl.Profile(), true
 }
 
 // CloseSession removes a session. Items still queued for it are

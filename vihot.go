@@ -35,6 +35,7 @@ import (
 	"vihot/internal/csi"
 	"vihot/internal/imu"
 	"vihot/internal/obs"
+	"vihot/internal/profilestore"
 	"vihot/internal/serve"
 )
 
@@ -115,12 +116,48 @@ func NewPipeline(p *Profile, cfg PipelineConfig) (*Pipeline, error) {
 // averaging across subcarriers.
 func SanitizeFrame(f *Frame) (float64, error) { return csi.Sanitize(f, 0, 1) }
 
-// SaveProfile persists a driver profile to a file; profiles survive
+// SaveProfile persists a driver profile to a file in the versioned
+// profile format (magic + version + checksum); profiles survive
 // across trips (Sec. 5.2.4: a week-old profile still tracks well).
 func SaveProfile(path string, p *Profile) error { return core.SaveProfile(path, p) }
 
-// LoadProfile reads a previously saved driver profile.
+// LoadProfile reads a previously saved driver profile, accepting both
+// the current versioned format and the legacy unversioned encoding
+// (cmd/vihot-profile migrate upgrades the latter). Loaded profiles
+// are validated: corrupt files and non-finite grid values are
+// rejected, never returned.
 func LoadProfile(path string) (*Profile, error) { return core.LoadProfile(path) }
+
+// Profile lifecycle at fleet scale: profiles are immutable once built
+// (see core.Profile's contract), carry a 64-bit content fingerprint
+// (Profile.Fingerprint), and resolve by driver/cabin key through a
+// ProfileStore — a sharded LRU cache that deduplicates concurrent
+// cold loads and shares one instance across every session opened for
+// the same driver (SessionManagerConfig.Profiles +
+// SessionManager.OpenByKey).
+type (
+	// ProfileStore resolves profiles by key through a sharded LRU
+	// cache with singleflight load deduplication.
+	ProfileStore = profilestore.Store
+	// ProfileStoreConfig tunes shard count, capacity, loader, and
+	// metrics registration.
+	ProfileStoreConfig = profilestore.Config
+	// ProfileLoader fetches a profile on a cache miss.
+	ProfileLoader = profilestore.Loader
+	// ProfileLoaderFunc adapts a function to ProfileLoader.
+	ProfileLoaderFunc = profilestore.LoaderFunc
+	// ProfileStoreStats is one observation of the store's counters.
+	ProfileStoreStats = profilestore.Stats
+	// ProfileDirLoader loads <dir>/<key>.profile files.
+	ProfileDirLoader = profilestore.DirLoader
+)
+
+// NewProfileStore builds a profile store; see ProfileStoreConfig.
+func NewProfileStore(cfg ProfileStoreConfig) *ProfileStore { return profilestore.New(cfg) }
+
+// NewProfileDirLoader builds the flat-directory loader
+// (<dir>/<key>.profile, either on-disk encoding).
+func NewProfileDirLoader(dir string) *ProfileDirLoader { return profilestore.NewDirLoader(dir) }
 
 // ProfileQuality is the post-profiling fitness report: span, swing,
 // sample depth, and fingerprint-aliasing warnings.
