@@ -28,6 +28,7 @@ import (
 	"vihot/internal/driver"
 	"vihot/internal/experiment"
 	"vihot/internal/serve"
+	"vihot/internal/wifi"
 )
 
 func main() {
@@ -134,13 +135,27 @@ func main() {
 // record per (shards, sessions) cell so later PRs can diff the perf
 // trajectory of the serving engine.
 type serveBaseline struct {
-	GoVersion  string           `json:"go_version"`
-	GOMAXPROCS int              `json:"gomaxprocs"`
-	NumCPU     int              `json:"num_cpu"`
-	Seed       int64            `json:"seed"`
-	FramesPer  int              `json:"frames_per_session"`
-	Note       string           `json:"note,omitempty"`
-	Results    []serveBenchCell `json:"results"`
+	GoVersion    string              `json:"go_version"`
+	GOMAXPROCS   int                 `json:"gomaxprocs"`
+	NumCPU       int                 `json:"num_cpu"`
+	Seed         int64               `json:"seed"`
+	FramesPer    int                 `json:"frames_per_session"`
+	Note         string              `json:"note,omitempty"`
+	Results      []serveBenchCell    `json:"results"`
+	PooledIngest *pooledIngestResult `json:"pooled_ingest,omitempty"`
+}
+
+// pooledIngestResult compares the wire→pipeline ingest path with heap
+// frame decoding (wifi.Decode, frame dropped to GC after processing)
+// against pooled decoding (wifi.DecodePooled + Config.RecycleFrames):
+// end-to-end allocations and bytes per CSI datagram.
+type pooledIngestResult struct {
+	Frames              int     `json:"frames"`
+	HeapAllocsPerFrame  float64 `json:"heap_allocs_per_frame"`
+	PoolAllocsPerFrame  float64 `json:"pooled_allocs_per_frame"`
+	HeapBytesPerFrame   float64 `json:"heap_bytes_per_frame"`
+	PoolBytesPerFrame   float64 `json:"pooled_bytes_per_frame"`
+	AllocsSavedPerFrame float64 `json:"allocs_saved_per_frame"`
 }
 
 type serveBenchCell struct {
@@ -222,6 +237,15 @@ func runServeBench(path string, seed int64) error {
 				shards, sessions, cell.FramesPerS, cell.Estimates, cell.Dropped)
 		}
 	}
+	pi, err := runPooledIngest(env, profile)
+	if err != nil {
+		return err
+	}
+	base.PooledIngest = pi
+	fmt.Printf("pooled ingest: %.1f allocs/frame (heap %.1f, saved %.1f), %.0f B/frame (heap %.0f)\n",
+		pi.PoolAllocsPerFrame, pi.HeapAllocsPerFrame, pi.AllocsSavedPerFrame,
+		pi.PoolBytesPerFrame, pi.HeapBytesPerFrame)
+
 	blob, err := json.MarshalIndent(base, "", "  ")
 	if err != nil {
 		return err
@@ -231,6 +255,78 @@ func runServeBench(path string, seed int64) error {
 	}
 	fmt.Printf("wrote %s in %.0f s\n", path, time.Since(start).Seconds())
 	return nil
+}
+
+// runPooledIngest measures the full datagram→estimate ingest path —
+// decode each pre-encoded CSI datagram, push it through a
+// deterministic manager, let the pipeline process it — once with heap
+// frames and once with pooled frames, and reports the per-frame
+// allocation delta. Datagrams are encoded up front so only the decode
+// and serve layers sit inside the measured window.
+func runPooledIngest(env *experiment.Env, profile *core.Profile) (*pooledIngestResult, error) {
+	sc, _ := driver.SweepScenario(driver.DriverA(), 1, 10, 115)
+	const frames = 2000
+	datagrams := make([][]byte, 0, frames)
+	for i := 0; i < frames; i++ {
+		// FrameAt reuses one scratch frame, so each datagram is encoded
+		// before the next overwrite.
+		t := float64(i) * 0.005
+		b, err := wifi.EncodeCSI(nil, env.FrameAt(sc.State(t)))
+		if err != nil {
+			return nil, err
+		}
+		datagrams = append(datagrams, b)
+	}
+	measure := func(pooled bool) (allocsPer, bytesPer float64, err error) {
+		mgr := serve.New(serve.Config{Deterministic: true, RecycleFrames: pooled})
+		defer mgr.Close()
+		if err := mgr.Open("ingest", profile, core.DefaultPipelineConfig()); err != nil {
+			return 0, 0, err
+		}
+		dec := wifi.Decode
+		if pooled {
+			dec = wifi.DecodePooled
+		}
+		// Warm the session and (in pooled mode) the frame pool so the
+		// measured window is steady-state, then measure the rest.
+		const warm = 64
+		for _, b := range datagrams[:warm] {
+			pkt, err := dec(b)
+			if err != nil {
+				return 0, 0, err
+			}
+			mgr.Push(serve.Item{Session: "ingest", Kind: serve.KindFrame, Frame: pkt.CSI})
+		}
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		for _, b := range datagrams[warm:] {
+			pkt, err := dec(b)
+			if err != nil {
+				return 0, 0, err
+			}
+			mgr.Push(serve.Item{Session: "ingest", Kind: serve.KindFrame, Frame: pkt.CSI})
+		}
+		runtime.ReadMemStats(&m1)
+		n := float64(len(datagrams) - warm)
+		return float64(m1.Mallocs-m0.Mallocs) / n, float64(m1.TotalAlloc-m0.TotalAlloc) / n, nil
+	}
+	heapA, heapB, err := measure(false)
+	if err != nil {
+		return nil, err
+	}
+	poolA, poolB, err := measure(true)
+	if err != nil {
+		return nil, err
+	}
+	return &pooledIngestResult{
+		Frames:              frames,
+		HeapAllocsPerFrame:  heapA,
+		PoolAllocsPerFrame:  poolA,
+		HeapBytesPerFrame:   heapB,
+		PoolBytesPerFrame:   poolB,
+		AllocsSavedPerFrame: heapA - poolA,
+	}, nil
 }
 
 // writeCSV dumps a figure's series as rows of (series, x, y) for

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	vihot-serve [-drivers K] [-shards N] [-seconds S] [-queue Q] [-seed N]
+//	            [-session-ttl S]
 //	            [-loss P] [-dup P] [-reorder P] [-corrupt P] [-fault-seed N]
 //	            [-metrics-addr HOST:PORT] [-trace-out FILE]
 //	            [-profile-dir DIR] [-profile-cache N]
@@ -35,9 +36,23 @@
 // -metrics-addr as vihot_profilestore_*). -profile-cache bounds the
 // cache.
 //
+// With -session-ttl the manager reaps sessions whose stream time has
+// gone idle for longer than the TTL — the sweep runs on session clocks
+// only, so a paused replay cannot age anyone out. Reaped sessions are
+// reported with the summary and exported as
+// vihot_serve_sessions_reaped_total.
+//
+// The receiver decodes CSI datagrams into pooled frames
+// (wifi.DecodePooled) and the manager recycles each frame once its
+// estimate is out (serve.Config.RecycleFrames), so steady-state ingest
+// allocates no per-packet frame storage.
+//
 // SIGINT or SIGTERM stops the senders, drains what already reached the
 // shard queues, and still prints the full per-session summary — so an
-// interrupted run reports what it did instead of dying silently.
+// interrupted run reports what it did instead of dying silently. The
+// normal exit path is CloseDrain: flush every shard, then close, so
+// the final counters satisfy the conservation identity with no items
+// abandoned in the rings.
 package main
 
 import (
@@ -84,6 +99,8 @@ func main() {
 	seconds := flag.Float64("seconds", 12, "simulated trip length per driver")
 	queue := flag.Int("queue", 4096, "per-shard queue bound (items)")
 	seed := flag.Int64("seed", 1, "deterministic simulation seed")
+	sessionTTL := flag.Float64("session-ttl", 0,
+		"reap sessions idle for this many stream-time seconds; 0 disables reaping")
 	var ff faultFlags
 	flag.Float64Var(&ff.loss, "loss", 0, "UDP loss probability per datagram")
 	flag.Float64Var(&ff.dup, "dup", 0, "UDP duplication probability per datagram")
@@ -99,7 +116,7 @@ func main() {
 	profileCache := flag.Int("profile-cache", 64,
 		"profile-store LRU capacity in profiles (with -profile-dir)")
 	flag.Parse()
-	if err := run(*drivers, *shards, *seconds, *queue, *seed, ff, *metricsAddr, *traceOut,
+	if err := run(*drivers, *shards, *seconds, *queue, *seed, *sessionTTL, ff, *metricsAddr, *traceOut,
 		*profileDir, *profileCache); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -125,8 +142,8 @@ type car struct {
 	flush    func() error
 }
 
-func run(drivers, shards int, seconds float64, queue int, seed int64, ff faultFlags,
-	metricsAddr, traceOut, profileDir string, profileCache int) error {
+func run(drivers, shards int, seconds float64, queue int, seed int64, sessionTTL float64,
+	ff faultFlags, metricsAddr, traceOut, profileDir string, profileCache int) error {
 	if drivers < 1 {
 		drivers = 1
 	}
@@ -204,6 +221,10 @@ func run(drivers, shards int, seconds float64, queue int, seed int64, ff faultFl
 	if err := recv.SetReadBuffer(8 << 20); err != nil {
 		return err
 	}
+	// Decode CSI into pooled frames: the receiver loop pushes each frame
+	// exactly once, and RecycleFrames below hands ownership to the
+	// manager, which returns the frame to the pool after processing.
+	recv.SetPooledDecode(true)
 	if reg != nil {
 		// The receiver keeps its own atomic tallies; export them as
 		// function-backed counters so a scrape reads the live values.
@@ -232,13 +253,16 @@ func run(drivers, shards int, seconds float64, queue int, seed int64, ff faultFl
 		mu          sync.Mutex
 		estimates   = map[string][]core.Estimate{}
 		transitions = map[string]int{}
+		reaps       = map[string]float64{}
 	)
 	mgr := serve.New(serve.Config{
-		Shards:   shards,
-		QueueLen: queue,
-		Metrics:  reg,
-		Trace:    tracer,
-		Profiles: store,
+		Shards:        shards,
+		QueueLen:      queue,
+		SessionTTLS:   sessionTTL,
+		RecycleFrames: true,
+		Metrics:       reg,
+		Trace:         tracer,
+		Profiles:      store,
 		OnEstimate: func(id string, est core.Estimate) {
 			mu.Lock()
 			estimates[id] = append(estimates[id], est)
@@ -248,6 +272,12 @@ func run(drivers, shards int, seconds float64, queue int, seed int64, ff faultFl
 			mu.Lock()
 			transitions[id]++
 			mu.Unlock()
+		},
+		OnReap: func(id string, t float64) {
+			mu.Lock()
+			reaps[id] = t
+			mu.Unlock()
+			fmt.Fprintf(os.Stderr, "reaped idle session %s at stream time %.2f s\n", id, t)
 		},
 	})
 	defer mgr.Close()
@@ -421,14 +451,27 @@ func run(drivers, shards int, seconds float64, queue int, seed int64, ff faultFl
 			errs = append(errs, geom.AngleDistDeg(est.Yaw, c.scenario.HeadYaw.At(est.Time)))
 		}
 		med := stats.Median(errs)
-		h, _ := mgr.Health(c.id)
-		fmt.Printf("%-22s %-10s %9d %11.1f° %8s %6d\n", c.id, c.style.Name, len(ests), med, h, trans)
+		hcol := "reaped"
+		mu.Lock()
+		_, wasReaped := reaps[c.id]
+		mu.Unlock()
+		if !wasReaped {
+			h, _ := mgr.Health(c.id)
+			hcol = h.String()
+		}
+		fmt.Printf("%-22s %-10s %9d %11.1f° %8s %6d\n", c.id, c.style.Name, len(ests), med, hcol, trans)
 	}
 
+	// Graceful exit: flush whatever remains in the shard rings, then
+	// close. After this the conservation identity holds exactly (no
+	// DroppedClosed) and the sessions-open gauge reads zero.
+	mgr.CloseDrain()
+
 	snap := mgr.Counters().Snapshot()
-	fmt.Printf("\ncounters: frames=%d imu=%d estimates=%d shed=%d unknown=%d sanitize-errs=%d decode-errs=%d\n",
+	fmt.Printf("\ncounters: frames=%d imu=%d estimates=%d shed=%d unknown=%d rejected-kind=%d rejected-closed=%d reaped=%d sanitize-errs=%d decode-errs=%d\n",
 		snap.FramesIn, snap.IMUIn, snap.Estimates, snap.DroppedStale,
-		snap.DroppedUnknown, snap.SanitizeErrors, decodeEr)
+		snap.DroppedUnknown, snap.RejectedKind, snap.RejectedClosed,
+		snap.SessionsReaped, snap.SanitizeErrors, decodeEr)
 	fmt.Printf("health: rejected-time=%d coasted=%d suppressed-stale=%d degraded=%d coasting=%d stale=%d recovered=%d resets=%d\n",
 		snap.RejectedTime, snap.Coasted, snap.SuppressedStale,
 		snap.ToDegraded, snap.ToCoasting, snap.ToStale, snap.Recoveries, snap.TrackerResets)

@@ -1,0 +1,55 @@
+package csi
+
+import "sync"
+
+// Frame pooling for the 500 Hz ingest path. Decoding one wire frame
+// costs one Frame header, one row-slice header, and na subcarrier
+// rows — per packet, forever, unless the frames are recycled. The
+// pool keeps retired frames (header and rows together) for reuse by
+// wifi.DecodePooled, so a steady-state receiver allocates only when a
+// frame's shape outgrows anything retired so far.
+//
+// Ownership rules (DESIGN.md §11): GetFrame hands the caller an
+// exclusive frame; PutFrame takes that exclusivity back. A frame must
+// reach PutFrame at most once, and never while any goroutine can
+// still read it — the serving layer's Config.RecycleFrames documents
+// exactly which hand-off points release. Frames not drawn from the
+// pool may be Put (Clone results, hand-built tests); their storage
+// simply joins the pool.
+var framePool = sync.Pool{New: func() any { return new(Frame) }}
+
+// GetFrame returns a frame shaped [na][ns], reusing pooled storage
+// when its capacity suffices. Time is zeroed; the H cells hold
+// whatever the decoder will overwrite (callers must fill every cell,
+// which DecodePooled does by construction).
+func GetFrame(na, ns int) *Frame {
+	f := framePool.Get().(*Frame)
+	f.Time = 0
+	if cap(f.H) < na {
+		f.H = make([][]complex128, na)
+	} else {
+		f.H = f.H[:na]
+	}
+	for a := 0; a < na; a++ {
+		if cap(f.H[a]) < ns {
+			f.H[a] = make([]complex128, ns)
+		} else {
+			f.H[a] = f.H[a][:ns]
+		}
+	}
+	return f
+}
+
+// PutFrame retires a frame to the pool. Safe on nil. The caller must
+// hold the only reference; see the ownership rules above.
+func PutFrame(f *Frame) {
+	if f == nil {
+		return
+	}
+	// Keep the row storage (that is the point) but shrink the visible
+	// shape to zero so a use-after-Put reads an empty frame instead of
+	// another session's CSI.
+	f.Time = 0
+	f.H = f.H[:0]
+	framePool.Put(f)
+}

@@ -1,0 +1,72 @@
+package csi
+
+import "testing"
+
+// TestFramePoolShapes pins the pool contract: GetFrame always returns
+// exactly the requested shape with a zero Time, whatever mix of
+// retired capacities the pool holds, and PutFrame tolerates nil and
+// foreign (non-pooled) frames.
+func TestFramePoolShapes(t *testing.T) {
+	PutFrame(nil) // must not panic
+
+	shapes := [][2]int{{2, 30}, {1, 1}, {4, 64}, {2, 30}, {8, 128}, {3, 7}}
+	for _, s := range shapes {
+		na, ns := s[0], s[1]
+		f := GetFrame(na, ns)
+		if f.Time != 0 {
+			t.Fatalf("GetFrame(%d,%d).Time = %v, want 0", na, ns, f.Time)
+		}
+		if len(f.H) != na {
+			t.Fatalf("GetFrame(%d,%d) has %d antennas", na, ns, len(f.H))
+		}
+		for a := range f.H {
+			if len(f.H[a]) != ns {
+				t.Fatalf("GetFrame(%d,%d) antenna %d has %d subcarriers", na, ns, a, len(f.H[a]))
+			}
+			for k := range f.H[a] {
+				f.H[a][k] = complex(float64(a), float64(k))
+			}
+		}
+		f.Time = 42
+		PutFrame(f)
+		if len(f.H) != 0 || f.Time != 0 {
+			t.Fatalf("PutFrame left a readable shape: Time=%v len(H)=%d", f.Time, len(f.H))
+		}
+	}
+
+	// A hand-built frame (not from the pool) may be retired too.
+	PutFrame(&Frame{Time: 1, H: [][]complex128{{1, 2}, {3, 4}}})
+	g := GetFrame(2, 2)
+	if len(g.H) != 2 || len(g.H[0]) != 2 || g.Time != 0 {
+		t.Fatalf("pool corrupted by foreign frame: %+v", g)
+	}
+}
+
+// TestFramePoolSanitizeRoundTrip proves a pooled frame behaves exactly
+// like a fresh one through the sanitizer after every cell is written —
+// including when the previous tenant of its storage was larger.
+func TestFramePoolSanitizeRoundTrip(t *testing.T) {
+	big := GetFrame(8, 128)
+	for a := range big.H {
+		for k := range big.H[a] {
+			big.H[a][k] = complex(9, 9) // poison a large retiring frame
+		}
+	}
+	PutFrame(big)
+
+	f := GetFrame(2, 4)
+	f.Time = 1.5
+	want := &Frame{Time: 1.5, H: [][]complex128{
+		{1 + 1i, 1 - 1i, 2, 1i},
+		{1, 1i, 1 + 2i, -1},
+	}}
+	for a := range want.H {
+		copy(f.H[a], want.H[a])
+	}
+	pf, errP := Sanitize(f, 0, 1)
+	wf, errW := Sanitize(want, 0, 1)
+	if (errP == nil) != (errW == nil) || pf != wf {
+		t.Fatalf("pooled sanitize = (%v,%v), fresh = (%v,%v)", pf, errP, wf, errW)
+	}
+	PutFrame(f)
+}

@@ -189,13 +189,16 @@ func TestChaosSoak(t *testing.T) {
 	m.Flush()
 	snap := m.Counters().Snapshot()
 
-	// Conservation: every accepted item is processed or dropped.
+	// Conservation: every accepted item is processed or dropped. The
+	// fault injector corrupts payloads, not the Item.Kind byte, so
+	// RejectedKind must stay zero here — but it belongs in the
+	// identity, which is exactly the acceptance-criteria equation.
 	if snap.Total() != pushed {
 		t.Fatalf("counted in %d items, pushed %d", snap.Total(), pushed)
 	}
-	if snap.Total() != snap.Processed+snap.DroppedStale+snap.DroppedUnknown {
-		t.Fatalf("conservation violated: total=%d processed=%d droppedStale=%d droppedUnknown=%d",
-			snap.Total(), snap.Processed, snap.DroppedStale, snap.DroppedUnknown)
+	if snap.Total() != snap.Processed+snap.DroppedStale+snap.DroppedUnknown+snap.RejectedKind {
+		t.Fatalf("conservation violated: total=%d processed=%d droppedStale=%d droppedUnknown=%d rejectedKind=%d",
+			snap.Total(), snap.Processed, snap.DroppedStale, snap.DroppedUnknown, snap.RejectedKind)
 	}
 
 	log.mu.Lock()
@@ -253,6 +256,21 @@ func TestChaosSoak(t *testing.T) {
 	t.Logf("soak: in=%d processed=%d estimates=%d coasted=%d rejected=%d sanitizeErr=%d transitions(d/c/s/h)=%d/%d/%d/%d",
 		snap.Total(), snap.Processed, snap.Estimates, snap.Coasted, snap.RejectedTime,
 		snap.SanitizeErrors, snap.ToDegraded, snap.ToCoasting, snap.ToStale, snap.Recoveries)
+
+	// Graceful end of life after the chaos: the drain-then-stop must
+	// abandon nothing, purge every session, and leave the acceptance
+	// conservation identity exact on the final snapshot.
+	m.CloseDrain()
+	final := m.Counters().Snapshot()
+	if final.DroppedClosed != 0 {
+		t.Fatalf("CloseDrain abandoned %d items", final.DroppedClosed)
+	}
+	if final.Total() != final.Processed+final.DroppedStale+final.DroppedUnknown+final.RejectedKind {
+		t.Fatalf("post-close conservation violated: %+v", final)
+	}
+	if m.Sessions() != 0 {
+		t.Fatalf("Sessions() = %d after CloseDrain, want 0", m.Sessions())
+	}
 }
 
 // TestChaosSoakDeterministicReplay replays the identical pumped

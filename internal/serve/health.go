@@ -234,7 +234,11 @@ func (m *Manager) maybeCoast(s *session, t float64) {
 	var est core.Estimate
 	switch {
 	case s.haveCam && t-s.lastCam <= hc.FreshCameraS:
-		est = core.Estimate{Time: t, Yaw: s.camYaw, Source: core.SourceCamera}
+		// The camera knows yaw, not the seat position — carry the last
+		// tracked position forward exactly like the forecast branch, so
+		// downstream fusion never sees it flicker to zero mid-coast.
+		est = core.Estimate{Time: t, Yaw: s.camYaw, Source: core.SourceCamera,
+			Position: s.lastEst.Position}
 	case s.hasEst:
 		horizon := math.Min(t-s.lastEst.Time, coastMaxHorizonS)
 		yaw := s.pl.Tracker().Forecast(s.lastEst, horizon)

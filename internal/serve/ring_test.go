@@ -13,14 +13,16 @@ func TestShardRingShedsOldest(t *testing.T) {
 	sh.cond = sync.NewCond(&sh.mu)
 
 	for i := 0; i < 4; i++ {
-		if sh.push(Item{Time: float64(i)}) {
-			t.Fatalf("push %d dropped with queue not full", i)
+		dropped, closed := sh.push(Item{Time: float64(i)})
+		if dropped || closed {
+			t.Fatalf("push %d: dropped=%v closed=%v with queue not full and shard open", i, dropped, closed)
 		}
 	}
 	// Two overflowing pushes shed the two oldest items (t=0, t=1).
 	for i := 4; i < 6; i++ {
-		if !sh.push(Item{Time: float64(i)}) {
-			t.Fatalf("push %d did not report a drop on a full queue", i)
+		dropped, closed := sh.push(Item{Time: float64(i)})
+		if !dropped || closed {
+			t.Fatalf("push %d: dropped=%v closed=%v, want a reported drop on a full open shard", i, dropped, closed)
 		}
 	}
 	if sh.count != 4 {

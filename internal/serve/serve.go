@@ -117,6 +117,32 @@ type Config struct {
 	// OnEstimate.
 	OnEstimateHealth func(session string, est core.Estimate, h Health, confidence float64)
 
+	// SessionTTLS, when > 0, enables stream-time idle-session reaping:
+	// a session whose own clock lags its shard's stream clock (the max
+	// admitted timestamp across the shard's sessions) by more than
+	// this many seconds is evicted, exactly as if CloseSession had
+	// been called. Sessions opened but never fed are granted one full
+	// TTL from the first sweep that sees them. The sweep runs on the
+	// stream's own timeline — the clocks the health machine already
+	// maintains — so it reads no wall clocks and reaps at identical
+	// points across deterministic replays. Zero disables reaping.
+	SessionTTLS float64
+	// OnReap, if set, receives every TTL eviction: the reaped session
+	// and the shard stream time at which the sweep fired. Same
+	// concurrency contract as OnHealth: serial per shard, concurrent
+	// across shards. Not invoked for CloseSession or Close.
+	OnReap func(session string, t float64)
+
+	// RecycleFrames transfers ownership of every pushed KindFrame
+	// frame to the manager: once the frame has been sanitized or
+	// dropped (queue shed, unknown session, closed manager, abandoned
+	// backlog) it is released to the csi frame pool for reuse by
+	// wifi.DecodePooled. Callers must push frames drawn from that pool
+	// (or otherwise unshared) and must not retain or re-push them.
+	// Off by default: the manager then never touches frames it did
+	// not allocate, and replaying one item slice twice stays legal.
+	RecycleFrames bool
+
 	// Metrics, if set, registers the manager's metrics there (traffic
 	// counters, session gauge, per-stage latency and queue-dwell
 	// histograms) for scraping — typically via obs.NewMux. If nil the
@@ -182,16 +208,27 @@ type Counters struct {
 	toStale         *obs.Counter
 	recoveries      *obs.Counter
 	trackerResets   *obs.Counter
+	rejectedKind    *obs.Counter
+	rejectedClosed  *obs.Counter
+	droppedClosed   *obs.Counter
+	reaped          *obs.Counter
 }
 
 // CounterSnapshot is one observation of the counters. Conservation:
-// every accepted item is eventually processed or dropped, so after a
-// Flush with no concurrent pushers,
+// every item the manager took accounting responsibility for is
+// eventually processed, dropped, or was rejected at the door for a
+// corrupt kind, so after a Flush (or CloseDrain) with no concurrent
+// pushers,
 //
-//	Total() == Processed + DroppedStale + DroppedUnknown
+//	Total() == Processed + DroppedStale + DroppedUnknown +
+//	           DroppedClosed + RejectedKind
 //
-// and Estimates equals the number of OnEstimate invocations (pipeline
-// estimates that were not stale-suppressed, plus Coasted).
+// where DroppedClosed is zero unless a hard Close abandoned a
+// backlog, and Estimates equals the number of OnEstimate invocations
+// (pipeline estimates that were not stale-suppressed, plus Coasted).
+// RejectedClosed items were refused before any accounting and are
+// deliberately outside Total: a closed manager accepts no
+// responsibility for them.
 type CounterSnapshot struct {
 	PhasesIn       uint64 // KindPhase items accepted into a queue
 	FramesIn       uint64 // KindFrame items accepted into a queue
@@ -200,9 +237,13 @@ type CounterSnapshot struct {
 	Processed      uint64 // items that reached their session's pipeline stage
 	Estimates      uint64 // estimates delivered across all sessions
 	DroppedStale   uint64 // items shed because a shard queue was full
-	DroppedUnknown uint64 // items addressed to sessions never opened
+	DroppedUnknown uint64 // items addressed to sessions never opened (or already closed/reaped)
+	DroppedClosed  uint64 // queued items abandoned by a hard Close
 	SanitizeErrors uint64 // KindFrame items whose sanitizer rejected the frame
 	RejectedTime   uint64 // items rejected for non-finite, non-monotone, or far-future timestamps
+	RejectedKind   uint64 // items refused at push for an unknown Item.Kind
+	RejectedClosed uint64 // items refused at push because the manager was closed
+	SessionsReaped uint64 // sessions evicted by the idle-TTL sweep
 
 	// Degradation state machine traffic (see the Health type).
 	SuppressedStale uint64 // pipeline estimates discarded because the session was STALE
@@ -214,9 +255,12 @@ type CounterSnapshot struct {
 	TrackerResets   uint64 // tracker restarts after a CSI blackout
 }
 
-// Total returns the number of items accepted into queues.
+// Total returns the number of items the manager is accountable for:
+// everything accepted into a queue (the four kind counters) plus the
+// items refused at push time for a corrupt Kind. RejectedClosed items
+// are excluded — see the CounterSnapshot conservation note.
 func (s CounterSnapshot) Total() uint64 {
-	return s.PhasesIn + s.FramesIn + s.IMUIn + s.CameraIn
+	return s.PhasesIn + s.FramesIn + s.IMUIn + s.CameraIn + s.RejectedKind
 }
 
 // Snapshot returns the current counter values.
@@ -239,6 +283,10 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		ToStale:         c.toStale.Value(),
 		Recoveries:      c.recoveries.Value(),
 		TrackerResets:   c.trackerResets.Value(),
+		RejectedKind:    c.rejectedKind.Value(),
+		RejectedClosed:  c.rejectedClosed.Value(),
+		DroppedClosed:   c.droppedClosed.Value(),
+		SessionsReaped:  c.reaped.Value(),
 	}
 }
 
@@ -271,6 +319,12 @@ type session struct {
 	lastEst   core.Estimate // last emitted pipeline estimate, for forecast coasting
 	hasEst    bool
 	nextCoast float64 // coasted-output throttle
+
+	// reapRef anchors the idle-TTL sweep for a session that has never
+	// admitted an item (so has no clock of its own): the shard stream
+	// time at which a sweep first saw it. Worker-only, like the rest.
+	reapRef  float64
+	haveRef  bool
 }
 
 // shard is one worker's world: a bounded FIFO ring of items plus the
@@ -284,10 +338,22 @@ type shard struct {
 	closed bool
 	busy   bool // worker is processing a drained chunk
 
-	// sessions is written by Open/Close under mu and read by the
-	// worker under mu; pipeline internals are worker-only.
+	// recycle mirrors Config.RecycleFrames so enqueue can release the
+	// frames of items it sheds without reaching back to the Manager.
+	recycle bool
+
+	// sessions is written by Open/CloseSession/reap under mu and read
+	// by the worker under mu; pipeline internals are worker-only.
 	sessions map[string]*session
 	matcher  *dtw.Matcher
+
+	// Stream clock for the idle-TTL sweep: the max admitted timestamp
+	// across the shard's sessions, plus the next stream time a sweep
+	// is due at. Touched only by the goroutine that processes items
+	// (the worker, or the caller in deterministic mode).
+	clock     float64
+	haveClock bool
+	nextSweep float64
 }
 
 // enqueue appends items under one lock and one worker wakeup,
@@ -295,12 +361,29 @@ type shard struct {
 // fires only on the empty→non-empty edge: a worker with work in hand
 // never sleeps, so re-signalling it per item would only burn futex
 // calls on the ingest path.
-func (sh *shard) enqueue(items []Item) (dropped int) {
+//
+// A closed shard's worker has exited (or is about to abandon the
+// ring), so enqueue refuses the whole batch instead of queueing into
+// a dead shard: closed=true, nothing queued, nothing counted here —
+// the caller counts the rejection.
+func (sh *shard) enqueue(items []Item) (dropped int, closed bool) {
 	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return 0, true
+	}
 	wasEmpty := sh.count == 0
 	for _, it := range items {
 		if sh.count == len(sh.ring) {
-			// Shed the stalest queued item to make room.
+			// Shed the stalest queued item to make room. The shed
+			// slot is exactly where the new item lands, so no zeroing
+			// is needed — but a manager-owned frame must be released
+			// now or it leaks to nowhere.
+			if sh.recycle {
+				if f := sh.ring[sh.head].Frame; f != nil {
+					csi.PutFrame(f)
+				}
+			}
 			sh.head = (sh.head + 1) % len(sh.ring)
 			sh.count--
 			dropped++
@@ -312,13 +395,14 @@ func (sh *shard) enqueue(items []Item) (dropped int) {
 		sh.cond.Broadcast()
 	}
 	sh.mu.Unlock()
-	return dropped
+	return dropped, false
 }
 
-func (sh *shard) push(it Item) (dropped bool) {
+func (sh *shard) push(it Item) (dropped, closed bool) {
 	var one [1]Item
 	one[0] = it
-	return sh.enqueue(one[:]) > 0
+	d, c := sh.enqueue(one[:])
+	return d > 0, c
 }
 
 // Manager runs many independent tracking sessions behind one facade.
@@ -365,6 +449,7 @@ func New(cfg Config) *Manager {
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{
 			ring:     make([]Item, cfg.QueueLen),
+			recycle:  cfg.RecycleFrames,
 			sessions: make(map[string]*session),
 			matcher:  dtw.NewMatcher(256),
 		}
@@ -432,6 +517,14 @@ func (m *Manager) Open(id string, profile *core.Profile, cfg core.PipelineConfig
 	}
 	sh := m.shardFor(id)
 	sh.mu.Lock()
+	// Close marks every shard closed under its own mutex, so checking
+	// here (not just m.closed above) makes registration atomic with
+	// shutdown: a session can never land on a shard whose worker has
+	// already been told to exit and so would never drain it.
+	if sh.closed {
+		sh.mu.Unlock()
+		return ErrClosed
+	}
 	if _, ok := sh.sessions[id]; ok {
 		sh.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrDuplicateID, id)
@@ -449,11 +542,15 @@ func (m *Manager) Open(id string, profile *core.Profile, cfg core.PipelineConfig
 		})
 	}
 	sh.sessions[id] = &session{id: id, pl: pl}
-	sh.mu.Unlock()
+	// Bookkeeping nests inside sh.mu (lock order: shard before
+	// manager, never the reverse) so the count and gauge move
+	// atomically with the registration — Close's purge can therefore
+	// never observe the session without its count, or vice versa.
 	m.mu.Lock()
 	m.nOpen++
 	m.mu.Unlock()
 	m.sessOpen.Add(1)
+	sh.mu.Unlock()
 	return nil
 }
 
@@ -493,74 +590,158 @@ func (m *Manager) Profile(id string) (*core.Profile, bool) {
 }
 
 // CloseSession removes a session. Items still queued for it are
-// discarded as they drain.
+// discarded as they drain (counted in DroppedUnknown, their pooled
+// frames released when Config.RecycleFrames is set).
 func (m *Manager) CloseSession(id string) error {
 	sh := m.shardFor(id)
 	sh.mu.Lock()
 	_, ok := sh.sessions[id]
 	delete(sh.sessions, id)
+	if ok {
+		m.mu.Lock()
+		m.nOpen--
+		m.mu.Unlock()
+		m.sessOpen.Add(-1)
+	}
 	sh.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownSession, id)
 	}
-	m.mu.Lock()
-	m.nOpen--
-	m.mu.Unlock()
-	m.sessOpen.Add(-1)
 	return nil
+}
+
+// recycle returns a manager-owned frame to the csi pool. It is a
+// no-op unless Config.RecycleFrames transferred frame ownership to
+// the manager; nil frames are ignored either way.
+func (m *Manager) recycle(f *csi.Frame) {
+	if m.cfg.RecycleFrames && f != nil {
+		csi.PutFrame(f)
+	}
 }
 
 // Push ingests one item. In concurrent mode it enqueues (shedding the
 // shard's stalest item when full) and returns immediately; in
-// deterministic mode it processes the item before returning.
+// deterministic mode it processes the item before returning. Items
+// with an unknown Kind are refused and counted in RejectedKind;
+// pushes against a closed manager are refused and counted in
+// RejectedClosed.
 func (m *Manager) Push(it Item) {
-	m.count(it)
+	if it.Kind > KindCamera {
+		// A corrupt kind byte means no case of process() could count
+		// or route the item — refuse it while the accounting can
+		// still see it, so Total() conserves (DESIGN.md §11).
+		m.counters.rejectedKind.Add(1)
+		m.recycle(it.Frame)
+		return
+	}
 	sh := m.shardFor(it.Session)
 	if m.cfg.Deterministic {
+		m.mu.Lock()
+		closed := m.closed
+		m.mu.Unlock()
+		if closed {
+			m.counters.rejectedClosed.Add(1)
+			m.recycle(it.Frame)
+			return
+		}
+		m.count(it)
 		sh.mu.Lock()
 		s := sh.sessions[it.Session]
 		sh.mu.Unlock()
 		m.process(sh, s, it)
+		m.afterProcess(sh, s)
 		return
 	}
 	if m.obs != nil {
 		it.enqNS = time.Now().UnixNano()
 	}
-	if sh.push(it) {
+	dropped, closed := sh.push(it)
+	if closed {
+		m.counters.rejectedClosed.Add(1)
+		m.recycle(it.Frame)
+		return
+	}
+	m.count(it)
+	if dropped {
 		m.counters.droppedStale.Add(1)
+	}
+}
+
+// rejectBadKinds strips items whose Kind no process() case could
+// route, counting each in RejectedKind. The common all-valid batch is
+// returned as-is; a batch with rejects is compacted into a fresh
+// slice so the caller's backing array is never reordered.
+func (m *Manager) rejectBadKinds(items []Item) []Item {
+	bad := 0
+	for i := range items {
+		if items[i].Kind > KindCamera {
+			bad++
+		}
+	}
+	if bad == 0 {
+		return items
+	}
+	kept := make([]Item, 0, len(items)-bad)
+	for i := range items {
+		if items[i].Kind > KindCamera {
+			m.counters.rejectedKind.Add(1)
+			m.recycle(items[i].Frame)
+			continue
+		}
+		kept = append(kept, items[i])
+	}
+	return kept
+}
+
+// enqueueShard routes one shard's slice of a batch through enqueue
+// and settles the accounting: accepted items are counted by kind,
+// sheds in DroppedStale, and a closed-shard refusal in RejectedClosed
+// (with the manager-owned frames released).
+func (m *Manager) enqueueShard(sh *shard, items []Item) {
+	d, closed := sh.enqueue(items)
+	if closed {
+		m.counters.rejectedClosed.Add(uint64(len(items)))
+		for i := range items {
+			m.recycle(items[i].Frame)
+		}
+		return
+	}
+	for i := range items {
+		m.count(items[i])
+	}
+	if d > 0 {
+		m.counters.droppedStale.Add(uint64(d))
 	}
 }
 
 // PushBatch ingests a batch with one queue lock per destination shard
 // rather than one per item — the cheap ingest path a receiver loop
 // should batch into. Relative order is preserved per shard (hence per
-// session); the batch is not atomic across shards.
+// session); the batch is not atomic across shards. Unknown kinds and
+// closed-manager refusals are counted exactly as in Push.
 func (m *Manager) PushBatch(items []Item) {
 	if len(items) == 0 {
 		return
 	}
-	if m.cfg.Deterministic || len(m.shards) == 1 {
-		if m.cfg.Deterministic {
-			for i := range items {
-				m.Push(items[i])
-			}
-			return
-		}
-		m.stampBatch(items)
+	if m.cfg.Deterministic {
 		for i := range items {
-			m.count(items[i])
-		}
-		if d := m.shards[0].enqueue(items); d > 0 {
-			m.counters.droppedStale.Add(uint64(d))
+			m.Push(items[i])
 		}
 		return
 	}
+	items = m.rejectBadKinds(items)
+	if len(items) == 0 {
+		return
+	}
 	m.stampBatch(items)
+	if len(m.shards) == 1 {
+		m.enqueueShard(m.shards[0], items)
+		return
+	}
 	// Group by shard, preserving in-batch order within each group.
 	idx := make([]int, len(items))
 	for i := range items {
 		idx[i] = m.shardIdx(items[i].Session)
-		m.count(items[i])
 	}
 	byShard := make([]Item, 0, len(items))
 	for si, sh := range m.shards {
@@ -573,9 +754,7 @@ func (m *Manager) PushBatch(items []Item) {
 		if len(byShard) == 0 {
 			continue
 		}
-		if d := sh.enqueue(byShard); d > 0 {
-			m.counters.droppedStale.Add(uint64(d))
-		}
+		m.enqueueShard(sh, byShard)
 	}
 }
 
@@ -653,7 +832,26 @@ func (m *Manager) worker(sh *shard) {
 			sh.cond.Broadcast()
 			sh.cond.Wait()
 		}
-		if sh.count == 0 && sh.closed {
+		if sh.closed {
+			// Hard close: abandon whatever is still queued. Every
+			// abandoned item is counted (DroppedClosed) so Total()
+			// conserves, its slot zeroed so the ring pins nothing, and
+			// its pooled frame released. CloseDrain never reaches here
+			// with a backlog — it flushes first.
+			n := sh.count
+			for i := 0; i < n; i++ {
+				j := (sh.head + i) % len(sh.ring)
+				if sh.recycle {
+					if f := sh.ring[j].Frame; f != nil {
+						csi.PutFrame(f)
+					}
+				}
+				sh.ring[j] = Item{}
+			}
+			sh.head, sh.count = 0, 0
+			if n > 0 {
+				m.counters.droppedClosed.Add(uint64(n))
+			}
 			sh.cond.Broadcast()
 			sh.mu.Unlock()
 			return
@@ -664,7 +862,12 @@ func (m *Manager) worker(sh *shard) {
 		}
 		chunk = chunk[:0]
 		for i := 0; i < n; i++ {
-			chunk = append(chunk, sh.ring[(sh.head+i)%len(sh.ring)])
+			j := (sh.head + i) % len(sh.ring)
+			chunk = append(chunk, sh.ring[j])
+			// Zero the drained slot: a stale copy left behind would pin
+			// its *csi.Frame (up to QueueLen per shard) until the slot
+			// happened to be overwritten.
+			sh.ring[j] = Item{}
 		}
 		sh.head = (sh.head + n) % len(sh.ring)
 		sh.count -= n
@@ -672,7 +875,7 @@ func (m *Manager) worker(sh *shard) {
 		sh.mu.Unlock()
 
 		// Resolve sessions for the whole chunk under one lock; the
-		// registry mutates only on Open/CloseSession, and pipeline
+		// registry mutates only on Open/CloseSession/reap, and pipeline
 		// processing below runs lock-free (worker-owned state only).
 		resolved = resolved[:0]
 		sh.mu.Lock()
@@ -682,6 +885,7 @@ func (m *Manager) worker(sh *shard) {
 		sh.mu.Unlock()
 		for i := range chunk {
 			m.process(sh, resolved[i], chunk[i])
+			m.afterProcess(sh, resolved[i])
 			chunk[i] = Item{} // release the frame pointer promptly
 			resolved[i] = nil // and the session
 		}
@@ -698,6 +902,7 @@ func (m *Manager) worker(sh *shard) {
 func (m *Manager) process(sh *shard, s *session, it Item) {
 	if s == nil {
 		m.counters.droppedUnknown.Add(1)
+		m.recycle(it.Frame)
 		return
 	}
 	m.counters.processed.Add(1)
@@ -749,13 +954,19 @@ func (m *Manager) process(sh *shard, s *session, it Item) {
 		if m.obs != nil {
 			t0 = time.Now()
 		}
+		ft := it.Frame.Time
 		phi, err := csi.Sanitize(it.Frame, 0, 1)
 		if m.obs != nil {
-			m.obs.stage(s.id, core.StageSanitize, it.Frame.Time, time.Since(t0).Nanoseconds())
+			m.obs.stage(s.id, core.StageSanitize, ft, time.Since(t0).Nanoseconds())
 		}
+		// The sanitizer is the last reader of the raw frame either way:
+		// from here on only (ft, phi) matter, so a pooled frame goes
+		// back for reuse before the pipeline even runs.
+		m.recycle(it.Frame)
+		it.Frame = nil
 		if err != nil {
 			m.counters.sanitizeErrors.Add(1)
-			if t := it.Frame.Time; !math.IsNaN(t) && !math.IsInf(t, 0) &&
+			if t := ft; !math.IsNaN(t) && !math.IsInf(t, 0) &&
 				(!s.haveNow || t <= s.now+maxForwardJumpS) {
 				// The frame proves the link is alive at its timestamp
 				// even though it carried no usable CSI.
@@ -767,7 +978,7 @@ func (m *Manager) process(sh *shard, s *session, it Item) {
 			}
 			return
 		}
-		it.Time, it.Phi = it.Frame.Time, phi
+		it.Time, it.Phi = ft, phi
 	}
 	// CSI tail: KindPhase items and sanitized KindFrame items.
 	if !m.admitTime(s, it.Time) {
@@ -826,10 +1037,13 @@ func (m *Manager) Flush() {
 	}
 }
 
-// Close drains nothing: it stops the workers after the items already
-// queued are processed, then returns. Call Flush first if you need a
-// quiescence point you can observe before shutdown. Close is
-// idempotent.
+// Close is the hard stop: intake is rejected (RejectedClosed) from
+// the moment each shard is marked, workers abandon whatever backlog
+// remains (counted in DroppedClosed, pooled frames released, ring
+// slots zeroed) and exit, and every session is purged so nOpen and
+// the sessions-open gauge read zero. Use CloseDrain for a graceful
+// end that processes the backlog first. Close is idempotent and safe
+// to call concurrently with pushers.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -846,5 +1060,48 @@ func (m *Manager) Close() {
 	}
 	if !m.cfg.Deterministic {
 		m.wg.Wait()
+	}
+	m.purgeSessions()
+}
+
+// CloseDrain is the graceful shutdown: wait for every queued item to
+// be processed, then Close. With no concurrent pushers (the caller
+// has stopped its receive loops — the only sane precondition for a
+// drain) DroppedClosed stays zero and the conservation identity
+//
+//	Total() == Processed + DroppedStale + DroppedUnknown + RejectedKind
+//
+// holds exactly on the final snapshot. No-op if already closed.
+func (m *Manager) CloseDrain() {
+	m.mu.Lock()
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return
+	}
+	m.Flush()
+	m.Close()
+}
+
+// purgeSessions empties every shard's registry after the workers have
+// exited, reconciling nOpen and the gauge with the evictions — the
+// invariant "closed manager ⇒ sessions_open reads 0" the acceptance
+// tests scrape for. Bookkeeping nests inside sh.mu exactly as in
+// Open, so a racing Open either lands before the purge (and is
+// purged, counted both ways) or observes sh.closed and is refused.
+func (m *Manager) purgeSessions() {
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		n := len(sh.sessions)
+		for id := range sh.sessions {
+			delete(sh.sessions, id)
+		}
+		if n > 0 {
+			m.mu.Lock()
+			m.nOpen -= n
+			m.mu.Unlock()
+			m.sessOpen.Add(-float64(n))
+		}
+		sh.mu.Unlock()
 	}
 }

@@ -35,7 +35,9 @@ func mut(b []byte, f func([]byte) []byte) []byte {
 
 // TestDecodeMalformedTable is the decoder's adversarial contract: every
 // malformed shape a lossy or hostile link can produce maps to the
-// right sentinel, and benign oversize (datagram padding) is tolerated.
+// right sentinel. CSI payloads must be exact-length (a tail is how a
+// bit-corrupted shape field smuggles a truncated frame through); IMU
+// payloads have no shape field, so a padded tail stays tolerated.
 func TestDecodeMalformedTable(t *testing.T) {
 	csiPkt := encCSI(t, 2, 30)
 	imuPkt := encIMU(t)
@@ -57,7 +59,8 @@ func TestDecodeMalformedTable(t *testing.T) {
 		{"csi-too-many-subcarriers", mut(csiPkt, func(b []byte) []byte { b[headerLen+1] = maxSubcarry + 1; return b }), ErrBadShape},
 		{"csi-truncated-payload", csiPkt[:len(csiPkt)-1], ErrShortPacket},
 		{"csi-payload-claims-more", mut(csiPkt, func(b []byte) []byte { b[headerLen+1] = 31; return b }), ErrShortPacket},
-		{"csi-oversized-tail", append(append([]byte(nil), csiPkt...), 0xde, 0xad), nil},
+		{"csi-oversized-tail", append(append([]byte(nil), csiPkt...), 0xde, 0xad), ErrTrailingBytes},
+		{"csi-payload-claims-less", mut(csiPkt, func(b []byte) []byte { b[headerLen+1] = 29; return b }), ErrTrailingBytes},
 		{"imu-short-body", imuPkt[:len(imuPkt)-1], ErrShortPacket},
 		{"imu-header-only", imuPkt[:headerLen], ErrShortPacket},
 		{"imu-oversized-tail", append(append([]byte(nil), imuPkt...), 1, 2, 3, 4), nil},

@@ -43,9 +43,40 @@ func FuzzWireDecode(f *testing.F) {
 	bad = append([]byte(nil), csiPkt...)
 	bad[headerLen] = 255 // antenna count way past maxAntennas
 	f.Add(bad)
+	// Trailing garbage after an exact CSI payload, and a shape field
+	// shrunk so the true payload reads as a tail — both must be
+	// rejected (ErrTrailingBytes), never decoded as a smaller frame.
+	f.Add(append(append([]byte(nil), csiPkt...), 0xde, 0xad, 0xbe, 0xef))
+	bad = append([]byte(nil), csiPkt...)
+	bad[headerLen+1] = 2 // claims 2 subcarriers; 3 are on the wire
+	f.Add(bad)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		pkt, err := Decode(data)
+		// The pooled decoder must agree with the heap decoder exactly:
+		// same accept/reject verdict, same decoded contents.
+		pp, perr := DecodePooled(data)
+		if (err == nil) != (perr == nil) {
+			t.Fatalf("Decode err=%v but DecodePooled err=%v", err, perr)
+		}
+		if pp != nil && pp.CSI != nil {
+			if pkt.CSI == nil {
+				t.Fatal("pooled decode produced CSI where heap decode did not")
+			}
+			if pp.CSI.Time != pkt.CSI.Time || len(pp.CSI.H) != len(pkt.CSI.H) {
+				t.Fatalf("pooled/heap decode disagree: %+v vs %+v", pp.CSI, pkt.CSI)
+			}
+			for a := range pp.CSI.H {
+				for k := range pp.CSI.H[a] {
+					pv, hv := pp.CSI.H[a][k], pkt.CSI.H[a][k]
+					// NaN != NaN; compare bit patterns via self-equality.
+					if pv != hv && (pv == pv || hv == hv) {
+						t.Fatalf("pooled/heap cell [%d][%d] disagree: %v vs %v", a, k, pv, hv)
+					}
+				}
+			}
+			csi.PutFrame(pp.CSI)
+		}
 		if err != nil {
 			if pkt != nil {
 				t.Fatalf("Decode returned both a packet and error %v", err)

@@ -1,0 +1,86 @@
+package wifi
+
+import (
+	"testing"
+
+	"vihot/internal/csi"
+)
+
+// TestDecodePooledMatchesDecode: both decoders must produce identical
+// frames from one datagram; the pooled one hands back storage that
+// round-trips through the pool.
+func TestDecodePooledMatchesDecode(t *testing.T) {
+	f := &csi.Frame{Time: 3.25, H: [][]complex128{
+		{1 + 2i, 3 - 4i, 0.5},
+		{-1, 0.25i, 2 + 2i},
+	}}
+	b, err := EncodeCSI(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ { // reuse the pool across iterations
+		pooled, err := DecodePooled(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pooled.CSI.Time != heap.CSI.Time {
+			t.Fatalf("Time = %v, want %v", pooled.CSI.Time, heap.CSI.Time)
+		}
+		for a := range heap.CSI.H {
+			for k := range heap.CSI.H[a] {
+				if pooled.CSI.H[a][k] != heap.CSI.H[a][k] {
+					t.Fatalf("iter %d cell [%d][%d] = %v, want %v",
+						i, a, k, pooled.CSI.H[a][k], heap.CSI.H[a][k])
+				}
+			}
+		}
+		csi.PutFrame(pooled.CSI)
+	}
+}
+
+// TestDecodePooledAllocs is the satellite's point: steady-state pooled
+// decoding must allocate strictly less than heap decoding (which pays
+// the frame header plus one row per antenna on every packet).
+func TestDecodePooledAllocs(t *testing.T) {
+	f := &csi.Frame{Time: 1, H: make([][]complex128, 4)}
+	for a := range f.H {
+		f.H[a] = make([]complex128, 32)
+	}
+	b, err := EncodeCSI(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the pool so the measured window is steady-state.
+	for i := 0; i < 8; i++ {
+		pkt, err := DecodePooled(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		csi.PutFrame(pkt.CSI)
+	}
+	pooled := testing.AllocsPerRun(200, func() {
+		pkt, err := DecodePooled(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		csi.PutFrame(pkt.CSI)
+	})
+	heap := testing.AllocsPerRun(200, func() {
+		if _, err := Decode(b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Heap decode pays ≥ na+2 allocations (frame, row index, rows);
+	// pooled decode should pay ~1 (the Packet envelope).
+	if pooled >= heap {
+		t.Fatalf("pooled decode allocs/op = %v, heap = %v: pooling saved nothing", pooled, heap)
+	}
+	if pooled > 2 {
+		t.Fatalf("pooled decode allocs/op = %v, want ≤2 at steady state", pooled)
+	}
+	t.Logf("allocs/op: pooled=%v heap=%v", pooled, heap)
+}

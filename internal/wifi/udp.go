@@ -108,9 +108,10 @@ func (s *Sender) Close() error { return s.conn.Close() }
 
 // Receiver listens for the probe stream — the laptop/head-unit side.
 type Receiver struct {
-	conn  *net.UDPConn
-	buf   []byte
-	stats recvStats
+	conn   *net.UDPConn
+	buf    []byte
+	pooled bool
+	stats  recvStats
 }
 
 // Listen binds a Receiver. Pass ":0" to let the kernel pick a port;
@@ -135,6 +136,13 @@ func (r *Receiver) Addr() net.Addr { return r.conn.LocalAddr() }
 // frames/s each) should raise this well above the default, or bursts
 // are dropped by the kernel before user space ever sees them.
 func (r *Receiver) SetReadBuffer(bytes int) error { return r.conn.SetReadBuffer(bytes) }
+
+// SetPooledDecode switches Recv/RecvFrom to DecodePooled: CSI frames
+// are drawn from the csi frame pool and the caller takes over the
+// release obligation (csi.PutFrame, or hand the frame to a session
+// manager running with Config.RecycleFrames). Call before the receive
+// loop starts; the Receiver itself is single-goroutine.
+func (r *Receiver) SetPooledDecode(on bool) { r.pooled = on }
 
 // Recv blocks until one datagram arrives (or the deadline expires)
 // and decodes it. A zero timeout blocks indefinitely.
@@ -165,7 +173,11 @@ func (r *Receiver) RecvFrom(timeout time.Duration) (*Packet, *net.UDPAddr, error
 		return nil, nil, err
 	}
 	r.stats.bytes.Add(uint64(n))
-	pkt, err := Decode(r.buf[:n])
+	dec := Decode
+	if r.pooled {
+		dec = DecodePooled
+	}
+	pkt, err := dec(r.buf[:n])
 	if err != nil {
 		r.stats.decodeErr.Add(1)
 		return nil, addr, fmt.Errorf("%w: %w", ErrDecode, err)

@@ -37,11 +37,12 @@ const (
 
 // Wire format errors.
 var (
-	ErrShortPacket = errors.New("wifi: packet too short")
-	ErrBadMagic    = errors.New("wifi: bad magic")
-	ErrBadVersion  = errors.New("wifi: unsupported version")
-	ErrBadType     = errors.New("wifi: unknown packet type")
-	ErrBadShape    = errors.New("wifi: implausible antenna/subcarrier counts")
+	ErrShortPacket   = errors.New("wifi: packet too short")
+	ErrBadMagic      = errors.New("wifi: bad magic")
+	ErrBadVersion    = errors.New("wifi: unsupported version")
+	ErrBadType       = errors.New("wifi: unknown packet type")
+	ErrBadShape      = errors.New("wifi: implausible antenna/subcarrier counts")
+	ErrTrailingBytes = errors.New("wifi: trailing bytes after payload")
 )
 
 // Packet is a decoded datagram: exactly one of CSI or IMU is set.
@@ -87,8 +88,19 @@ func appendHeader(dst []byte, typ byte, t float64) []byte {
 	return dst
 }
 
-// Decode parses one datagram.
-func Decode(b []byte) (*Packet, error) {
+// Decode parses one datagram. Every CSI frame it returns is freshly
+// allocated and owned by the caller.
+func Decode(b []byte) (*Packet, error) { return decode(b, false) }
+
+// DecodePooled is Decode drawing CSI frame storage from the csi frame
+// pool instead of the heap — the zero-steady-state-allocation ingest
+// path. The caller owns the returned frame exclusively and must
+// release it with csi.PutFrame once done (serve.Config.RecycleFrames
+// arranges that when the frame is pushed into a session manager).
+// IMU packets are unaffected.
+func DecodePooled(b []byte) (*Packet, error) { return decode(b, true) }
+
+func decode(b []byte, pooled bool) (*Packet, error) {
 	if len(b) < headerLen {
 		return nil, ErrShortPacket
 	}
@@ -103,7 +115,7 @@ func Decode(b []byte) (*Packet, error) {
 	body := b[headerLen:]
 	switch typ {
 	case TypeCSI:
-		return decodeCSI(t, body)
+		return decodeCSI(t, body, pooled)
 	case TypeIMU:
 		return decodeIMU(t, body)
 	default:
@@ -111,7 +123,7 @@ func Decode(b []byte) (*Packet, error) {
 	}
 }
 
-func decodeCSI(t float64, body []byte) (*Packet, error) {
+func decodeCSI(t float64, body []byte, pooled bool) (*Packet, error) {
 	if len(body) < 2 {
 		return nil, ErrShortPacket
 	}
@@ -121,20 +133,37 @@ func decodeCSI(t float64, body []byte) (*Packet, error) {
 	}
 	need := na * ns * 8
 	body = body[2:]
+	// The payload must be exactly the size the shape header implies.
+	// Tolerating a long tail would let a bit-corrupted na/ns smuggle a
+	// truncated-then-padded frame through as a plausible smaller one —
+	// EncodeCSI never produces a tail, so any tail is corruption. (IMU
+	// payloads have no shape field to corrupt, so decodeIMU stays
+	// tolerant of historical padded senders.)
 	if len(body) < need {
 		return nil, ErrShortPacket
 	}
-	f := &csi.Frame{Time: t, H: make([][]complex128, na)}
+	if len(body) > need {
+		return nil, ErrTrailingBytes
+	}
+	var f *csi.Frame
+	if pooled {
+		f = csi.GetFrame(na, ns)
+		f.Time = t
+	} else {
+		f = &csi.Frame{Time: t, H: make([][]complex128, na)}
+		for a := 0; a < na; a++ {
+			f.H[a] = make([]complex128, ns)
+		}
+	}
 	off := 0
 	for a := 0; a < na; a++ {
-		row := make([]complex128, ns)
+		row := f.H[a]
 		for k := 0; k < ns; k++ {
 			re := math.Float32frombits(binary.BigEndian.Uint32(body[off:]))
 			im := math.Float32frombits(binary.BigEndian.Uint32(body[off+4:]))
 			row[k] = complex(float64(re), float64(im))
 			off += 8
 		}
-		f.H[a] = row
 	}
 	return &Packet{Type: TypeCSI, CSI: f}, nil
 }

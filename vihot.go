@@ -177,8 +177,10 @@ type (
 	// SessionManager runs many independent tracking sessions, sharded
 	// across worker goroutines.
 	SessionManager = serve.Manager
-	// SessionManagerConfig tunes shard count, queue bounds, and the
-	// estimate sink.
+	// SessionManagerConfig tunes shard count, queue bounds, the
+	// estimate sink, idle-session reaping (SessionTTLS/OnReap), and
+	// pooled-frame recycling (RecycleFrames). See DESIGN.md §11 for
+	// the lifecycle contract.
 	SessionManagerConfig = serve.Config
 	// SessionItem is one ingested sample addressed to a session.
 	SessionItem = serve.Item
@@ -214,7 +216,10 @@ const (
 // NewSessionManager starts a concurrent multi-driver tracking engine:
 // open one session per driver (each over that driver's Profile), then
 // feed interleaved samples with Push/PushBatch from any number of
-// goroutines (one per session's stream). Close releases the workers.
+// goroutines (one per session's stream). CloseDrain processes
+// everything already queued and then stops (the books balance
+// exactly); Close stops immediately, accounting the abandoned
+// backlog. Both are idempotent.
 func NewSessionManager(cfg SessionManagerConfig) *SessionManager { return serve.New(cfg) }
 
 // Observability: the zero-dependency metrics/tracing layer of
