@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build test race vet fuzz-smoke bench-obs bench-profilestore
+.PHONY: verify build test race vet cover fuzz-smoke bench-obs bench-profilestore
 
 # verify is the tier-1 gate: vet + build + full test suite + the race
 # runs that give the concurrency and fault-injection tests their teeth.
@@ -19,16 +19,24 @@ test:
 	$(GO) test ./...
 
 # The serving engine's stress/soak tests, the fault injector, the
-# metrics registry (scraped concurrently with the hot path), and the
-# profile store's cold-key storms only mean something under the race
-# detector.
+# metrics registry (scraped concurrently with the hot path), the
+# profile store's cold-key storms, and the scenario generator's
+# concurrent replay only mean something under the race detector.
 race:
-	$(GO) test -race ./internal/serve ./internal/faults ./internal/obs ./internal/profilestore
+	$(GO) test -race ./internal/serve ./internal/faults ./internal/obs ./internal/profilestore ./internal/scenario
 
-# Short open-ended fuzz pass over the two adversarial-input surfaces.
+# Per-package statement coverage summary (the README records the
+# baseline). Writes the merged profile to COVER.out for drill-down
+# with `go tool cover -html=COVER.out`.
+cover:
+	$(GO) test -coverprofile=COVER.out ./...
+	$(GO) tool cover -func=COVER.out | tail -1
+
+# Short open-ended fuzz pass over the three adversarial-input surfaces.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzSanitize -fuzztime=10s ./internal/csi
 	$(GO) test -fuzz=FuzzWireDecode -fuzztime=10s ./internal/wifi
+	$(GO) test -fuzz=FuzzScenarioConfig -fuzztime=10s ./internal/scenario
 
 # Observability overhead benchmark: serving throughput with obs off vs
 # metrics vs metrics+trace (DESIGN.md §9's overhead budget, measured).

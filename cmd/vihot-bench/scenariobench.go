@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"vihot/internal/obs"
+	"vihot/internal/scenario"
+)
+
+// runScenarioBench replays a weighted mix of named corpus scenarios
+// through the session manager and prints per-scenario accuracy and
+// health breakdowns — the workload-generator entry point.
+//
+// mixSpec is "all" (equal weights over the whole corpus) or a
+// comma-separated "name:weight" list, e.g.
+// "baseline:3,multi-occupant:1". Weights default to 1 when omitted.
+func runScenarioBench(mixSpec string, sessions int, seconds float64, deterministic bool, metricsOut, jsonOut string) error {
+	mix, err := scenario.ParseMix(mixSpec, seconds)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	fmt.Printf("scenario mix replay: %d sessions over %d scenarios (%s mode)\n\n",
+		sessions, len(mix), map[bool]string{true: "deterministic", false: "concurrent"}[deterministic])
+
+	start := time.Now()
+	rep, err := scenario.Generate(scenario.GeneratorConfig{
+		Mix:           mix,
+		Sessions:      sessions,
+		Deterministic: deterministic,
+		Metrics:       reg,
+	})
+	if err != nil {
+		return err
+	}
+	printScenarioReport(os.Stdout, rep)
+	fmt.Printf("done in %.1f s\n", time.Since(start).Seconds())
+
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := reg.WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote metrics exposition to %s\n", metricsOut)
+	}
+	if jsonOut != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote report JSON to %s\n", jsonOut)
+	}
+	return nil
+}
+
+// printScenarioReport renders the per-scenario accuracy/health table
+// and the manager's conservation counters.
+func printScenarioReport(w io.Writer, rep *scenario.Report) {
+	fmt.Fprintf(w, "%-18s %8s %8s %9s %10s %9s  %s\n",
+		"scenario", "sessions", "items", "estimates", "median(°)", "p95(°)", "final health / trajectories")
+	for _, sr := range rep.Scenarios {
+		fmt.Fprintf(w, "%-18s %8d %8d %9d %10.2f %9.2f  %s | %s\n",
+			sr.Scenario, sr.Sessions, sr.Items, sr.Estimates,
+			sr.MedianErrDeg, sr.P95ErrDeg,
+			formatBreakdown(sr.FinalHealth), formatBreakdown(sr.Trajectories))
+	}
+	c := rep.Counters
+	fmt.Fprintf(w, "\ncounters: processed=%d estimates=%d dropped(stale=%d unknown=%d closed=%d) rejected(time=%d kind=%d)\n\n",
+		c.Processed, c.Estimates, c.DroppedStale, c.DroppedUnknown, c.DroppedClosed,
+		c.RejectedTime, c.RejectedKind)
+}
+
+// formatBreakdown renders a small count map in stable key order.
+func formatBreakdown(m map[string]int) string {
+	if len(m) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, m[k]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -64,6 +64,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -78,6 +79,7 @@ import (
 	"vihot/internal/imu"
 	"vihot/internal/obs"
 	"vihot/internal/profilestore"
+	"vihot/internal/scenario"
 	"vihot/internal/serve"
 	"vihot/internal/stats"
 	"vihot/internal/wifi"
@@ -115,9 +117,11 @@ func main() {
 		"persist driver profiles here and resolve sessions through the shared profile store (OpenByKey); empty keeps the direct Open path")
 	profileCache := flag.Int("profile-cache", 64,
 		"profile-store LRU capacity in profiles (with -profile-dir)")
+	scenarioMix := flag.String("scenario-mix", "",
+		"draw each driver's trajectory from a weighted corpus scenario mix (\"all\" or \"name:weight,...\") instead of the default glance-and-steer trip; prints a per-scenario accuracy/health breakdown (CSI+IMU only: camera items have no wire type)")
 	flag.Parse()
 	if err := run(*drivers, *shards, *seconds, *queue, *seed, *sessionTTL, ff, *metricsAddr, *traceOut,
-		*profileDir, *profileCache); err != nil {
+		*profileDir, *profileCache, *scenarioMix); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -134,7 +138,8 @@ type probeSender interface {
 // scenario, and the UDP sender that plays its phone.
 type car struct {
 	id       string // session id = the sender's local UDP address
-	style    driver.Profile
+	label    string // driver style, or scenario/trajectory under -scenario-mix
+	scName   string // corpus scenario name ("" outside -scenario-mix)
 	scenario *driver.Scenario
 	env      *experiment.Env
 	sender   *wifi.Sender
@@ -142,12 +147,34 @@ type car struct {
 	flush    func() error
 }
 
+// carPlan is one car's pre-dial assignment: its environment,
+// trajectory, and which collected profile its session opens with.
+type carPlan struct {
+	env    *experiment.Env
+	sc     *driver.Scenario
+	label  string
+	scName string
+	prof   int // index into the collected profiles
+}
+
 func run(drivers, shards int, seconds float64, queue int, seed int64, sessionTTL float64,
-	ff faultFlags, metricsAddr, traceOut, profileDir string, profileCache int) error {
+	ff faultFlags, metricsAddr, traceOut, profileDir string, profileCache int, scenarioMix string) error {
 	if drivers < 1 {
 		drivers = 1
 	}
 	start := time.Now()
+
+	// With -scenario-mix the cars replay corpus scenarios instead of the
+	// default glance-and-steer trip. The mix's own fault schedules are a
+	// replay-path feature (vihot-bench -scenarios); on this live wire
+	// path the -loss/-dup/... flags remain the fault surface.
+	var mix []scenario.MixEntry
+	if scenarioMix != "" {
+		var err error
+		if mix, err = scenario.ParseMix(scenarioMix, seconds); err != nil {
+			return err
+		}
+	}
 
 	// SIGINT/SIGTERM turns into context cancellation: the senders stop,
 	// the receiver drains, and the summary still prints.
@@ -167,25 +194,42 @@ func run(drivers, shards int, seconds float64, queue int, seed int64, sessionTTL
 		tracer = obs.NewTracer(obs.DefaultTraceCapacity)
 	}
 
-	// One profile per driver style, shared by every car of that style —
-	// profiling is per-driver, not per-trip (Sec. 5.2.4).
-	profEnv, err := experiment.NewEnv(cabin.DefaultConfig(), seed)
-	if err != nil {
-		return err
-	}
-	styles := []driver.Profile{driver.DriverA(), driver.DriverB(), driver.DriverC()}
-	popt := experiment.DefaultProfileOptions()
-	popt.Positions = 5
-	popt.PerPositionS = 4
-	profiles := make([]*core.Profile, len(styles))
-	for i, st := range styles {
-		p, _, err := profEnv.CollectProfile(st, popt)
-		if err != nil {
-			return fmt.Errorf("profiling %s: %w", st.Name, err)
+	// One profile per driver style (or per mix scenario), shared by
+	// every car opening under it — profiling is per-driver, not per-trip
+	// (Sec. 5.2.4). profNames key the profile store under -profile-dir.
+	var (
+		profiles  []*core.Profile
+		profNames []string
+	)
+	if mix != nil {
+		for _, e := range mix {
+			p, err := e.Config.CollectProfile()
+			if err != nil {
+				return err
+			}
+			profiles = append(profiles, p)
+			profNames = append(profNames, e.Config.Name)
 		}
-		profiles[i] = p
+		fmt.Printf("profiled %d mix scenarios in %.1f s\n", len(mix), time.Since(start).Seconds())
+	} else {
+		profEnv, err := experiment.NewEnv(cabin.DefaultConfig(), seed)
+		if err != nil {
+			return err
+		}
+		styles := []driver.Profile{driver.DriverA(), driver.DriverB(), driver.DriverC()}
+		popt := experiment.DefaultProfileOptions()
+		popt.Positions = 5
+		popt.PerPositionS = 4
+		for _, st := range styles {
+			p, _, err := profEnv.CollectProfile(st, popt)
+			if err != nil {
+				return fmt.Errorf("profiling %s: %w", st.Name, err)
+			}
+			profiles = append(profiles, p)
+			profNames = append(profNames, st.Name)
+		}
+		fmt.Printf("profiled %d driver styles in %.1f s\n", len(styles), time.Since(start).Seconds())
 	}
-	fmt.Printf("profiled %d driver styles in %.1f s\n", len(styles), time.Since(start).Seconds())
 
 	// With -profile-dir the profiles take the production path: saved to
 	// disk in the versioned format, then resolved back through the
@@ -195,9 +239,9 @@ func run(drivers, shards int, seconds float64, queue int, seed int64, sessionTTL
 	var store *profilestore.Store
 	if profileDir != "" {
 		dl := profilestore.NewDirLoader(profileDir)
-		for i, st := range styles {
-			if err := dl.Save(st.Name, profiles[i]); err != nil {
-				return fmt.Errorf("saving profile %s: %w", st.Name, err)
+		for i, name := range profNames {
+			if err := dl.Save(name, profiles[i]); err != nil {
+				return fmt.Errorf("saving profile %s: %w", name, err)
 			}
 		}
 		store = profilestore.New(profilestore.Config{
@@ -206,7 +250,7 @@ func run(drivers, shards int, seconds float64, queue int, seed int64, sessionTTL
 			Metrics:  reg,
 		})
 		fmt.Printf("profile store: %d profiles in %s (cache capacity %d)\n",
-			len(styles), profileDir, profileCache)
+			len(profNames), profileDir, profileCache)
 	}
 
 	// The receiver: one UDP socket feeding the session manager.
@@ -282,31 +326,67 @@ func run(drivers, shards int, seconds float64, queue int, seed int64, sessionTTL
 	})
 	defer mgr.Close()
 
+	// Assign each car its environment and trajectory up front: drawn
+	// from the weighted scenario mix, or the default glance-and-steer
+	// trip per driver style.
+	plans := make([]carPlan, 0, drivers)
+	if mix != nil {
+		weights := make([]float64, len(mix))
+		for i, e := range mix {
+			weights[i] = e.Weight
+			if weights[i] == 0 {
+				weights[i] = 1
+			}
+		}
+		counts := scenario.Apportion(weights, drivers)
+		for i, e := range mix {
+			for j := 0; j < counts[i]; j++ {
+				env, sc, kind, err := e.Config.Session(j)
+				if err != nil {
+					return err
+				}
+				plans = append(plans, carPlan{env: env, sc: sc,
+					label: e.Config.Name + "/" + kind, scName: e.Config.Name, prof: i})
+			}
+		}
+	} else {
+		styles := []driver.Profile{driver.DriverA(), driver.DriverB(), driver.DriverC()}
+		for i := 0; i < drivers; i++ {
+			env, err := experiment.NewEnv(cabin.DefaultConfig(), seed+int64(i)*101+7)
+			if err != nil {
+				return err
+			}
+			style := styles[i%len(styles)]
+			plans = append(plans, carPlan{
+				env: env,
+				sc: driver.DrivingScenario(env.RNG.Fork(), style, seconds, driver.GlanceOptions{
+					Steering:       true,
+					PositionJitter: 0.008,
+				}),
+				label: style.Name,
+				prof:  i % len(styles),
+			})
+		}
+	}
+
 	// Dial one sender per car and open its session keyed by the
 	// sender's source address — how the receiver will see it.
-	cars := make([]*car, drivers)
-	for i := range cars {
-		env, err := experiment.NewEnv(cabin.DefaultConfig(), seed+int64(i)*101+7)
-		if err != nil {
-			return err
-		}
-		style := styles[i%len(styles)]
+	cars := make([]*car, len(plans))
+	for i, pl := range plans {
 		sender, err := wifi.Dial(recv.Addr().String())
 		if err != nil {
 			return err
 		}
 		defer sender.Close()
 		c := &car{
-			id:     sender.LocalAddr().String(),
-			style:  style,
-			env:    env,
-			sender: sender,
-			out:    sender,
-			flush:  func() error { return nil },
-			scenario: driver.DrivingScenario(env.RNG.Fork(), style, seconds, driver.GlanceOptions{
-				Steering:       true,
-				PositionJitter: 0.008,
-			}),
+			id:       sender.LocalAddr().String(),
+			label:    pl.label,
+			scName:   pl.scName,
+			scenario: pl.sc,
+			env:      pl.env,
+			sender:   sender,
+			out:      sender,
+			flush:    func() error { return nil },
 		}
 		if ff.enabled() {
 			// One injector per car: each phone link misbehaves on its
@@ -321,11 +401,11 @@ func run(drivers, shards int, seconds float64, queue int, seed int64, sessionTTL
 			c.out, c.flush = fs, fs.Flush
 		}
 		if store != nil {
-			// Resolve through the store: cars sharing a driver style
-			// share one cached immutable profile instance.
-			err = mgr.OpenByKey(c.id, style.Name, core.DefaultPipelineConfig())
+			// Resolve through the store: cars sharing a driver style (or
+			// mix scenario) share one cached immutable profile instance.
+			err = mgr.OpenByKey(c.id, profNames[pl.prof], core.DefaultPipelineConfig())
 		} else {
-			err = mgr.Open(c.id, profiles[i%len(styles)], core.DefaultPipelineConfig())
+			err = mgr.Open(c.id, profiles[pl.prof], core.DefaultPipelineConfig())
 		}
 		if err != nil {
 			return err
@@ -438,9 +518,14 @@ func run(drivers, shards int, seconds float64, queue int, seed int64, sessionTTL
 	}
 	mgr.Flush()
 
-	// Score each session against its scenario's ground truth.
-	fmt.Printf("\n%-22s %-10s %9s %12s %8s %6s\n", "session", "driver", "estimates", "median-err", "health", "trans")
+	// Score each session against its scenario's ground truth,
+	// accumulating the per-scenario rollup along the way.
+	fmt.Printf("\n%-22s %-24s %9s %12s %8s %6s\n", "session", "driver/scenario", "estimates", "median-err", "health", "trans")
 	sort.Slice(cars, func(i, j int) bool { return cars[i].id < cars[j].id })
+	scErrs := map[string][]float64{}
+	scEst := map[string]int{}
+	scSessions := map[string]int{}
+	scHealth := map[string]map[string]int{}
 	for _, c := range cars {
 		mu.Lock()
 		ests := estimates[c.id]
@@ -459,7 +544,44 @@ func run(drivers, shards int, seconds float64, queue int, seed int64, sessionTTL
 			h, _ := mgr.Health(c.id)
 			hcol = h.String()
 		}
-		fmt.Printf("%-22s %-10s %9d %11.1f° %8s %6d\n", c.id, c.style.Name, len(ests), med, hcol, trans)
+		fmt.Printf("%-22s %-24s %9d %11.1f° %8s %6d\n", c.id, c.label, len(ests), med, hcol, trans)
+		if c.scName != "" {
+			scErrs[c.scName] = append(scErrs[c.scName], errs...)
+			scEst[c.scName] += len(ests)
+			scSessions[c.scName]++
+			if scHealth[c.scName] == nil {
+				scHealth[c.scName] = map[string]int{}
+			}
+			scHealth[c.scName][hcol]++
+		}
+	}
+	if mix != nil {
+		fmt.Printf("\n%-18s %8s %9s %10s %9s  %s\n",
+			"scenario", "sessions", "estimates", "median(°)", "p95(°)", "final health")
+		printed := map[string]bool{}
+		for _, e := range mix {
+			name := e.Config.Name
+			if printed[name] {
+				continue // duplicate mix entries roll up under one name
+			}
+			printed[name] = true
+			med, p95 := 0.0, 0.0
+			if errs := scErrs[name]; len(errs) > 0 {
+				med = stats.Median(errs)
+				p95, _ = stats.Percentile(errs, 95)
+			}
+			var parts []string
+			states := make([]string, 0, len(scHealth[name]))
+			for s := range scHealth[name] {
+				states = append(states, s)
+			}
+			sort.Strings(states)
+			for _, s := range states {
+				parts = append(parts, fmt.Sprintf("%s:%d", s, scHealth[name][s]))
+			}
+			fmt.Printf("%-18s %8d %9d %10.2f %9.2f  %s\n",
+				name, scSessions[name], scEst[name], med, p95, strings.Join(parts, " "))
+		}
 	}
 
 	// Graceful exit: flush whatever remains in the shard rings, then

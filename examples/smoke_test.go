@@ -1,0 +1,60 @@
+// Package examples_test smoke-runs the four example programs as real
+// child processes: each must build, finish inside a wall-clock bound,
+// exit zero, and print the line that proves it got to its point. The
+// examples are the public-API documentation; this keeps them from
+// silently rotting as the API moves.
+package examples_test
+
+import (
+	"context"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// smokeTimeout bounds each run. The slowest example (steering, which
+// profiles twice) takes ~20 s cold including its build; the bound
+// leaves generous headroom for a loaded CI host without letting a
+// hang stall the suite.
+const smokeTimeout = 180 * time.Second
+
+// runExample executes `go run ./<dir>` from this directory and
+// requires the marker string in its output.
+func runExample(t *testing.T, dir, marker string) {
+	t.Helper()
+	t.Parallel()
+	ctx, cancel := context.WithTimeout(context.Background(), smokeTimeout)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, "go", "run", "./"+dir)
+	out, err := cmd.CombinedOutput()
+	if ctx.Err() != nil {
+		t.Fatalf("%s did not finish within %v; output so far:\n%s", dir, smokeTimeout, out)
+	}
+	if err != nil {
+		t.Fatalf("%s exited with %v:\n%s", dir, err, out)
+	}
+	if !strings.Contains(string(out), marker) {
+		t.Fatalf("%s output lacks %q:\n%s", dir, marker, out)
+	}
+}
+
+func TestQuickstartSmoke(t *testing.T) {
+	// The tracking loop printed estimates attributed to the CSI path.
+	runExample(t, "quickstart", "via csi")
+}
+
+func TestSteeringSmoke(t *testing.T) {
+	// The comparison reached its conclusion line.
+	runExample(t, "steering", "restored to baseline")
+}
+
+func TestNetstreamSmoke(t *testing.T) {
+	// Both wire directions worked and the tracker scored the run.
+	runExample(t, "netstream", "tracked")
+}
+
+func TestARForecastSmoke(t *testing.T) {
+	// The forecasting walkthrough reached its closing argument.
+	runExample(t, "arforecast", "motion-blur problem")
+}

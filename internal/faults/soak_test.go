@@ -2,22 +2,23 @@ package faults_test
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"testing"
 
-	"vihot/internal/cabin"
-	"vihot/internal/camera"
 	"vihot/internal/core"
-	"vihot/internal/driver"
-	"vihot/internal/experiment"
 	"vihot/internal/faults"
-	"vihot/internal/imu"
+	"vihot/internal/scenario"
 	"vihot/internal/serve"
 )
 
 // soakDurationS is the simulated drive length per session. The fault
 // schedule below places every episode well inside it.
 const soakDurationS = 32
+
+// soakSessions is how many concurrent sessions the soak drives,
+// apportioned across the mix by weight.
+const soakSessions = 4
 
 // soakConfig is the chaos schedule of the acceptance criteria: 20%
 // UDP loss with reordering, duplication and corruption, a 2 s CSI
@@ -48,12 +49,44 @@ func soakConfig(seed int64) faults.Config {
 	}
 }
 
-// soakFixture is the rendered clean streams plus the shared profile,
-// built once: rendering 2×32 s of CSI is the expensive part.
+// soakMix is the weighted multi-scenario mix the soak drives: the
+// paper's baseline workload carries double weight, with passenger
+// interference and the drowsy long-haul riding along — three distinct
+// cabins, channel conditions, and trajectory families through one
+// manager. The scenarios' own fault schedules are cleared (the soak's
+// chaos comes from soakConfig's injector, so the fault timeline stays
+// the one the assertions below expect) and every stream carries a
+// camera so blackouts can coast.
+func soakMix() ([]scenario.MixEntry, error) {
+	mix, err := scenario.ParseMix("baseline:2,multi-occupant:1,longhaul-drowsy:1", soakDurationS)
+	if err != nil {
+		return nil, err
+	}
+	for i := range mix {
+		mix[i].Config.Camera = true
+		mix[i].Config.Faults = nil
+		mix[i].Config.Profile = scenario.ProfileSpec{Positions: 4, PerPositionS: 3}
+	}
+	return mix, nil
+}
+
+// soakFixture is the rendered clean streams plus each session's
+// profile, built once: rendering the mix's 32 s CSI streams is the
+// expensive part.
 type soakFixture struct {
-	profile *core.Profile
-	streams map[string][]serve.Item // clean, pre-fault
-	pumped  map[string][]serve.Item // post-fault, as the receiver sees them
+	profiles map[string]*core.Profile
+	streams  map[string][]serve.Item // clean, pre-fault
+	pumped   map[string][]serve.Item // post-fault, as the receiver sees them
+}
+
+// ids returns the fixture's session IDs in stable order.
+func (fx *soakFixture) ids() []string {
+	out := make([]string, 0, len(fx.pumped))
+	for id := range fx.pumped {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
 }
 
 var (
@@ -72,47 +105,42 @@ func getSoakFixture(t *testing.T) *soakFixture {
 }
 
 func buildSoakFixture() (*soakFixture, error) {
-	env, err := experiment.NewEnv(cabin.DefaultConfig(), 42)
+	mix, err := soakMix()
 	if err != nil {
 		return nil, err
 	}
-	popt := experiment.DefaultProfileOptions()
-	popt.Positions = 4
-	popt.PerPositionS = 3
-	profile, _, err := env.CollectProfile(driver.DriverA(), popt)
-	if err != nil {
-		return nil, err
+	weights := make([]float64, len(mix))
+	for i, e := range mix {
+		weights[i] = e.Weight
 	}
+	counts := scenario.Apportion(weights, soakSessions)
 	fx := &soakFixture{
-		profile: profile,
-		streams: map[string][]serve.Item{},
-		pumped:  map[string][]serve.Item{},
+		profiles: map[string]*core.Profile{},
+		streams:  map[string][]serve.Item{},
+		pumped:   map[string][]serve.Item{},
 	}
-	for i, dp := range []driver.Profile{driver.DriverA(), driver.DriverB()} {
-		id := fmt.Sprintf("car-%d", i)
-		sc := driver.DrivingScenario(env.RNG.Fork(), dp, soakDurationS, driver.GlanceOptions{
-			Steering:       true,
-			PositionJitter: 0.008,
-		})
-		phone := imu.NewPhoneIMU(env.RNG.Fork())
-		cam := camera.NewTracker(env.RNG.Fork())
-		var items []serve.Item
-		nextIMU := 0.0
-		for _, ts := range env.Timing.ArrivalTimes(env.RNG.Fork(), sc.Duration) {
-			for nextIMU <= ts {
-				items = append(items, serve.Item{Session: id, Kind: serve.KindIMU,
-					IMU: phone.Sample(nextIMU, sc.CarYawRateDPS(nextIMU), sc.SpeedMPS)})
-				lag := cam.Latency()
-				if est, ok := cam.Sample(nextIMU, sc.HeadYaw.At(nextIMU-lag), sc.TrueYawRateDPS(nextIMU-lag)); ok {
-					items = append(items, serve.Item{Session: id, Kind: serve.KindCamera, Camera: est})
-				}
-				nextIMU += 0.01
-			}
-			// Raw frames so every CSI sample truly crosses the wire.
-			items = append(items, serve.Item{Session: id, Kind: serve.KindFrame, Frame: env.FrameAt(sc.State(ts))})
+	n := 0
+	for i, e := range mix {
+		if counts[i] == 0 {
+			continue
 		}
-		fx.streams[id] = items
-		fx.pumped[id] = faults.New(soakConfig(7000 + int64(i))).Pump(id, items)
+		// One profile per scenario, fingerprinting that scenario's own
+		// cabin, shared by its sessions.
+		prof, err := e.Config.CollectProfile()
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < counts[i]; j++ {
+			id := fmt.Sprintf("car-%d-%s", n, e.Config.Name)
+			st, err := e.Config.BuildStream(id, j)
+			if err != nil {
+				return nil, err
+			}
+			fx.profiles[id] = prof
+			fx.streams[id] = st.Items
+			fx.pumped[id] = faults.New(soakConfig(7000 + int64(n))).Pump(id, st.Items)
+			n++
+		}
 	}
 	return fx, nil
 }
@@ -145,11 +173,12 @@ func (l *soakLog) onEst(id string, est core.Estimate, h serve.Health, conf float
 	l.mu.Unlock()
 }
 
-// TestChaosSoak is the acceptance soak: two sessions, ≥30 s of
-// simulated driving each, pushed concurrently through a sharded
-// Manager while the full fault schedule runs. Every session must ride
-// out every fault window and re-enter HEALTHY, no estimate may be
-// emitted while STALE, and the counters must conserve.
+// TestChaosSoak is the acceptance soak: a weighted multi-scenario mix
+// (baseline ×2, passenger interference, drowsy long-haul), ≥30 s of
+// simulated driving per session, pushed concurrently through a
+// sharded Manager while the full fault schedule runs. Every session
+// must ride out every fault window and re-enter HEALTHY, no estimate
+// may be emitted while STALE, and the counters must conserve.
 func TestChaosSoak(t *testing.T) {
 	fx := getSoakFixture(t)
 	log := newSoakLog()
@@ -161,7 +190,7 @@ func TestChaosSoak(t *testing.T) {
 	})
 	defer m.Close()
 	for id := range fx.pumped {
-		if err := m.Open(id, fx.profile, core.DefaultPipelineConfig()); err != nil {
+		if err := m.Open(id, fx.profiles[id], core.DefaultPipelineConfig()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -250,8 +279,8 @@ func TestChaosSoak(t *testing.T) {
 	if snap.SanitizeErrors == 0 {
 		t.Fatal("the antenna-dropout episode produced no sanitize errors")
 	}
-	if snap.TrackerResets < 2 {
-		t.Fatalf("TrackerResets = %d, want ≥2 (one per session after the blackout)", snap.TrackerResets)
+	if snap.TrackerResets < uint64(len(fx.pumped)) {
+		t.Fatalf("TrackerResets = %d, want ≥%d (one per session after the blackout)", snap.TrackerResets, len(fx.pumped))
 	}
 	t.Logf("soak: in=%d processed=%d estimates=%d coasted=%d rejected=%d sanitizeErr=%d transitions(d/c/s/h)=%d/%d/%d/%d",
 		snap.Total(), snap.Processed, snap.Estimates, snap.Coasted, snap.RejectedTime,
@@ -291,9 +320,9 @@ func TestChaosSoakDeterministicReplay(t *testing.T) {
 			},
 		})
 		defer m.Close()
-		ids := []string{"car-0", "car-1"}
+		ids := fx.ids()
 		for _, id := range ids {
-			if err := m.Open(id, fx.profile, core.DefaultPipelineConfig()); err != nil {
+			if err := m.Open(id, fx.profiles[id], core.DefaultPipelineConfig()); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -1,0 +1,127 @@
+package scenario
+
+import "fmt"
+
+// The committed corpus: the named scenarios the regression suite, the
+// workload generator, and the chaos soak replay. Every config here is
+// fully declarative — seeds fixed, schedules explicit — so each name
+// is a reproducible artifact, not a description.
+//
+// Corpus names.
+const (
+	// Baseline is the paper's own workload: one driver, default cabin,
+	// glance-and-steer trips on a clean channel.
+	Baseline = "baseline"
+	// MultiOccupant seats a moving front passenger with the phone laid
+	// sideways, so passenger reflections are NOT suppressed by the
+	// antenna null — the hard half of Sec. 5.3.4.
+	MultiOccupant = "multi-occupant"
+	// CarFiRider is rider localization in a ride-share car (CarFi,
+	// PAPERS.md): which seat-lean position does the occupant hold.
+	CarFiRider = "carfi-rider"
+	// VRTracking is commodity-WiFi 3-D position tracking (Kotaru &
+	// Katti, PAPERS.md): continuous 3-D head motion with free scanning.
+	VRTracking = "vr-3d"
+	// LongHaul is the drowsiness-pattern long-haul scan: monotony,
+	// slow nods, microsleep droops, and a mid-trip CSI blackout the
+	// camera must cover.
+	LongHaul = "longhaul-drowsy"
+)
+
+// Durations are corpus-wide test-scale defaults; the generator can
+// override per run (vihot-serve -seconds does exactly that).
+const (
+	corpusShortS = 10 // accuracy scenarios
+	corpusLongS  = 16 // the long-haul scan, long enough for two droops
+)
+
+// corpusConfig builds one named corpus entry. Seeds are fixed per
+// name so "the corpus" is one artifact, not a family.
+func corpusConfig(name string) Config {
+	switch name {
+	case Baseline:
+		return Config{
+			Name: Baseline, Seed: 101, DurationS: corpusShortS,
+			Occupants: 1, Driver: "A",
+			Trajectories: []TrajectoryWeight{
+				{Kind: TrajDrive, Weight: 3, Steering: true},
+				{Kind: TrajSweep, Weight: 1},
+			},
+		}
+	case MultiOccupant:
+		return Config{
+			Name: MultiOccupant, Seed: 202, DurationS: corpusShortS,
+			Occupants: 2, PassengerMotion: true, Driver: "B",
+			Cabin: Cabin{PhoneSideways: true},
+			Trajectories: []TrajectoryWeight{
+				{Kind: TrajDrive, Weight: 1, Steering: true},
+			},
+			Interference: InterfereWiFi,
+		}
+	case CarFiRider:
+		return Config{
+			Name: CarFiRider, Seed: 303, DurationS: corpusShortS,
+			Occupants: 2, Driver: "C",
+			Trajectories: []TrajectoryWeight{
+				{Kind: TrajRider, Weight: 1},
+			},
+		}
+	case VRTracking:
+		return Config{
+			Name: VRTracking, Seed: 404, DurationS: corpusShortS,
+			Occupants: 1, Driver: "B",
+			Cabin: Cabin{Layout: 3}, // ceiling antennas: the VR rig placement
+			Trajectories: []TrajectoryWeight{
+				{Kind: TrajPos3D, Weight: 1},
+			},
+			Profile: ProfileSpec{Positions: 6},
+		}
+	case LongHaul:
+		return Config{
+			Name: LongHaul, Seed: 505, DurationS: corpusLongS,
+			Occupants: 1, Driver: "A", Camera: true,
+			Trajectories: []TrajectoryWeight{
+				{Kind: TrajDrowsy, Weight: 3},
+				{Kind: TrajDrive, Weight: 1},
+			},
+			Faults: []FaultSpec{
+				{Kind: FaultCSIBlackout, Start: 7, End: 8.2},
+				{Kind: FaultClockJitter, Level: 0.0004},
+			},
+		}
+	}
+	return Config{}
+}
+
+// CorpusNames lists the corpus in its canonical report order.
+func CorpusNames() []string {
+	return []string{Baseline, MultiOccupant, CarFiRider, VRTracking, LongHaul}
+}
+
+// Corpus returns the full committed corpus, validated.
+func Corpus() []Config {
+	names := CorpusNames()
+	out := make([]Config, 0, len(names))
+	for _, n := range names {
+		c := corpusConfig(n)
+		if err := c.Validate(); err != nil {
+			// The corpus is committed code; an invalid entry is a bug,
+			// and the corpus tests assert exactly this never fires.
+			panic(err)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// ByName resolves one corpus scenario.
+func ByName(name string) (Config, error) {
+	c := corpusConfig(name)
+	if c.Name == "" {
+		return Config{}, fmt.Errorf("scenario: unknown corpus scenario %q (have %v)", name, CorpusNames())
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}

@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzScenarioConfig drives the JSON parser/validator with arbitrary
+// documents. The invariant under fuzz: Parse either rejects the input
+// with an error or returns a config that (a) passes Validate, (b)
+// carries only finite geometry and non-negative durations/weights, and
+// (c) survives a marshal→parse round trip — so nothing non-finite or
+// malformed can sneak past the gate into the simulator substrate.
+func FuzzScenarioConfig(f *testing.F) {
+	for _, c := range Corpus() {
+		blob, err := json.Marshal(c)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	// Known-invalid shapes steer the mutator at the rejection rules:
+	// non-finite geometry, negative durations/weights, unknown fault
+	// kinds, zero occupants, zero seed, unknown fields.
+	for _, s := range []string{
+		`{}`,
+		`{"name":"x","seed":1,"duration_s":-5,"occupants":1,"trajectories":[{"kind":"drive","weight":1}]}`,
+		`{"name":"x","seed":1,"duration_s":1e999,"occupants":1,"trajectories":[{"kind":"drive","weight":1}]}`,
+		`{"name":"x","seed":1,"duration_s":5,"occupants":0,"trajectories":[{"kind":"drive","weight":1}]}`,
+		`{"name":"x","seed":0,"duration_s":5,"occupants":1,"trajectories":[{"kind":"drive","weight":1}]}`,
+		`{"name":"x","seed":1,"duration_s":5,"occupants":1,"trajectories":[{"kind":"drive","weight":-2}]}`,
+		`{"name":"x","seed":1,"duration_s":5,"occupants":1,"trajectories":[{"kind":"moonwalk","weight":1}]}`,
+		`{"name":"x","seed":1,"duration_s":5,"occupants":1,"cabin":{"phone":[0.1,null,0.2]},"trajectories":[{"kind":"drive","weight":1}]}`,
+		`{"name":"x","seed":1,"duration_s":5,"occupants":1,"trajectories":[{"kind":"drive","weight":1}],"faults":[{"kind":"gremlins","start":1,"end":2}]}`,
+		`{"name":"x","seed":1,"duration_s":5,"occupants":1,"trajectories":[{"kind":"drive","weight":1}],"faults":[{"kind":"csi-blackout","start":3,"end":1}]}`,
+		`{"name":"x","seed":1,"duration_s":5,"occupants":1,"trajectories":[{"kind":"drive","weight":1}],"typo_knob":true}`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Parse(data)
+		if err != nil {
+			return // rejected: the only other acceptable outcome
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("Parse accepted a config Validate rejects: %v\ninput: %s", err, data)
+		}
+		// Spot-check the invariants the validator promises, so a
+		// validator hole shows up as a fuzz crash, not silently later
+		// inside the simulator.
+		if c.Seed == 0 || c.Occupants < 1 || !finite(c.DurationS) || c.DurationS <= 0 {
+			t.Fatalf("accepted config breaks core invariants: %+v", c)
+		}
+		for _, v := range c.Cabin.Phone {
+			if !finite(v) {
+				t.Fatalf("accepted config has non-finite phone position: %+v", c)
+			}
+		}
+		for _, tw := range c.Trajectories {
+			if !trajectoryKinds[tw.Kind] || !finite(tw.Weight) || tw.Weight <= 0 {
+				t.Fatalf("accepted config has invalid trajectory entry: %+v", tw)
+			}
+		}
+		for _, fs := range c.Faults {
+			if _, ok := faultKindWindowed[fs.Kind]; !ok {
+				t.Fatalf("accepted config has unknown fault kind: %+v", fs)
+			}
+		}
+		// Round trip: a valid config re-marshals to a document Parse
+		// accepts again.
+		blob, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("marshal of accepted config failed: %v", err)
+		}
+		if _, err := Parse(blob); err != nil {
+			t.Fatalf("re-parse of accepted config failed: %v\nround-trip: %s", err, blob)
+		}
+	})
+}

@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseMix resolves a command-line mix spec against the corpus: "all"
+// takes the whole corpus at equal weight, otherwise a comma-separated
+// "name:weight" list (weight defaults to 1 when omitted), e.g.
+// "baseline:3,multi-occupant:1". A non-zero seconds overrides every
+// resolved scenario's configured duration.
+func ParseMix(spec string, seconds float64) ([]MixEntry, error) {
+	var mix []MixEntry
+	add := func(name string, weight float64) error {
+		cfg, err := ByName(name)
+		if err != nil {
+			return err
+		}
+		if seconds > 0 {
+			cfg.DurationS = seconds
+		}
+		mix = append(mix, MixEntry{Config: cfg, Weight: weight})
+		return nil
+	}
+	if strings.TrimSpace(spec) == "all" {
+		for _, name := range CorpusNames() {
+			if err := add(name, 1); err != nil {
+				return nil, err
+			}
+		}
+		return mix, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weight := part, 1.0
+		if i := strings.LastIndex(part, ":"); i >= 0 {
+			w, err := strconv.ParseFloat(part[i+1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("scenario mix %q: bad weight: %v", part, err)
+			}
+			name, weight = part[:i], w
+		}
+		if err := add(name, weight); err != nil {
+			return nil, err
+		}
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("scenario mix %q: no scenarios (try \"all\" or %v)", spec, CorpusNames())
+	}
+	return mix, nil
+}

@@ -1,0 +1,278 @@
+package scenario
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"vihot/internal/serve"
+)
+
+// valid returns a minimal passing config for mutation.
+func valid() Config {
+	return Config{
+		Name: "t", Seed: 7, DurationS: 5, Occupants: 1,
+		Trajectories: []TrajectoryWeight{{Kind: TrajDrive, Weight: 1}},
+	}
+}
+
+func TestValidateAcceptsMinimal(t *testing.T) {
+	c := valid()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("minimal config rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string // substring of the error
+	}{
+		{"empty name", func(c *Config) { c.Name = "" }, "needs a name"},
+		{"zero seed", func(c *Config) { c.Seed = 0 }, "seed"},
+		{"zero occupants", func(c *Config) { c.Occupants = 0 }, "no head to track"},
+		{"too many occupants", func(c *Config) { c.Occupants = 3 }, "at most"},
+		{"passenger motion alone", func(c *Config) { c.PassengerMotion = true }, "needs a passenger"},
+		{"negative duration", func(c *Config) { c.DurationS = -1 }, "duration"},
+		{"NaN duration", func(c *Config) { c.DurationS = math.NaN() }, "duration"},
+		{"Inf duration", func(c *Config) { c.DurationS = math.Inf(1) }, "duration"},
+		{"bad layout", func(c *Config) { c.Cabin.Layout = 6 }, "layout"},
+		{"NaN phone", func(c *Config) { c.Cabin.Phone[1] = math.NaN() }, "phone position"},
+		{"Inf phone", func(c *Config) { c.Cabin.Phone[0] = math.Inf(-1) }, "phone position"},
+		{"unknown driver", func(c *Config) { c.Driver = "Z" }, "driver style"},
+		{"empty mix", func(c *Config) { c.Trajectories = nil }, "empty trajectory mix"},
+		{"unknown trajectory", func(c *Config) { c.Trajectories[0].Kind = "moonwalk" }, "unknown kind"},
+		{"negative weight", func(c *Config) { c.Trajectories[0].Weight = -1 }, "weight"},
+		{"zero weight", func(c *Config) { c.Trajectories[0].Weight = 0 }, "weight"},
+		{"NaN weight", func(c *Config) { c.Trajectories[0].Weight = math.NaN() }, "weight"},
+		{"negative speed", func(c *Config) { c.Trajectories[0].SpeedDPS = -10 }, "speed"},
+		{"unknown interference", func(c *Config) { c.Interference = "microwave" }, "interference"},
+		{"unknown fault kind", func(c *Config) {
+			c.Faults = []FaultSpec{{Kind: "gremlins", Start: 1, End: 2}}
+		}, "unknown kind"},
+		{"backwards fault window", func(c *Config) {
+			c.Faults = []FaultSpec{{Kind: FaultCSIBlackout, Start: 3, End: 1}}
+		}, "window"},
+		{"negative fault start", func(c *Config) {
+			c.Faults = []FaultSpec{{Kind: FaultCSIBlackout, Start: -1, End: 1}}
+		}, "window"},
+		{"rate fault above 1", func(c *Config) {
+			c.Faults = []FaultSpec{{Kind: FaultPacketLoss, Level: 1.5}}
+		}, "outside [0, 1]"},
+		{"rate fault with window", func(c *Config) {
+			c.Faults = []FaultSpec{{Kind: FaultClockJitter, Level: 0.1, Start: 1, End: 2}}
+		}, "takes no window"},
+		{"profile positions", func(c *Config) { c.Profile.Positions = 100 }, "positions"},
+		{"negative per-position time", func(c *Config) { c.Profile.PerPositionS = -3 }, "per-position"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := valid()
+			tc.mutate(&c)
+			err := c.Validate()
+			if err == nil {
+				t.Fatalf("validator accepted %+v", c)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse([]byte(`{"name":"t","seed":7,"duration_s":5,"occupants":1,` +
+		`"trajectories":[{"kind":"drive","weight":1}],"typo_knob":true}`))
+	if err == nil || !strings.Contains(err.Error(), "typo_knob") {
+		t.Fatalf("unknown field not rejected: %v", err)
+	}
+}
+
+func TestParseRoundTripsCorpus(t *testing.T) {
+	for _, c := range Corpus() {
+		blob, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Parse(blob)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if got.Name != c.Name || got.Seed != c.Seed {
+			t.Fatalf("%s round-tripped to %+v", c.Name, got)
+		}
+	}
+}
+
+func TestCorpusNamesAndByName(t *testing.T) {
+	names := CorpusNames()
+	if len(names) < 5 {
+		t.Fatalf("corpus has %d scenarios, want >= 5", len(names))
+	}
+	for _, n := range names {
+		c, err := ByName(n)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", n, err)
+		}
+		if c.Name != n {
+			t.Fatalf("ByName(%q) returned %q", n, c.Name)
+		}
+	}
+	if _, err := ByName("no-such-scenario"); err == nil {
+		t.Fatal("unknown corpus name accepted")
+	}
+}
+
+func TestApportion(t *testing.T) {
+	cases := []struct {
+		weights []float64
+		n       int
+		want    []int
+	}{
+		{[]float64{1, 1, 1}, 3, []int{1, 1, 1}},
+		{[]float64{3, 1}, 4, []int{3, 1}},
+		{[]float64{3, 1}, 5, []int{4, 1}},
+		{[]float64{1, 1, 1}, 1, []int{1, 0, 0}},
+		{[]float64{0, 1}, 4, []int{0, 4}},
+		{nil, 4, []int{}},
+	}
+	for _, tc := range cases {
+		got := Apportion(tc.weights, tc.n)
+		sum := 0
+		for _, g := range got {
+			sum += g
+		}
+		if tc.weights != nil && tc.n > 0 && sum != tc.n {
+			t.Errorf("Apportion(%v, %d) = %v sums to %d", tc.weights, tc.n, got, sum)
+		}
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Errorf("Apportion(%v, %d) = %v, want %v", tc.weights, tc.n, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := ParseMix("all", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != len(CorpusNames()) {
+		t.Fatalf("ParseMix(all) returned %d entries", len(mix))
+	}
+	mix, err = ParseMix(" baseline:3 , vr-3d ", 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 2 || mix[0].Weight != 3 || mix[1].Weight != 1 {
+		t.Fatalf("weighted mix parsed as %+v", mix)
+	}
+	for _, e := range mix {
+		if e.Config.DurationS != 2.5 {
+			t.Fatalf("duration override not applied: %+v", e.Config)
+		}
+	}
+	for _, bad := range []string{"", "baseline:x", "no-such-scenario", ","} {
+		if _, err := ParseMix(bad, 0); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// itemTime extracts the stream timestamp an item carries, whichever
+// payload holds it.
+func itemTime(it serve.Item) float64 {
+	switch it.Kind {
+	case serve.KindFrame:
+		return it.Frame.Time
+	case serve.KindIMU:
+		return it.IMU.Time
+	case serve.KindCamera:
+		return it.Camera.Time
+	default:
+		return it.Time
+	}
+}
+
+// TestBuildStreamDeterminism pins the determinism contract at the
+// stream level: the same (config, session) renders the identical item
+// sequence, and a different session renders a different one.
+func TestBuildStreamDeterminism(t *testing.T) {
+	cfg, err := ByName(Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DurationS = 2
+	a, err := cfg.BuildStream("s", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cfg.BuildStream("s", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Items) != len(b.Items) {
+		t.Fatalf("item counts differ: %d vs %d", len(a.Items), len(b.Items))
+	}
+	if a.Trajectory != b.Trajectory {
+		t.Fatalf("trajectory draws differ: %q vs %q", a.Trajectory, b.Trajectory)
+	}
+	for i := range a.Items {
+		ia, ib := a.Items[i], b.Items[i]
+		if ia.Kind != ib.Kind {
+			t.Fatalf("item %d kind differs: %v vs %v", i, ia.Kind, ib.Kind)
+		}
+		ta, tb := itemTime(ia), itemTime(ib)
+		if math.Float64bits(ta) != math.Float64bits(tb) {
+			t.Fatalf("item %d time differs: %v vs %v", i, ta, tb)
+		}
+	}
+	c, err := cfg.BuildStream("s", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Items) == len(a.Items) {
+		same := true
+		for i := range a.Items {
+			if math.Float64bits(itemTime(a.Items[i])) != math.Float64bits(itemTime(c.Items[i])) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("session 1 rendered the identical stream as session 0")
+		}
+	}
+}
+
+// TestSessionMatchesBuildStream pins the live-sender entry point to
+// the replay path: Session must draw the same trajectory BuildStream
+// renders for the same (config, session).
+func TestSessionMatchesBuildStream(t *testing.T) {
+	cfg, err := ByName(LongHaul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DurationS = 2
+	cfg.Faults = nil
+	_, sc, kind, err := cfg.Session(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cfg.BuildStream("s", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != st.Trajectory {
+		t.Fatalf("Session drew %q, BuildStream drew %q", kind, st.Trajectory)
+	}
+	for _, tt := range []float64{0, 0.7, 1.9} {
+		if math.Float64bits(sc.HeadYaw.At(tt)) != math.Float64bits(st.Truth.HeadYaw.At(tt)) {
+			t.Fatalf("ground truth diverges at t=%v", tt)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package scenario
+
+import (
+	"fmt"
+
+	"vihot/internal/camera"
+	"vihot/internal/core"
+	"vihot/internal/driver"
+	"vihot/internal/experiment"
+	"vihot/internal/faults"
+	"vihot/internal/imu"
+	"vihot/internal/serve"
+	"vihot/internal/stats"
+	"vihot/internal/wifi"
+)
+
+// Stream is one session's fully rendered workload: the serve.Item
+// sequence the receiver would ingest (faults already applied), plus
+// the ground-truth trajectory to score estimates against.
+type Stream struct {
+	// ID is the session ID every item is addressed to.
+	ID string
+	// Scenario is the config name the stream was drawn from.
+	Scenario string
+	// Trajectory is the mix kind this session drew.
+	Trajectory string
+	// Items is the post-fault item sequence in delivery order.
+	Items []serve.Item
+	// Truth is the trajectory ground truth (yaw/pitch/position over
+	// stream time).
+	Truth *driver.Scenario
+}
+
+// sessionSeed derives one session's root seed from the config seed and
+// the session's index within the scenario. The multiplier keeps
+// neighboring sessions' seeds far apart in the generator's state
+// space; the +1 keeps session 0 of seed S distinct from the profiling
+// environment, which uses S itself.
+func sessionSeed(configSeed int64, session int) int64 {
+	return configSeed*1000003 + int64(session) + 1
+}
+
+// NewEnv composes the scenario's cabin and channel condition into a
+// fresh simulation environment for one session. Each session gets its
+// own environment — its own receiver hardware state and RNG streams —
+// exactly as each car in a fleet is its own deployment.
+func (c *Config) NewEnv(session int) (*experiment.Env, error) {
+	env, err := experiment.NewEnv(c.cabinConfig(), sessionSeed(c.Seed, session))
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", c.Name, err)
+	}
+	if c.Interference == InterfereWiFi {
+		env.Timing = wifi.InterferedTiming()
+	}
+	return env, nil
+}
+
+// CollectProfile runs the scenario's profiling session — in the
+// scenario's own cabin, which is the point: a profile fingerprints a
+// geometry — and returns the immutable profile every session of this
+// scenario shares.
+func (c *Config) CollectProfile() (*core.Profile, error) {
+	env, err := experiment.NewEnv(c.cabinConfig(), c.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", c.Name, err)
+	}
+	// Profiling happens on a quiet channel even for interfered
+	// scenarios: the paper's profiling is a controlled setup step.
+	popt := experiment.DefaultProfileOptions()
+	popt.Positions, popt.PerPositionS = c.profileOptions()
+	p, _, err := env.CollectProfile(c.style(), popt)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: profiling: %w", c.Name, err)
+	}
+	return p, nil
+}
+
+// drawTrajectory picks a kind from the weighted mix with the given
+// RNG and synthesizes it.
+func (c *Config) drawTrajectory(rng *stats.RNG) (*driver.Scenario, string) {
+	total := 0.0
+	for _, tw := range c.Trajectories {
+		total += tw.Weight
+	}
+	pick := rng.Float64() * total
+	chosen := c.Trajectories[len(c.Trajectories)-1]
+	for _, tw := range c.Trajectories {
+		if pick < tw.Weight {
+			chosen = tw
+			break
+		}
+		pick -= tw.Weight
+	}
+	return c.buildTrajectory(rng, chosen), chosen.Kind
+}
+
+// buildTrajectory synthesizes one trajectory of the chosen kind.
+func (c *Config) buildTrajectory(rng *stats.RNG, tw TrajectoryWeight) *driver.Scenario {
+	style := c.style()
+	passenger := c.PassengerMotion && c.Occupants >= 2
+	switch tw.Kind {
+	case TrajSweep:
+		speed := tw.SpeedDPS
+		if speed == 0 {
+			speed = style.TurnSpeedDPS
+		}
+		sc, _ := driver.SweepScenario(style, 1, c.DurationS, speed)
+		sc.Name, sc.Duration = TrajSweep, c.DurationS
+		return sc
+	case TrajDrowsy:
+		return driver.DrowsyScenario(rng.Fork(), style, c.DurationS)
+	case TrajPos3D:
+		return driver.PositionScanScenario(rng.Fork(), style, c.DurationS)
+	case TrajRider:
+		pos, _ := c.profileOptions()
+		return driver.RiderScenario(rng.Fork(), style, c.DurationS, pos)
+	case TrajSteerOnly:
+		return driver.SteeringOnlyScenario(c.DurationS)
+	case TrajStill:
+		return driver.StillScenario(style, c.DurationS)
+	default: // TrajDrive
+		sc := driver.DrivingScenario(rng.Fork(), style, c.DurationS, driver.GlanceOptions{
+			Steering:       tw.Steering,
+			PositionJitter: 0.008,
+			PassengerTurns: passenger,
+		})
+		return sc
+	}
+}
+
+// Session materializes session number `session`'s environment and
+// drawn trajectory without rendering items — the entry point for live
+// senders (vihot-serve) that stream the scenario over a wire instead
+// of replaying a prebuilt item sequence. The trajectory is the same
+// one BuildStream would draw for this (config, session).
+func (c *Config) Session(session int) (*experiment.Env, *driver.Scenario, string, error) {
+	env, err := c.NewEnv(session)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	sc, kind := c.drawTrajectory(env.RNG.Fork())
+	return env, sc, kind, nil
+}
+
+// BuildStream renders session number `session` of the scenario: draws
+// a trajectory from the mix, synthesizes the cabin's CSI/IMU/camera
+// item sequence at the link's arrival times, and applies the fault
+// schedule. Fully determined by (config, session) — see the package
+// determinism contract.
+func (c *Config) BuildStream(id string, session int) (*Stream, error) {
+	env, sc, kind, err := c.Session(session)
+	if err != nil {
+		return nil, err
+	}
+
+	phone := imu.NewPhoneIMU(env.RNG.Fork())
+	var cam *camera.Tracker
+	if c.Camera {
+		cam = camera.NewTracker(env.RNG.Fork())
+	}
+
+	var items []serve.Item
+	nextIMU := 0.0
+	for _, ts := range env.Timing.ArrivalTimes(env.RNG.Fork(), sc.Duration) {
+		for nextIMU <= ts {
+			items = append(items, serve.Item{Session: id, Kind: serve.KindIMU,
+				IMU: phone.Sample(nextIMU, sc.CarYawRateDPS(nextIMU), sc.SpeedMPS)})
+			if cam != nil {
+				lag := cam.Latency()
+				if est, ok := cam.Sample(nextIMU, sc.HeadYaw.At(nextIMU-lag), sc.TrueYawRateDPS(nextIMU-lag)); ok {
+					items = append(items, serve.Item{Session: id, Kind: serve.KindCamera, Camera: est})
+				}
+			}
+			nextIMU += 0.01
+		}
+		// Raw frames, not pre-sanitized phases: every CSI sample takes
+		// the same sanitize path a wire deployment exercises.
+		items = append(items, serve.Item{Session: id, Kind: serve.KindFrame, Frame: env.FrameAt(sc.State(ts))})
+	}
+
+	if c.hasFaults() {
+		inj := faults.New(c.faultsConfig(sessionSeed(c.Seed, session)))
+		if c.wireFaults() {
+			items = inj.Pump(id, items)
+		} else {
+			items = inj.Apply(items)
+		}
+	}
+	return &Stream{ID: id, Scenario: c.Name, Trajectory: kind, Items: items, Truth: sc}, nil
+}
