@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build test race vet cover fuzz-smoke bench-obs bench-profilestore
+.PHONY: verify build test race vet cover fuzz-smoke bench-obs bench-profilestore bench-journal
 
 # verify is the tier-1 gate: vet + build + full test suite + the race
 # runs that give the concurrency and fault-injection tests their teeth.
@@ -18,12 +18,14 @@ build:
 test:
 	$(GO) test ./...
 
-# The serving engine's stress/soak tests, the fault injector, the
-# metrics registry (scraped concurrently with the hot path), the
-# profile store's cold-key storms, and the scenario generator's
-# concurrent replay only mean something under the race detector.
+# The serving engine's stress/soak tests, the fault injector (now
+# including the crash-recovery soak), the metrics registry (scraped
+# concurrently with the hot path), the profile store's cold-key
+# storms, the scenario generator's concurrent replay, and the
+# write-behind journal's concurrent appenders only mean something
+# under the race detector.
 race:
-	$(GO) test -race ./internal/serve ./internal/faults ./internal/obs ./internal/profilestore ./internal/scenario
+	$(GO) test -race ./internal/serve ./internal/faults ./internal/obs ./internal/profilestore ./internal/scenario ./internal/journal
 
 # Per-package statement coverage summary (the README records the
 # baseline). Writes the merged profile to COVER.out for drill-down
@@ -32,11 +34,12 @@ cover:
 	$(GO) test -coverprofile=COVER.out ./...
 	$(GO) tool cover -func=COVER.out | tail -1
 
-# Short open-ended fuzz pass over the three adversarial-input surfaces.
+# Short open-ended fuzz pass over the adversarial-input surfaces.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzSanitize -fuzztime=10s ./internal/csi
 	$(GO) test -fuzz=FuzzWireDecode -fuzztime=10s ./internal/wifi
 	$(GO) test -fuzz=FuzzScenarioConfig -fuzztime=10s ./internal/scenario
+	$(GO) test -fuzz=FuzzJournalDecode -fuzztime=10s ./internal/journal
 
 # Observability overhead benchmark: serving throughput with obs off vs
 # metrics vs metrics+trace (DESIGN.md §9's overhead budget, measured).
@@ -47,3 +50,10 @@ bench-obs:
 # and a 64-goroutine contention run (DESIGN.md §10).
 bench-profilestore:
 	$(GO) run ./cmd/vihot-bench -profilejson BENCH_profilestore.json
+
+# Durable-journal overhead benchmark: serving throughput with
+# journaling off vs the default group commit vs fsync-per-record,
+# with the logical-records vs syscalls split (DESIGN.md §13's ≤20%
+# budget at the default batch, measured).
+bench-journal:
+	$(GO) run ./cmd/vihot-bench -journaljson BENCH_journal.json

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"vihot/internal/cabin"
+	"vihot/internal/core"
+	"vihot/internal/driver"
+	"vihot/internal/experiment"
+	"vihot/internal/journal"
+	"vihot/internal/serve"
+)
+
+// journalBaseline is the JSON schema of -journaljson: serving
+// throughput with journaling off, with the default group commit, and
+// with fsync-per-record — the measured cost of durability. The "off"
+// row is the reference; the per-row logical-writes vs syscalls split
+// shows what group commit buys: hundreds of records per Write+Sync at
+// the default batch versus two syscalls per record under SyncAlways.
+// DESIGN.md §13 budgets the default-batch overhead under 20%.
+type journalBaseline struct {
+	GoVersion  string             `json:"go_version"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"num_cpu"`
+	Seed       int64              `json:"seed"`
+	FramesPer  int                `json:"frames_per_session"`
+	Shards     int                `json:"shards"`
+	Sessions   int                `json:"sessions"`
+	Repeats    int                `json:"repeats"`
+	Results    []journalBenchCell `json:"results"`
+}
+
+type journalBenchCell struct {
+	Mode        string  `json:"mode"` // off | batch | always
+	BatchSize   int     `json:"batch_size,omitempty"`
+	Frames      int     `json:"frames"`
+	Seconds     float64 `json:"seconds"`
+	FramesPerS  float64 `json:"frames_per_s"`
+	Estimates   uint64  `json:"estimates"`
+	OverheadPct float64 `json:"overhead_pct"` // vs the off row; 0 for off
+
+	// The write-behind split: logical writes are the records the
+	// serving layer handed the journal (estimates, transitions, the
+	// shutdown trailer); DB calls are the syscalls that made them
+	// durable (Write batches + fsyncs). Their ratio is the group-commit
+	// amortization factor.
+	LogicalWrites  uint64  `json:"logical_writes,omitempty"`
+	DBCalls        uint64  `json:"db_calls,omitempty"`
+	RecordsPerCall float64 `json:"records_per_call,omitempty"`
+	Dropped        uint64  `json:"dropped,omitempty"`
+	JournalBytes   uint64  `json:"journal_bytes,omitempty"`
+}
+
+// runJournalBench measures serving throughput with the durable
+// journal off and on. Each mode runs repeat times and keeps the
+// fastest run, like the other fixed-workload benches.
+func runJournalBench(path string, seed int64) error {
+	start := time.Now()
+	env, err := experiment.NewEnv(cabin.DefaultConfig(), seed)
+	if err != nil {
+		return err
+	}
+	popt := experiment.DefaultProfileOptions()
+	popt.Positions = 5
+	popt.PerPositionS = 5
+	profile, _, err := env.CollectProfile(driver.DriverA(), popt)
+	if err != nil {
+		return err
+	}
+	sc, _ := driver.SweepScenario(driver.DriverA(), 1, 10, 115)
+	phases, err := env.PhaseSeries(sc)
+	if err != nil {
+		return err
+	}
+	if len(phases) > 1000 {
+		phases = phases[:1000]
+	}
+
+	const (
+		shards   = 4
+		sessions = 16
+		repeats  = 3
+		batch    = 64 // the -journal-batch default
+	)
+	base := journalBaseline{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Seed:       seed,
+		FramesPer:  len(phases),
+		Shards:     shards,
+		Sessions:   sessions,
+		Repeats:    repeats,
+	}
+	dir, err := os.MkdirTemp("", "vihot-bench-journal")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// one bench pass: build a manager journaling (or not) onto a real
+	// file, replay the phase stream into every session, report
+	// frames/s plus the journal's records-vs-syscalls accounting.
+	pass := func(mode string, run int) (journalBenchCell, error) {
+		var jw *journal.Writer
+		cell := journalBenchCell{Mode: mode}
+		if mode != "off" {
+			jcfg := journal.Config{BatchSize: batch, QueueLen: 1 << 17}
+			if mode == "always" {
+				jcfg.Sync = journal.SyncAlways
+			} else {
+				cell.BatchSize = batch
+			}
+			var err error
+			jw, err = journal.OpenFile(filepath.Join(dir, fmt.Sprintf("%s-%d.vhj", mode, run)), jcfg)
+			if err != nil {
+				return cell, err
+			}
+		}
+		mgr := serve.New(serve.Config{
+			Shards:   shards,
+			QueueLen: len(phases)*sessions + 1024,
+			Journal:  jw,
+		})
+		defer mgr.Close()
+		ids := make([]string, sessions)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("s%03d", i)
+			if err := mgr.Open(ids[i], profile, core.DefaultPipelineConfig()); err != nil {
+				return cell, err
+			}
+		}
+		t0 := time.Now()
+		batchItems := make([]serve.Item, 0, sessions)
+		for _, s := range phases {
+			batchItems = batchItems[:0]
+			for _, id := range ids {
+				batchItems = append(batchItems, serve.Item{Session: id, Kind: serve.KindPhase, Time: s.T, Phi: s.V})
+			}
+			mgr.PushBatch(batchItems)
+		}
+		mgr.Flush()
+		dt := time.Since(t0).Seconds()
+		snap := mgr.Counters().Snapshot()
+		frames := len(phases) * sessions
+		cell.Frames = frames
+		cell.Seconds = dt
+		cell.FramesPerS = float64(frames) / dt
+		cell.Estimates = snap.Estimates
+		if jw != nil {
+			mgr.CloseDrain()
+			if err := jw.Close(); err != nil {
+				return cell, err
+			}
+			js := jw.Stats()
+			cell.LogicalWrites = js.Records
+			cell.DBCalls = js.Batches + js.Syncs
+			if cell.DBCalls > 0 {
+				cell.RecordsPerCall = float64(js.Records) / float64(cell.DBCalls)
+			}
+			cell.Dropped = snap.JournalDropped
+			cell.JournalBytes = js.Bytes
+		}
+		return cell, nil
+	}
+
+	var offRate float64
+	for _, mode := range []string{"off", "batch", "always"} {
+		best := journalBenchCell{}
+		for r := 0; r < repeats; r++ {
+			cell, err := pass(mode, r)
+			if err != nil {
+				return err
+			}
+			if cell.FramesPerS > best.FramesPerS {
+				best = cell
+			}
+		}
+		if mode == "off" {
+			offRate = best.FramesPerS
+		} else if offRate > 0 {
+			best.OverheadPct = 100 * (offRate - best.FramesPerS) / offRate
+		}
+		base.Results = append(base.Results, best)
+		if mode == "off" {
+			fmt.Printf("%-8s %8.0f frames/s  (%d estimates)\n",
+				best.Mode, best.FramesPerS, best.Estimates)
+		} else {
+			fmt.Printf("%-8s %8.0f frames/s  (overhead %+.1f%%, %d records in %d syscalls = %.1f records/call, %d dropped)\n",
+				best.Mode, best.FramesPerS, best.OverheadPct,
+				best.LogicalWrites, best.DBCalls, best.RecordsPerCall, best.Dropped)
+		}
+	}
+
+	blob, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s in %.0f s\n", path, time.Since(start).Seconds())
+	return nil
+}

@@ -12,6 +12,8 @@
 //	            [-loss P] [-dup P] [-reorder P] [-corrupt P] [-fault-seed N]
 //	            [-metrics-addr HOST:PORT] [-trace-out FILE]
 //	            [-profile-dir DIR] [-profile-cache N]
+//	            [-journal FILE] [-journal-batch N] [-journal-interval S]
+//	            [-journal-sync batch|none|always]
 //
 // Each simulated driver replays an internal/driver glance-and-steer
 // scenario; the tool prints per-session tracking accuracy against the
@@ -35,6 +37,17 @@
 // hit/miss/eviction counters print with the summary (and export via
 // -metrics-addr as vihot_profilestore_*). -profile-cache bounds the
 // cache.
+//
+// With -journal the manager appends every estimate, health
+// transition, reap, and close to a durable write-behind journal
+// (internal/journal). On start a previous run's journal is recovered:
+// its surviving sessions are reported and a torn tail (from a crash
+// mid-write) is truncated to the last valid record before new records
+// are appended. -journal-batch and -journal-interval tune the group
+// commit; -journal-sync picks the fsync policy. Shutdown — normal or
+// signalled — drains and fsyncs the journal before the summary, which
+// then includes the append/drop/error accounting
+// (vihot_serve_journal_* and vihot_journal_* under -metrics-addr).
 //
 // With -session-ttl the manager reaps sessions whose stream time has
 // gone idle for longer than the TTL — the sweep runs on session clocks
@@ -77,6 +90,7 @@ import (
 	"vihot/internal/faults"
 	"vihot/internal/geom"
 	"vihot/internal/imu"
+	"vihot/internal/journal"
 	"vihot/internal/obs"
 	"vihot/internal/profilestore"
 	"vihot/internal/scenario"
@@ -93,6 +107,15 @@ type faultFlags struct {
 
 func (ff faultFlags) enabled() bool {
 	return ff.loss > 0 || ff.dup > 0 || ff.reorder > 0 || ff.corrupt > 0
+}
+
+// journalFlags is the durable-journal configuration taken from the
+// command line; the zero path disables journaling entirely.
+type journalFlags struct {
+	path      string
+	batch     int
+	intervalS float64
+	sync      string
 }
 
 func main() {
@@ -119,9 +142,18 @@ func main() {
 		"profile-store LRU capacity in profiles (with -profile-dir)")
 	scenarioMix := flag.String("scenario-mix", "",
 		"draw each driver's trajectory from a weighted corpus scenario mix (\"all\" or \"name:weight,...\") instead of the default glance-and-steer trip; prints a per-scenario accuracy/health breakdown (CSI+IMU only: camera items have no wire type)")
+	var jf journalFlags
+	flag.StringVar(&jf.path, "journal", "",
+		"append estimates/health/reap/close events to this crash-recoverable journal file; empty disables")
+	flag.IntVar(&jf.batch, "journal-batch", 64,
+		"journal group-commit batch size in records (with -journal)")
+	flag.Float64Var(&jf.intervalS, "journal-interval", 0.25,
+		"journal group-commit interval in stream-time seconds (with -journal)")
+	flag.StringVar(&jf.sync, "journal-sync", "batch",
+		"journal fsync policy: batch, none, or always (with -journal)")
 	flag.Parse()
 	if err := run(*drivers, *shards, *seconds, *queue, *seed, *sessionTTL, ff, *metricsAddr, *traceOut,
-		*profileDir, *profileCache, *scenarioMix); err != nil {
+		*profileDir, *profileCache, *scenarioMix, jf); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -158,7 +190,8 @@ type carPlan struct {
 }
 
 func run(drivers, shards int, seconds float64, queue int, seed int64, sessionTTL float64,
-	ff faultFlags, metricsAddr, traceOut, profileDir string, profileCache int, scenarioMix string) error {
+	ff faultFlags, metricsAddr, traceOut, profileDir string, profileCache int, scenarioMix string,
+	jf journalFlags) error {
 	if drivers < 1 {
 		drivers = 1
 	}
@@ -293,6 +326,50 @@ func run(drivers, shards int, seconds float64, queue int, seed int64, sessionTTL
 		fmt.Printf("metrics: http://%s/metrics (profiler at /debug/pprof/)\n", maddr)
 	}
 
+	// With -journal, recover whatever a previous run left behind before
+	// appending: report the surviving per-session state, and if the file
+	// ends in a torn record (a crash mid-write) truncate it back to the
+	// last valid record so the new run appends at a record boundary.
+	var jw *journal.Writer
+	if jf.path != "" {
+		pol, err := journal.ParseSyncPolicy(jf.sync)
+		if err != nil {
+			return err
+		}
+		prev, err := journal.RepairFile(jf.path)
+		if err != nil {
+			return err
+		}
+		if prev.Records > 0 || prev.Diag.TailBytes > 0 {
+			state := "clean shutdown"
+			if !prev.CleanShutdown {
+				state = "unclean shutdown"
+			}
+			fmt.Printf("journal: recovered %d records, %d sessions from %s (%s)\n",
+				prev.Records, len(prev.Sessions), jf.path, state)
+			if live := prev.Live(); len(live) > 0 {
+				fmt.Printf("journal: %d sessions were live at the last record: %s\n",
+					len(live), strings.Join(live, " "))
+			}
+			if prev.Diag.Truncated {
+				fmt.Printf("journal: torn tail repaired (%d bytes past the last valid record dropped)\n",
+					prev.Diag.TailBytes)
+			}
+		}
+		jw, err = journal.OpenFile(jf.path, journal.Config{
+			BatchSize: jf.batch,
+			IntervalS: jf.intervalS,
+			Sync:      pol,
+			Metrics:   reg,
+			OnError: func(err error) {
+				fmt.Fprintf(os.Stderr, "journal: %v\n", err)
+			},
+		})
+		if err != nil {
+			return err
+		}
+	}
+
 	var (
 		mu          sync.Mutex
 		estimates   = map[string][]core.Estimate{}
@@ -307,6 +384,7 @@ func run(drivers, shards int, seconds float64, queue int, seed int64, sessionTTL
 		Metrics:       reg,
 		Trace:         tracer,
 		Profiles:      store,
+		Journal:       jw,
 		OnEstimate: func(id string, est core.Estimate) {
 			mu.Lock()
 			estimates[id] = append(estimates[id], est)
@@ -589,6 +667,17 @@ func run(drivers, shards int, seconds float64, queue int, seed int64, sessionTTL
 	// DroppedClosed) and the sessions-open gauge reads zero.
 	mgr.CloseDrain()
 
+	// The manager appends nothing after CloseDrain, so the journal can
+	// now drain, write its shutdown trailer, and fsync — before the
+	// summary, so the accounting below is the durable truth.
+	var jstats journal.Stats
+	if jw != nil {
+		if err := jw.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "journal close: %v\n", err)
+		}
+		jstats = jw.Stats()
+	}
+
 	snap := mgr.Counters().Snapshot()
 	fmt.Printf("\ncounters: frames=%d imu=%d estimates=%d shed=%d unknown=%d rejected-kind=%d rejected-closed=%d reaped=%d sanitize-errs=%d decode-errs=%d\n",
 		snap.FramesIn, snap.IMUIn, snap.Estimates, snap.DroppedStale,
@@ -601,6 +690,16 @@ func run(drivers, shards int, seconds float64, queue int, seed int64, sessionTTL
 		st := store.Stats()
 		fmt.Printf("profile store: hits=%d misses=%d loads=%d errors=%d evictions=%d cached=%d (%d bytes)\n",
 			st.Hits, st.Misses, st.Loads, st.LoadErrors, st.Evictions, st.Profiles, st.Bytes)
+	}
+	if jw != nil {
+		calls := jstats.Batches + jstats.Syncs
+		amort := float64(jstats.Records)
+		if calls > 0 {
+			amort = float64(jstats.Records) / float64(calls)
+		}
+		fmt.Printf("journal: appended=%d dropped=%d errors=%d records=%d batches=%d syncs=%d bytes=%d (%.1f records/syscall) -> %s\n",
+			snap.JournalAppended, snap.JournalDropped, snap.JournalErrors,
+			jstats.Records, jstats.Batches, jstats.Syncs, jstats.Bytes, amort, jf.path)
 	}
 	if tracer != nil {
 		d := tracer.Dump()

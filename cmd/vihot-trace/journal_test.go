@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"vihot/internal/journal"
+)
+
+var update = flag.Bool("update", false, "rewrite the committed testdata fixtures")
+
+// fixtureRecords is the committed journal fixture's content: two
+// sessions exercising every record kind — estimates at different
+// healths, a degradation, a reap, an explicit close, and the clean
+// shutdown trailer.
+func fixtureRecords() []journal.Record {
+	return []journal.Record{
+		{Kind: journal.KindEstimate, Session: "car-1", T: 0.10,
+			Yaw: 12.5, Position: 2, Source: 1, MatchDist: 0.033},
+		{Kind: journal.KindEstimate, Session: "car-2", T: 0.50,
+			Yaw: 3.25, Source: 1, MatchDist: 0.020},
+		{Kind: journal.KindHealth, Session: "car-1", T: 1.40, From: 0, To: 1},
+		{Kind: journal.KindEstimate, Session: "car-1", T: 1.45,
+			Yaw: -8, Position: 1, Source: 2, MatchDist: 0.051, Health: 1},
+		{Kind: journal.KindReap, Session: "car-2", T: 9.00},
+		{Kind: journal.KindClose, Session: "car-1", T: 9.50, Health: 1},
+		{Kind: journal.KindShutdown, T: 9.50},
+	}
+}
+
+// TestJournalFixtureRoundTrip pins the on-disk journal format against
+// the committed fixture: the fixture's records must encode to exactly
+// the committed bytes (so a codec change that would silently orphan
+// existing journals fails here), the committed bytes must decode back
+// to the same records, and the subcommand's report of the file must
+// describe the state those records construct.
+func TestJournalFixtureRoundTrip(t *testing.T) {
+	const path = "testdata/sample.vhj"
+	var want []byte
+	for i := range fixtureRecords() {
+		rec := fixtureRecords()[i]
+		var err error
+		if want, err = journal.AppendRecord(want, &rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if *update {
+		if err := os.WriteFile(path, want, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("committed fixture is %d bytes, re-encoding its records gives %d — journal format drifted (rerun with -update only if the format change is intentional and release-noted)",
+			len(got), len(want))
+	}
+
+	// Decode side of the round trip: the committed bytes read back as
+	// the exact record sequence they were built from.
+	r := journal.NewReader(bytes.NewReader(got))
+	for i, wantRec := range fixtureRecords() {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if rec != wantRec {
+			t.Fatalf("record %d decoded as %+v, want %+v", i, rec, wantRec)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("after %d records: %v, want EOF", len(fixtureRecords()), err)
+	}
+
+	// Recovery semantics of the fixture state.
+	res, err := journal.Recover(bytes.NewReader(got), int64(len(got)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CleanShutdown || res.Diag.Truncated {
+		t.Fatalf("fixture should recover clean: %+v", res.Diag)
+	}
+	c1 := res.Sessions["car-1"]
+	if c1 == nil || !c1.Closed || c1.Reaped || c1.Health != 1 ||
+		!c1.HasEstimate || c1.Estimate.Yaw != -8 {
+		t.Fatalf("car-1 = %+v", c1)
+	}
+	c2 := res.Sessions["car-2"]
+	if c2 == nil || !c2.Reaped {
+		t.Fatalf("car-2 = %+v", c2)
+	}
+
+	// The report the CLI renders for this file.
+	var out strings.Builder
+	writeJournalReport(&out, path, res)
+	report := out.String()
+	for _, frag := range []string{
+		"records:  7", "estimate=3", "health=1", "reap=1", "close=1", "shutdown=1",
+		"shutdown: clean", "car-1", "car-2", "closed", "reaped", "degraded",
+	} {
+		if !strings.Contains(report, frag) {
+			t.Errorf("report missing %q:\n%s", frag, report)
+		}
+	}
+}

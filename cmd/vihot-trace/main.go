@@ -4,16 +4,23 @@
 //
 // Usage:
 //
-//	vihot-trace record -out drive.vht [-duration S] [-steering] [-seed N]
-//	vihot-trace info   drive.vht
-//	vihot-trace replay drive.vht [-profile-seed N]
-//	vihot-trace spans  spans.json [-stage NAME]
+//	vihot-trace record  -out drive.vht [-duration S] [-steering] [-seed N]
+//	vihot-trace info    drive.vht
+//	vihot-trace replay  drive.vht [-profile-seed N]
+//	vihot-trace spans   spans.json [-stage NAME]
+//	vihot-trace journal serve.vhj [-repair]
 //
 // The spans subcommand digests a latency-span dump written by
 // vihot-serve -trace-out (or scraped from its /trace endpoint): for
 // each pipeline stage it prints span counts and wall-latency
 // percentiles, turning the raw ring into the per-stage latency budget
 // the span tracer exists to answer for.
+//
+// The journal subcommand replays a durable journal written by
+// vihot-serve -journal through the crash-recovery path and prints the
+// reconstructed state: record counts, the stream-time span, the
+// terminal per-session estimates/health/closure, and whether the file
+// ends cleanly or in a torn record; -repair truncates a torn tail.
 package main
 
 import (
@@ -45,13 +52,15 @@ func main() {
 		replay(os.Args[2:])
 	case "spans":
 		spans(os.Args[2:])
+	case "journal":
+		journalCmd(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: vihot-trace record|info|replay|spans [flags] [file]")
+	fmt.Fprintln(os.Stderr, "usage: vihot-trace record|info|replay|spans|journal [flags] [file]")
 	os.Exit(2)
 }
 

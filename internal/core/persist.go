@@ -3,14 +3,14 @@ package core
 import (
 	"bufio"
 	"bytes"
-	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"math"
 	"os"
+
+	"vihot/internal/envelope"
 )
 
 // Profile persistence: a driver profiles once (≈100 s) and reuses the
@@ -31,6 +31,11 @@ import (
 //	16      4     CRC-32 (IEEE) of the payload, big-endian uint32
 //	20      n     payload: encoding/gob of Profile
 //
+// The framing itself (everything before the payload) is the shared
+// internal/envelope codec — the journal's per-record frame is the
+// same 20 bytes under a different magic — so the corruption checks
+// here and there can never drift apart.
+//
 // ReadProfile sniffs the magic: files without it fall back to the
 // legacy unversioned-gob decoder, so profiles written before the
 // envelope existed keep loading (cmd/vihot-profile migrate rewrites
@@ -50,8 +55,13 @@ const ProfileFormatVersion = 1
 // allocation.
 const maxProfilePayload = 1 << 30
 
-// profileHeaderLen is the fixed envelope size before the payload.
-const profileHeaderLen = 20
+// profileSpec is the profile format's envelope: the "ViHP" magic over
+// the shared magic/version/length/CRC-32 frame.
+var profileSpec = envelope.Spec{
+	Magic:      profileMagic,
+	Version:    ProfileFormatVersion,
+	MaxPayload: maxProfilePayload,
+}
 
 // ErrCorruptProfile wraps every structural failure of the versioned
 // decoder: bad version, truncation, checksum mismatch, undecodable
@@ -93,16 +103,7 @@ func WriteProfile(w io.Writer, p *Profile) error {
 	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
 		return fmt.Errorf("core: encode profile: %w", err)
 	}
-	var hdr [profileHeaderLen]byte
-	copy(hdr[0:4], profileMagic)
-	binary.BigEndian.PutUint16(hdr[4:6], ProfileFormatVersion)
-	binary.BigEndian.PutUint64(hdr[8:16], uint64(buf.Len()))
-	binary.BigEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(buf.Bytes()))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(buf.Bytes())
-	return err
+	return envelope.Write(w, profileSpec, buf.Bytes())
 }
 
 // ReadProfile deserializes a profile (either encoding) and validates
@@ -134,31 +135,18 @@ func DecodeProfile(r io.Reader) (*Profile, ProfileEncoding, error) {
 	return &p, EncodingLegacyGob, nil
 }
 
-// decodeV1 reads the envelope after the magic has been sniffed.
+// decodeV1 reads the envelope after the magic has been sniffed. Every
+// framing failure — truncation, bad version, checksum mismatch — maps
+// onto ErrCorruptProfile so callers keep one error to test against.
 func decodeV1(br *bufio.Reader) (*Profile, error) {
-	var hdr [profileHeaderLen]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("%w: truncated header: %v", ErrCorruptProfile, err)
-	}
-	if v := binary.BigEndian.Uint16(hdr[4:6]); v == 0 || v > ProfileFormatVersion {
-		return nil, fmt.Errorf("%w: unsupported format version %d (this build reads <= %d)",
-			ErrCorruptProfile, v, ProfileFormatVersion)
-	}
-	if rsv := binary.BigEndian.Uint16(hdr[6:8]); rsv != 0 {
-		return nil, fmt.Errorf("%w: reserved header bytes set (%#04x)", ErrCorruptProfile, rsv)
-	}
-	n := binary.BigEndian.Uint64(hdr[8:16])
-	if n == 0 || n > maxProfilePayload {
-		return nil, fmt.Errorf("%w: implausible payload length %d", ErrCorruptProfile, n)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(br, payload); err != nil {
-		return nil, fmt.Errorf("%w: truncated payload: %v", ErrCorruptProfile, err)
-	}
-	want := binary.BigEndian.Uint32(hdr[16:20])
-	if got := crc32.ChecksumIEEE(payload); got != want {
-		return nil, fmt.Errorf("%w: checksum mismatch (have %08x, want %08x)",
-			ErrCorruptProfile, got, want)
+	payload, _, err := envelope.Read(br, profileSpec)
+	if err != nil {
+		if err == io.EOF {
+			// The magic was sniffed, so a clean EOF here means the file
+			// ended inside the header: truncation, not an empty stream.
+			err = envelope.ErrTruncated
+		}
+		return nil, fmt.Errorf("%w: %v", ErrCorruptProfile, err)
 	}
 	var p Profile
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&p); err != nil {

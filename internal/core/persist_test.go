@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+
+	"vihot/internal/envelope"
 )
 
 func TestProfileRoundTrip(t *testing.T) {
@@ -185,7 +187,7 @@ func TestReadProfileCorruptInputs(t *testing.T) {
 		{"bad version", flip(5), true},
 		{"reserved bytes set", flip(7), true},
 		{"implausible length", flip(9), true},
-		{"payload bit flip", flip(profileHeaderLen + 11), true},
+		{"payload bit flip", flip(envelope.HeaderLen + 11), true},
 		{"checksum bit flip", flip(17), true},
 		{"legacy NaN phase", nonFinite(func(q *Profile) { q.Positions[0].PhiGrid[3] = math.NaN() }), false},
 		{"legacy Inf phase", nonFinite(func(q *Profile) { q.Positions[1].PhiGrid[0] = math.Inf(1) }), false},

@@ -1,0 +1,153 @@
+// Package envelope implements the versioned, self-describing record
+// envelope shared by every on-disk format in the repo: driver
+// profiles (internal/core persistence, PR 4) and journal records
+// (internal/journal) frame their payloads identically, so one codec —
+// and one set of corruption checks — backs both.
+//
+// # Wire layout
+//
+//	offset  size  field
+//	0       4     magic (format-specific, e.g. "ViHP", "ViHJ")
+//	4       2     format version, big-endian uint16 (≥ 1)
+//	6       2     reserved, must be zero
+//	8       8     payload length, big-endian uint64
+//	16      4     CRC-32 (IEEE) of the payload, big-endian uint32
+//	20      n     payload
+//
+// The envelope is deliberately boring: fixed-width big-endian header,
+// a checksum over the payload only (a flipped header bit fails the
+// magic/version/reserved/length checks instead), and a caller-supplied
+// payload cap so a corrupt length field can never translate into an
+// arbitrary-size allocation.
+//
+// # Error taxonomy
+//
+// Every structural failure wraps ErrCorrupt. Read additionally
+// distinguishes a clean end of stream (io.EOF: zero bytes where a
+// record could start) from a torn one (ErrTruncated: a partial header
+// or payload) — the distinction crash recovery is built on: a clean
+// EOF ends a replay, a torn tail marks the crash point.
+package envelope
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// HeaderLen is the fixed envelope size before the payload.
+const HeaderLen = 20
+
+// MagicLen is the required magic length.
+const MagicLen = 4
+
+// Structural failures. All wrap ErrCorrupt; Read can also return plain
+// io.EOF for a clean end of stream.
+var (
+	// ErrCorrupt is the root of every structural decode failure.
+	ErrCorrupt = errors.New("envelope: corrupt envelope")
+	// ErrTruncated marks a header or payload cut short mid-record —
+	// the signature of a torn write or a crash mid-commit.
+	ErrTruncated = fmt.Errorf("%w: truncated record", ErrCorrupt)
+	// ErrMagic marks a header whose magic is not the expected one.
+	ErrMagic = fmt.Errorf("%w: bad magic", ErrCorrupt)
+	// ErrVersion marks an unsupported format version (0, or newer
+	// than the reader accepts).
+	ErrVersion = fmt.Errorf("%w: unsupported version", ErrCorrupt)
+	// ErrReserved marks nonzero reserved header bytes.
+	ErrReserved = fmt.Errorf("%w: reserved bytes set", ErrCorrupt)
+	// ErrLength marks an implausible payload length (zero, or past
+	// the spec's cap).
+	ErrLength = fmt.Errorf("%w: implausible payload length", ErrCorrupt)
+	// ErrChecksum marks a payload whose CRC-32 does not match.
+	ErrChecksum = fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+)
+
+// Spec names one enveloped format: its magic, the version this build
+// writes (and the highest it reads), and the payload-size cap a
+// reader will believe.
+type Spec struct {
+	// Magic is the 4-byte format tag ("ViHP", "ViHJ", ...).
+	Magic string
+	// Version is written by Append/Write; Read accepts 1..Version.
+	Version uint16
+	// MaxPayload caps the length field a reader trusts.
+	MaxPayload uint64
+}
+
+// check panics on a malformed spec — specs are compile-time constants
+// of their format packages, so a bad one is a programming error.
+func (s Spec) check() {
+	if len(s.Magic) != MagicLen {
+		panic(fmt.Sprintf("envelope: magic %q is not %d bytes", s.Magic, MagicLen))
+	}
+	if s.Version == 0 {
+		panic("envelope: version 0 is reserved")
+	}
+	if s.MaxPayload == 0 {
+		panic("envelope: zero MaxPayload")
+	}
+}
+
+// Append frames payload in one envelope and appends it to dst,
+// returning the extended slice. Empty payloads are rejected by Read,
+// so Append refuses to write one.
+func Append(dst []byte, spec Spec, payload []byte) []byte {
+	spec.check()
+	if len(payload) == 0 {
+		panic("envelope: empty payload")
+	}
+	var hdr [HeaderLen]byte
+	copy(hdr[0:4], spec.Magic)
+	binary.BigEndian.PutUint16(hdr[4:6], spec.Version)
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(len(payload)))
+	binary.BigEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// Write frames payload in one envelope and writes it to w.
+func Write(w io.Writer, spec Spec, payload []byte) error {
+	_, err := w.Write(Append(nil, spec, payload))
+	return err
+}
+
+// Read consumes one enveloped record from r and returns its payload
+// and version. At a clean end of stream (no bytes where a record could
+// start) it returns io.EOF; a partial header or payload returns
+// ErrTruncated; every other structural failure wraps ErrCorrupt.
+func Read(r io.Reader, spec Spec) (payload []byte, version uint16, err error) {
+	spec.check()
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, fmt.Errorf("%w (header: %v)", ErrTruncated, err)
+	}
+	if string(hdr[0:4]) != spec.Magic {
+		return nil, 0, fmt.Errorf("%w (have %q, want %q)", ErrMagic, hdr[0:4], spec.Magic)
+	}
+	version = binary.BigEndian.Uint16(hdr[4:6])
+	if version == 0 || version > spec.Version {
+		return nil, 0, fmt.Errorf("%w (%d; this build reads <= %d)", ErrVersion, version, spec.Version)
+	}
+	if rsv := binary.BigEndian.Uint16(hdr[6:8]); rsv != 0 {
+		return nil, 0, fmt.Errorf("%w (%#04x)", ErrReserved, rsv)
+	}
+	n := binary.BigEndian.Uint64(hdr[8:16])
+	if n == 0 || n > spec.MaxPayload {
+		return nil, 0, fmt.Errorf("%w (%d)", ErrLength, n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, 0, fmt.Errorf("%w (payload: %v)", ErrTruncated, err)
+	}
+	want := binary.BigEndian.Uint32(hdr[16:20])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, 0, fmt.Errorf("%w (have %08x, want %08x)", ErrChecksum, got, want)
+	}
+	return payload, version, nil
+}

@@ -1,0 +1,144 @@
+package envelope
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+)
+
+var testSpec = Spec{Magic: "TeSt", Version: 3, MaxPayload: 1 << 20}
+
+// TestHeaderLayout pins the exact byte layout the profile format has
+// shipped since PR 4: the extraction must not move a single byte, or
+// every profile on disk becomes unreadable.
+func TestHeaderLayout(t *testing.T) {
+	payload := []byte("hello, cabin")
+	got := Append(nil, testSpec, payload)
+	if len(got) != HeaderLen+len(payload) {
+		t.Fatalf("framed length = %d, want %d", len(got), HeaderLen+len(payload))
+	}
+	if string(got[0:4]) != "TeSt" {
+		t.Errorf("magic bytes = %q", got[0:4])
+	}
+	if v := binary.BigEndian.Uint16(got[4:6]); v != 3 {
+		t.Errorf("version = %d, want 3", v)
+	}
+	if rsv := binary.BigEndian.Uint16(got[6:8]); rsv != 0 {
+		t.Errorf("reserved = %#04x, want 0", rsv)
+	}
+	if n := binary.BigEndian.Uint64(got[8:16]); n != uint64(len(payload)) {
+		t.Errorf("length = %d, want %d", n, len(payload))
+	}
+	if c := binary.BigEndian.Uint32(got[16:20]); c != crc32.ChecksumIEEE(payload) {
+		t.Errorf("crc = %08x, want %08x", c, crc32.ChecksumIEEE(payload))
+	}
+	if !bytes.Equal(got[HeaderLen:], payload) {
+		t.Errorf("payload bytes differ")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("a"), bytes.Repeat([]byte{0xAB}, 1000), []byte("final")}
+	for _, p := range payloads {
+		if err := Write(&buf, testSpec, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i, want := range payloads {
+		got, v, err := Read(r, testSpec)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if v != testSpec.Version {
+			t.Errorf("record %d: version = %d", i, v)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("record %d: payload mismatch", i)
+		}
+	}
+	if _, _, err := Read(r, testSpec); err != io.EOF {
+		t.Fatalf("end of stream: err = %v, want io.EOF", err)
+	}
+}
+
+// TestReadOlderVersion proves forward compatibility: a reader accepts
+// every version from 1 up to its own.
+func TestReadOlderVersion(t *testing.T) {
+	old := testSpec
+	old.Version = 1
+	framed := Append(nil, old, []byte("v1 payload"))
+	if _, v, err := Read(bytes.NewReader(framed), testSpec); err != nil || v != 1 {
+		t.Fatalf("Read v1 with v3 spec: v=%d err=%v", v, err)
+	}
+}
+
+func TestCorruptInputs(t *testing.T) {
+	payload := []byte("some payload bytes")
+	good := Append(nil, testSpec, payload)
+	flip := func(i int) []byte {
+		b := append([]byte(nil), good...)
+		b[i] ^= 0x40
+		return b
+	}
+	newer := append([]byte(nil), good...)
+	binary.BigEndian.PutUint16(newer[4:6], testSpec.Version+1)
+	vzero := append([]byte(nil), good...)
+	binary.BigEndian.PutUint16(vzero[4:6], 0)
+	huge := append([]byte(nil), good...)
+	binary.BigEndian.PutUint64(huge[8:16], testSpec.MaxPayload+1)
+	zero := append([]byte(nil), good...)
+	binary.BigEndian.PutUint64(zero[8:16], 0)
+
+	cases := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"empty stream", nil, io.EOF},
+		{"truncated header", good[:HeaderLen-3], ErrTruncated},
+		{"truncated payload", good[:len(good)-2], ErrTruncated},
+		{"bad magic", flip(1), ErrMagic},
+		{"version bit flip", flip(5), ErrVersion},
+		{"version zero", vzero, ErrVersion},
+		{"future version", newer, ErrVersion},
+		{"reserved set", flip(6), ErrReserved},
+		{"zero length", zero, ErrLength},
+		{"huge length", huge, ErrLength},
+		{"checksum bit", flip(17), ErrChecksum},
+		{"payload bit", flip(HeaderLen + 4), ErrChecksum},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := Read(bytes.NewReader(tc.in), testSpec)
+			if tc.want == io.EOF {
+				if err != io.EOF {
+					t.Fatalf("err = %v, want io.EOF", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("err = %v does not wrap ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+// TestAppendToExisting proves Append extends rather than replaces.
+func TestAppendToExisting(t *testing.T) {
+	prefix := []byte("prefix")
+	out := Append(append([]byte(nil), prefix...), testSpec, []byte("xyz"))
+	if !bytes.Equal(out[:len(prefix)], prefix) {
+		t.Fatal("Append clobbered existing bytes")
+	}
+	if _, _, err := Read(bytes.NewReader(out[len(prefix):]), testSpec); err != nil {
+		t.Fatal(err)
+	}
+}

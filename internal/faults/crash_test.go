@@ -1,0 +1,152 @@
+package faults_test
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"vihot/internal/core"
+	"vihot/internal/faults"
+	"vihot/internal/journal"
+	"vihot/internal/serve"
+)
+
+// journalSoakRun replays the pumped chaos-soak streams through a
+// deterministic manager journaling into w, and returns the final
+// counter snapshot. Deterministic mode + a fixed push order means the
+// journal's record sequence — hence its byte stream — is identical
+// across runs; only the disk underneath differs.
+func journalSoakRun(t *testing.T, fx *soakFixture, w io.Writer) serve.CounterSnapshot {
+	t.Helper()
+	jw, err := journal.New(journal.Config{W: w, BatchSize: 64, QueueLen: 1 << 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := serve.New(serve.Config{
+		Deterministic: true,
+		Journal:       jw,
+		SessionTTLS:   8,
+	})
+	ids := fx.ids()
+	for _, id := range ids {
+		if err := m.Open(id, fx.profiles[id], core.DefaultPipelineConfig()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range ids {
+		for _, it := range fx.pumped[id] {
+			m.Push(it)
+		}
+	}
+	for _, id := range ids {
+		// Explicit close so every session leaves a KindClose record with
+		// its terminal clock and health.
+		_ = m.CloseSession(id)
+	}
+	m.Close()
+	snap := m.Counters().Snapshot()
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if snap.JournalDropped != 0 {
+		t.Fatalf("journal queue sized for the soak yet dropped %d", snap.JournalDropped)
+	}
+	return snap
+}
+
+// TestCrashRecoverySoak is the durability acceptance test: the full
+// chaos-soak workload runs with journaling onto a disk that dies
+// mid-stream — writes keep reporting success, the page cache is lost —
+// and recovery of the surviving media must agree exactly, session by
+// session, with a fault-free replay truncated at the same point. The
+// comparison is byte-anchored: the crashed journal must be a strict
+// prefix of the fault-free journal, so "what the crash kept" and
+// "what a clean run would have written by then" are provably the
+// same records.
+func TestCrashRecoverySoak(t *testing.T) {
+	fx := getSoakFixture(t)
+
+	var clean bytes.Buffer
+	snap := journalSoakRun(t, fx, &clean)
+	ref := clean.Bytes()
+	if len(ref) == 0 || snap.Estimates == 0 {
+		t.Fatalf("soak journaled nothing: %d bytes, %+v", len(ref), snap)
+	}
+	events := snap.Estimates + snap.ToDegraded + snap.ToCoasting + snap.ToStale +
+		snap.Recoveries + snap.SessionsReaped + snap.SessionsClosed
+	if snap.JournalAppended != events {
+		t.Fatalf("journal books: appended %d, events %d", snap.JournalAppended, events)
+	}
+	full, err := journal.Recover(bytes.NewReader(ref), int64(len(ref)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.CleanShutdown || full.Diag.Truncated {
+		t.Fatalf("fault-free journal unhealthy: %+v", full.Diag)
+	}
+	if got := uint64(full.Records); got != snap.JournalAppended+1 { // +1: shutdown trailer
+		t.Fatalf("journal holds %d records, appended %d", got, snap.JournalAppended)
+	}
+
+	// Crash mid-stream: 40% of the way through the byte stream, almost
+	// certainly mid-record.
+	crashAt := int64(len(ref)) * 2 / 5
+	disk := faults.NewDiskFile(faults.DiskConfig{CrashAt: crashAt})
+	crashSnap := journalSoakRun(t, fx, disk)
+	if crashSnap.JournalAppended != snap.JournalAppended {
+		t.Fatalf("crashed run appended %d records, clean run %d — runs diverged",
+			crashSnap.JournalAppended, snap.JournalAppended)
+	}
+	media := disk.Bytes()
+	if int64(len(media)) != crashAt {
+		t.Fatalf("media = %d bytes, want %d", len(media), crashAt)
+	}
+	if !bytes.Equal(media, ref[:crashAt]) {
+		t.Fatal("crashed journal is not a prefix of the fault-free journal")
+	}
+
+	res, err := journal.Recover(bytes.NewReader(media), int64(len(media)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CleanShutdown {
+		t.Error("a crash recovered as clean shutdown")
+	}
+	if res.Records == 0 {
+		t.Fatal("recovery salvaged nothing from 40% of the journal")
+	}
+
+	// The ground truth for the crash point: the fault-free journal cut
+	// at exactly the bytes the crash preserved as valid.
+	want, err := journal.Recover(bytes.NewReader(ref[:res.Diag.ValidBytes]), res.Diag.ValidBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Diag.Truncated {
+		t.Fatalf("reference prefix torn — ValidBytes is not a record boundary")
+	}
+	if res.Records != want.Records {
+		t.Fatalf("recovered %d records, fault-free prefix holds %d", res.Records, want.Records)
+	}
+	// Exact per-session agreement: last estimate, health, closure — the
+	// acceptance criterion verbatim.
+	if !reflect.DeepEqual(res.Sessions, want.Sessions) {
+		for id, got := range res.Sessions {
+			if w := want.Sessions[id]; w == nil || !reflect.DeepEqual(got, w) {
+				t.Errorf("%s: recovered %+v, fault-free replay %+v", id, got, want.Sessions[id])
+			}
+		}
+		for id := range want.Sessions {
+			if res.Sessions[id] == nil {
+				t.Errorf("%s: lost by recovery", id)
+			}
+		}
+		t.Fatal("per-session state diverged from fault-free replay")
+	}
+	if !reflect.DeepEqual(res.Counts, want.Counts) {
+		t.Fatalf("record counts diverged: %v vs %v", res.Counts, want.Counts)
+	}
+	t.Logf("crash soak: %d bytes journaled, crash at %d, %d/%d records recovered, %d live sessions at crash point",
+		len(ref), crashAt, res.Records, full.Records, len(res.Live()))
+}

@@ -1,0 +1,185 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"vihot/internal/stats"
+)
+
+// Disk faults: the failure modes a journal file actually faces. The
+// injector sits where an *os.File would — it implements io.Writer and
+// journal.Syncer — and mutates the byte stream on its way to the
+// simulated media:
+//
+//   - Crash with lost page cache: every write past a chosen byte
+//     offset reports success but silently never reaches media,
+//     including the suffix of a write that straddles the offset —
+//     which is exactly how a torn record tail is born.
+//   - ENOSPC windows: byte-offset ranges where the device refuses
+//     writes, then (window over) accepts them again.
+//   - Short writes: a write lands only a prefix and reports it.
+//   - Bit rot: a write reports success but one random bit of the
+//     stored block is flipped.
+//
+// Like every other injector in this package, all randomness derives
+// from a seed, so a fault schedule replays bit-identically.
+
+// ErrNoSpace is the injected "device full" failure.
+var ErrNoSpace = errors.New("faults: no space left on device")
+
+// ByteWindow is a half-open byte-offset interval [Start, End) on the
+// written stream.
+type ByteWindow struct {
+	Start, End int64
+}
+
+// contains reports whether [off, off+n) intersects the window.
+func (w ByteWindow) overlaps(off, n int64) bool {
+	return off < w.End && off+n > w.Start
+}
+
+// DiskConfig is a disk-fault schedule. The zero value injects
+// nothing: writes pass through verbatim.
+type DiskConfig struct {
+	// Seed determines every random decision below.
+	Seed int64
+	// CrashAt, when positive, is the byte offset past which writes are
+	// silently discarded: they report success (the page cache took
+	// them) but never reach media (the machine died before writeback).
+	// A write straddling the offset keeps only its prefix — a torn
+	// record.
+	CrashAt int64
+	// NoSpace are windows over the ATTEMPTED-byte stream in which
+	// writes fail with ErrNoSpace: the fault is transient, like a
+	// device that fills up and is later cleaned. A write reaching into
+	// a window lands only the bytes before the window's start; once
+	// enough bytes have been attempted (stored or refused) to pass
+	// End, writes succeed again.
+	NoSpace []ByteWindow
+	// ShortWrite is the probability a write lands only a random proper
+	// prefix and returns io.ErrShortWrite.
+	ShortWrite float64
+	// BitFlip is the probability per write that one random bit of the
+	// stored block flips silently — media corruption the CRC layer
+	// must catch at recovery.
+	BitFlip float64
+}
+
+// DiskStats tallies what one DiskFile did.
+type DiskStats struct {
+	Writes         int   // Write calls observed
+	Syncs          int   // Sync calls observed
+	BytesAttempted int64 // bytes offered by callers
+	BytesStored    int64 // bytes actually on media
+	BytesDiscarded int64 // bytes silently lost past CrashAt
+	ShortWrites    int   // writes cut short
+	NoSpaceErrors  int   // writes refused by an ENOSPC window
+	BitFlips       int   // silent single-bit corruptions
+}
+
+// DiskFile is a fault-injecting in-memory file. Safe for one writer
+// goroutine plus concurrent snapshot readers (the journal's writer
+// goroutine on one side, the test harness on the other).
+type DiskFile struct {
+	cfg DiskConfig
+	rng *stats.RNG
+
+	mu        sync.Mutex
+	media     []byte
+	off       int64 // reported-write offset (includes discarded bytes)
+	attempted int64 // attempted-byte offset (includes refused bytes)
+	stats     DiskStats
+}
+
+// NewDiskFile builds a DiskFile over the given schedule.
+func NewDiskFile(cfg DiskConfig) *DiskFile {
+	return &DiskFile{cfg: cfg, rng: stats.NewRNG(cfg.Seed)}
+}
+
+// Write applies the fault schedule to one write. Faults compose in
+// severity order: ENOSPC refusal, then short write, then crash
+// discard, then bit rot on whatever made it to media.
+func (d *DiskFile) Write(p []byte) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Writes++
+	d.stats.BytesAttempted += int64(len(p))
+	if len(p) == 0 {
+		return 0, nil
+	}
+	n := int64(len(p))
+	var err error
+
+	// ENOSPC: refuse the part of the write inside a full window. The
+	// window is consumed by attempts, so the fault is transient.
+	a0 := d.attempted
+	d.attempted += n
+	for _, w := range d.cfg.NoSpace {
+		if w.overlaps(a0, n) {
+			d.stats.NoSpaceErrors++
+			if keep := w.Start - a0; keep > 0 {
+				n = keep
+			} else {
+				n = 0
+			}
+			err = ErrNoSpace
+			break
+		}
+	}
+
+	// Short write: a random proper prefix lands.
+	if err == nil && n > 1 && d.cfg.ShortWrite > 0 && d.rng.Bool(d.cfg.ShortWrite) {
+		d.stats.ShortWrites++
+		n = 1 + int64(d.rng.Intn(int(n-1)))
+		err = io.ErrShortWrite
+	}
+
+	// Crash: bytes past CrashAt report success but never hit media.
+	stored := n
+	if d.cfg.CrashAt > 0 && d.off+stored > d.cfg.CrashAt {
+		if d.off >= d.cfg.CrashAt {
+			stored = 0
+		} else {
+			stored = d.cfg.CrashAt - d.off
+		}
+		d.stats.BytesDiscarded += n - stored
+	}
+
+	if stored > 0 {
+		start := len(d.media)
+		d.media = append(d.media, p[:stored]...)
+		d.stats.BytesStored += stored
+		if d.cfg.BitFlip > 0 && d.rng.Bool(d.cfg.BitFlip) {
+			d.stats.BitFlips++
+			bit := d.rng.Intn(int(stored) * 8)
+			d.media[start+bit/8] ^= 1 << (bit % 8)
+		}
+	}
+	d.off += n
+	return int(n), err
+}
+
+// Sync counts the fsync. The crash model makes Sync a lie past
+// CrashAt — which is the point: fsync succeeded, the power failed.
+func (d *DiskFile) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Syncs++
+	return nil
+}
+
+// Bytes snapshots the media content — what a post-crash reboot finds.
+func (d *DiskFile) Bytes() []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]byte(nil), d.media...)
+}
+
+// Stats snapshots the tally.
+func (d *DiskFile) Stats() DiskStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}

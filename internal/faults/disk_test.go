@@ -1,0 +1,220 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"vihot/internal/journal"
+)
+
+func TestDiskFilePassThrough(t *testing.T) {
+	d := NewDiskFile(DiskConfig{})
+	for _, chunk := range [][]byte{[]byte("hello "), []byte("journal")} {
+		n, err := d.Write(chunk)
+		if err != nil || n != len(chunk) {
+			t.Fatalf("write = %d, %v", n, err)
+		}
+	}
+	if got := d.Bytes(); string(got) != "hello journal" {
+		t.Errorf("media = %q", got)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Writes != 2 || st.Syncs != 1 || st.BytesStored != 13 || st.BytesAttempted != 13 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDiskFileCrashDiscardsSilently(t *testing.T) {
+	d := NewDiskFile(DiskConfig{CrashAt: 10})
+	// First write straddles the crash point: reports full success,
+	// stores only the prefix — a torn tail.
+	n, err := d.Write(bytes.Repeat([]byte{0xAA}, 16))
+	if err != nil || n != 16 {
+		t.Fatalf("straddling write = %d, %v (must lie about success)", n, err)
+	}
+	// Later writes also "succeed" and store nothing.
+	n, err = d.Write([]byte("gone"))
+	if err != nil || n != 4 {
+		t.Fatalf("post-crash write = %d, %v", n, err)
+	}
+	if got := d.Bytes(); len(got) != 10 {
+		t.Errorf("media = %d bytes, want 10", len(got))
+	}
+	if st := d.Stats(); st.BytesDiscarded != 10 || st.BytesStored != 10 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDiskFileNoSpaceWindow(t *testing.T) {
+	d := NewDiskFile(DiskConfig{NoSpace: []ByteWindow{{Start: 5, End: 8}}})
+	n, err := d.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+	if n != 5 {
+		t.Errorf("n = %d, want the 5 bytes before the window", n)
+	}
+	// The window is over ATTEMPTED bytes, so the fault is transient:
+	// refused attempts consume it, and writes land again after End.
+	d2 := NewDiskFile(DiskConfig{NoSpace: []ByteWindow{{Start: 2, End: 4}}})
+	if _, err := d2.Write([]byte("ab")); err != nil { // attempts [0,2): fine
+		t.Fatal(err)
+	}
+	if _, err := d2.Write([]byte("cd")); !errors.Is(err, ErrNoSpace) { // [2,4): refused
+		t.Fatalf("window write err = %v", err)
+	}
+	if n, err := d2.Write([]byte("ef")); err != nil || n != 2 { // [4,6): device recovered
+		t.Fatalf("post-window write = %d, %v", n, err)
+	}
+	if got := d2.Bytes(); string(got) != "abef" {
+		t.Errorf("media = %q, want the window's batch lost", got)
+	}
+}
+
+func TestDiskFileShortWriteAndBitFlip(t *testing.T) {
+	d := NewDiskFile(DiskConfig{Seed: 7, ShortWrite: 1.0})
+	n, err := d.Write(bytes.Repeat([]byte{1}, 100))
+	if err != io.ErrShortWrite {
+		t.Fatalf("err = %v, want ErrShortWrite", err)
+	}
+	if n <= 0 || n >= 100 {
+		t.Errorf("n = %d, want a proper prefix", n)
+	}
+	if st := d.Stats(); st.ShortWrites != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	f := NewDiskFile(DiskConfig{Seed: 11, BitFlip: 1.0})
+	orig := bytes.Repeat([]byte{0}, 64)
+	if _, err := f.Write(orig); err != nil {
+		t.Fatal(err)
+	}
+	got := f.Bytes()
+	diff := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("%d bytes differ, want exactly 1 (single-bit rot)", diff)
+	}
+	if st := f.Stats(); st.BitFlips != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDiskFileDeterministic(t *testing.T) {
+	run := func() []byte {
+		d := NewDiskFile(DiskConfig{Seed: 42, ShortWrite: 0.3, BitFlip: 0.2, CrashAt: 500})
+		for i := 0; i < 50; i++ {
+			d.Write(bytes.Repeat([]byte{byte(i)}, 20))
+		}
+		return d.Bytes()
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Error("same seed produced different media")
+	}
+}
+
+// TestJournalOverTornDisk is the crash story end to end at the
+// journal layer: write through a disk that dies mid-stream, then
+// recover the media and prove the result is the longest valid prefix
+// of what a fault-free disk would hold.
+func TestJournalOverTornDisk(t *testing.T) {
+	record := func(i int) journal.Record {
+		return journal.Record{
+			Kind: journal.KindEstimate, Session: "cabin", T: float64(i) * 0.05,
+			Yaw: float64(i), Position: int32(i % 5), MatchDist: 0.1,
+		}
+	}
+	writeAll := func(w io.Writer) {
+		jw, err := journal.New(journal.Config{W: w, BatchSize: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 40; i++ {
+			if !jw.Append(record(i)) {
+				t.Fatalf("append %d refused", i)
+			}
+		}
+		if err := jw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var clean bytes.Buffer
+	writeAll(&clean)
+
+	for _, crashAt := range []int64{1, 37, 100, 333, 1000} {
+		disk := NewDiskFile(DiskConfig{CrashAt: crashAt})
+		writeAll(disk)
+		media := disk.Bytes()
+
+		res, err := journal.Recover(bytes.NewReader(media), int64(len(media)))
+		if err != nil {
+			t.Fatalf("crashAt %d: %v", crashAt, err)
+		}
+		if res.CleanShutdown {
+			t.Errorf("crashAt %d: crash recovered as clean shutdown", crashAt)
+		}
+		// The journal writes deterministic bytes, so the media is a
+		// prefix of the fault-free file and the recovered records are
+		// exactly the first res.Records of the fault-free journal.
+		if !bytes.Equal(media, clean.Bytes()[:len(media)]) {
+			t.Fatalf("crashAt %d: media diverged from fault-free prefix", crashAt)
+		}
+		ref, err := journal.Recover(bytes.NewReader(clean.Bytes()[:res.Diag.ValidBytes]), res.Diag.ValidBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Records != res.Records {
+			t.Errorf("crashAt %d: recovered %d records, reference %d", crashAt, res.Records, ref.Records)
+		}
+		if s := res.Sessions["cabin"]; s != nil {
+			want := ref.Sessions["cabin"]
+			if s.Estimate != want.Estimate || s.Health != want.Health {
+				t.Errorf("crashAt %d: session state diverged", crashAt)
+			}
+		}
+	}
+}
+
+// TestJournalOverRottenDisk proves silent bit rot never surfaces as a
+// bogus record: the CRC stops the replay at the damage.
+func TestJournalOverRottenDisk(t *testing.T) {
+	disk := NewDiskFile(DiskConfig{Seed: 3, BitFlip: 0.5})
+	jw, err := journal.New(journal.Config{W: disk, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		jw.Append(journal.Record{Kind: journal.KindReap, Session: "x", T: float64(i)})
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	media := disk.Bytes()
+	res, err := journal.Recover(bytes.NewReader(media), int64(len(media)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disk.Stats().BitFlips == 0 {
+		t.Fatal("no rot injected; test is vacuous")
+	}
+	if !res.Diag.Truncated {
+		t.Error("bit rot not detected")
+	}
+	// Every replayed record must be one the writer actually appended.
+	for id, s := range res.Sessions {
+		if id != "x" {
+			t.Errorf("phantom session %q decoded from rotten media", id)
+		}
+		_ = s
+	}
+}

@@ -1,0 +1,271 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"vihot/internal/envelope"
+)
+
+// buildJournal frames a canonical record sequence: two sessions, one
+// health transition, one reap, one close, no trailer (the "crashed"
+// baseline the damage cases are cut from).
+func buildJournal(t *testing.T) ([]byte, []Record) {
+	t.Helper()
+	recs := []Record{
+		estRec("alpha", 0.10, 5),
+		estRec("beta", 0.12, -3),
+		{Kind: KindHealth, Session: "alpha", T: 0.50, From: 0, To: 1},
+		estRec("alpha", 0.60, 6),
+		{Kind: KindReap, Session: "beta", T: 1.20},
+		estRec("alpha", 1.30, 7),
+		{Kind: KindClose, Session: "alpha", T: 1.50, Health: 1},
+	}
+	var framed []byte
+	for i := range recs {
+		out, err := AppendRecord(framed, &recs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		framed = out
+	}
+	return framed, recs
+}
+
+// recordOffsets returns the byte offset of each record boundary.
+func recordOffsets(t *testing.T, framed []byte) []int64 {
+	t.Helper()
+	jr := NewReader(bytes.NewReader(framed))
+	offs := []int64{0}
+	for {
+		if _, err := jr.Next(); err != nil {
+			break
+		}
+		offs = append(offs, jr.Offset())
+	}
+	return offs
+}
+
+// TestRecoverDamage is the adversarial table: every physical failure
+// mode a crash can leave behind must recover to the longest valid
+// prefix, report the damage, and never error out of Recover itself.
+func TestRecoverDamage(t *testing.T) {
+	framed, recs := buildJournal(t)
+	offs := recordOffsets(t, framed)
+	if len(offs) != len(recs)+1 {
+		t.Fatalf("offsets = %d, want %d", len(offs), len(recs)+1)
+	}
+
+	dup := append(append([]byte(nil), framed...), framed[offs[5]:offs[6]]...)
+	dup = dup[:len(dup)-3] // duplicate tail record, itself torn
+
+	cases := []struct {
+		name        string
+		in          []byte
+		wantRecords int
+		wantTorn    bool
+	}{
+		{"clean no trailer", framed, len(recs), false},
+		{"empty file", nil, 0, false},
+		{"torn mid-header", framed[:offs[3]+7], 3, true},
+		{"torn mid-payload", framed[:offs[5]+envelope.HeaderLen+4], 5, true},
+		{"torn single byte", framed[:offs[6]+1], 6, true},
+		{"bit flip in payload", flipAt(framed, offs[2]+envelope.HeaderLen+3), 2, true},
+		{"bit flip in header length", flipAt(framed, offs[4]+9), 4, true},
+		{"all-zero tail page", append(append([]byte(nil), framed...), make([]byte, 512)...), len(recs), true},
+		{"duplicate torn tail", dup, len(recs), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Recover(bytes.NewReader(tc.in), int64(len(tc.in)))
+			if err != nil {
+				t.Fatalf("Recover errored: %v", err)
+			}
+			if res.Records != tc.wantRecords {
+				t.Errorf("records = %d, want %d", res.Records, tc.wantRecords)
+			}
+			if res.Diag.Truncated != tc.wantTorn {
+				t.Errorf("truncated = %v, want %v", res.Diag.Truncated, tc.wantTorn)
+			}
+			if res.CleanShutdown {
+				t.Error("no trailer was written, yet CleanShutdown")
+			}
+			// The valid prefix must itself replay to the same state: a
+			// recovery of a recovery is a fixed point.
+			again, err := Recover(bytes.NewReader(tc.in[:res.Diag.ValidBytes]), res.Diag.ValidBytes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.Records != res.Records || again.Diag.Truncated {
+				t.Errorf("valid prefix did not replay cleanly: %+v", again.Diag)
+			}
+			if !reflect.DeepEqual(again.Sessions, res.Sessions) {
+				t.Error("prefix replay diverged from recovery")
+			}
+			if tc.wantTorn && res.Diag.TailBytes == 0 {
+				t.Error("torn tail reported zero tail bytes")
+			}
+		})
+	}
+}
+
+func flipAt(b []byte, off int64) []byte {
+	out := append([]byte(nil), b...)
+	out[off] ^= 0x20
+	return out
+}
+
+func TestRecoverSessionState(t *testing.T) {
+	framed, _ := buildJournal(t)
+	res, err := Recover(bytes.NewReader(framed), int64(len(framed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Sessions["alpha"]
+	if a == nil || !a.Closed || a.Reaped || a.Health != 1 {
+		t.Fatalf("alpha = %+v", a)
+	}
+	if !a.HasEstimate || a.Estimate.Yaw != 7 || a.Estimate.T != 1.30 {
+		t.Errorf("alpha last estimate = %+v", a.Estimate)
+	}
+	if a.FirstT != 0.10 || a.LastT != 1.50 || a.Records != 5 {
+		t.Errorf("alpha span = [%v, %v] over %d records", a.FirstT, a.LastT, a.Records)
+	}
+	b := res.Sessions["beta"]
+	if b == nil || !b.Closed || !b.Reaped {
+		t.Fatalf("beta = %+v", b)
+	}
+	if live := res.Live(); len(live) != 0 {
+		t.Errorf("live = %v, want none (both sessions ended)", live)
+	}
+	if res.FirstT != 0.10 || res.LastT != 1.50 {
+		t.Errorf("span = [%v, %v]", res.FirstT, res.LastT)
+	}
+}
+
+func TestRecoverLiveAndReopen(t *testing.T) {
+	recs := []Record{
+		estRec("a", 0.1, 1),
+		{Kind: KindClose, Session: "a", T: 0.2, Health: 0},
+		estRec("a", 0.3, 2), // reused ID: session is live again
+		estRec("b", 0.4, 3),
+	}
+	var framed []byte
+	for i := range recs {
+		framed, _ = AppendRecord(framed, &recs[i])
+	}
+	res, err := Recover(bytes.NewReader(framed), int64(len(framed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := res.Live()
+	if len(live) != 2 || live[0] != "a" || live[1] != "b" {
+		t.Errorf("live = %v, want [a b]", live)
+	}
+	if res.Sessions["a"].Closed {
+		t.Error("reopened session still marked closed")
+	}
+}
+
+func TestRecoverTrailerMidFileIsNotClean(t *testing.T) {
+	recs := []Record{
+		estRec("a", 0.1, 1),
+		{Kind: KindShutdown, T: 0.1},
+		estRec("a", 0.2, 2), // a restart appended past the old trailer
+	}
+	var framed []byte
+	for i := range recs {
+		framed, _ = AppendRecord(framed, &recs[i])
+	}
+	res, err := Recover(bytes.NewReader(framed), int64(len(framed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CleanShutdown {
+		t.Error("mid-file trailer treated as clean shutdown")
+	}
+	if res.Counts[KindShutdown] != 1 || res.Records != 3 {
+		t.Errorf("records = %d, counts = %v", res.Records, res.Counts)
+	}
+}
+
+func TestRepairFile(t *testing.T) {
+	framed, _ := buildJournal(t)
+	offs := recordOffsets(t, framed)
+	torn := framed[:offs[4]+11] // mid-record
+	path := filepath.Join(t.TempDir(), "torn.journal")
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RepairFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Diag.Truncated || res.Records != 4 {
+		t.Fatalf("repair recovered %d records, diag %+v", res.Records, res.Diag)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != offs[4] {
+		t.Errorf("repaired size = %d, want %d", fi.Size(), offs[4])
+	}
+
+	// The repaired file must accept appended records and replay whole.
+	w, err := OpenFile(path, Config{BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(estRec("gamma", 9.0, 42))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := RecoverFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Diag.Truncated || !after.CleanShutdown {
+		t.Errorf("post-repair journal unhealthy: %+v", after.Diag)
+	}
+	if after.Records != 6 { // 4 survivors + gamma + trailer
+		t.Errorf("records = %d, want 6", after.Records)
+	}
+	if s := after.Sessions["gamma"]; s == nil || s.Estimate.Yaw != 42 {
+		t.Errorf("appended record lost: %+v", s)
+	}
+}
+
+func TestRepairFileCleanIsNoop(t *testing.T) {
+	framed, _ := buildJournal(t)
+	path := filepath.Join(t.TempDir(), "clean.journal")
+	if err := os.WriteFile(path, framed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RepairFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, framed) {
+		t.Error("repair rewrote a clean file")
+	}
+}
+
+func TestRecoverFileMissing(t *testing.T) {
+	res, err := RecoverFile(filepath.Join(t.TempDir(), "never-written"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 0 || res.HasSpan || len(res.Sessions) != 0 {
+		t.Errorf("missing file recovered non-empty state: %+v", res)
+	}
+	if _, err := RepairFile(filepath.Join(t.TempDir(), "also-missing")); err != nil {
+		t.Errorf("repair of missing file = %v, want nil", err)
+	}
+}

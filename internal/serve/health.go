@@ -202,6 +202,7 @@ func (m *Manager) transition(s *session, to Health) {
 	case Healthy:
 		m.counters.recoveries.Add(1)
 	}
+	m.journalHealth(s, from, to)
 	if m.cfg.OnHealth != nil {
 		m.cfg.OnHealth(s.id, s.now, from, to)
 	}
@@ -255,6 +256,7 @@ func (m *Manager) maybeCoast(s *session, t float64) {
 // emit delivers one estimate to the sinks and counts it.
 func (m *Manager) emit(s *session, est core.Estimate) {
 	m.counters.estimates.Add(1)
+	m.journalEstimate(s, est)
 	if m.cfg.OnEstimate != nil {
 		m.cfg.OnEstimate(s.id, est)
 	}

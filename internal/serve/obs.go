@@ -54,6 +54,9 @@ func newCounters(r *obs.Registry) Counters {
 		rejectedClosed:  r.Counter("vihot_serve_rejected_closed_total", "items refused at push because the manager was closed"),
 		droppedClosed:   dropped("shutdown"),
 		reaped:          r.Counter("vihot_serve_sessions_reaped_total", "sessions evicted by the idle-TTL sweep"),
+		closed:          r.Counter("vihot_serve_sessions_closed_total", "sessions removed by explicit CloseSession"),
+		journalAppended: r.Counter("vihot_serve_journal_appended_total", "records accepted by the write-behind journal"),
+		journalDropped:  r.Counter("vihot_serve_journal_dropped_total", "records shed at append (journal queue full or closed)"),
 	}
 }
 

@@ -82,8 +82,10 @@ func (m *Manager) sweep(sh *shard, ttl float64) {
 	}
 	m.counters.reaped.Add(uint64(len(evicted)))
 	sort.Strings(evicted)
-	if cb := m.cfg.OnReap; cb != nil {
-		for _, id := range evicted {
+	cb := m.cfg.OnReap
+	for _, id := range evicted {
+		m.journalReap(id, now)
+		if cb != nil {
 			cb(id, now)
 		}
 	}

@@ -64,6 +64,7 @@ import (
 	"vihot/internal/csi"
 	"vihot/internal/dtw"
 	"vihot/internal/imu"
+	"vihot/internal/journal"
 	"vihot/internal/obs"
 	"vihot/internal/profilestore"
 )
@@ -132,6 +133,17 @@ type Config struct {
 	// concurrency contract as OnHealth: serial per shard, concurrent
 	// across shards. Not invoked for CloseSession or Close.
 	OnReap func(session string, t float64)
+
+	// Journal, if set, receives one durable record per delivered
+	// estimate, health transition, idle-TTL reap, and explicit
+	// CloseSession — the write-behind journal a crashed receiver
+	// recovers warm-restart state from (journal.Recover). Appends are
+	// non-blocking by the journal's contract: a slow disk sheds
+	// records (counted in JournalDropped), never stalls a worker. The
+	// manager does not own the writer — the caller closes it after
+	// CloseDrain, which is what flushes the tail batch and writes the
+	// clean-shutdown trailer.
+	Journal *journal.Writer
 
 	// RecycleFrames transfers ownership of every pushed KindFrame
 	// frame to the manager: once the frame has been sanitized or
@@ -212,6 +224,15 @@ type Counters struct {
 	rejectedClosed  *obs.Counter
 	droppedClosed   *obs.Counter
 	reaped          *obs.Counter
+	closed          *obs.Counter
+	journalAppended *obs.Counter
+	journalDropped  *obs.Counter
+
+	// jw, when journaling is configured, is where Snapshot reads the
+	// asynchronous write/sync failure count from — errors happen on
+	// the journal's writer goroutine, long after the append that
+	// caused them returned.
+	jw *journal.Writer
 }
 
 // CounterSnapshot is one observation of the counters. Conservation:
@@ -244,6 +265,21 @@ type CounterSnapshot struct {
 	RejectedKind   uint64 // items refused at push for an unknown Item.Kind
 	RejectedClosed uint64 // items refused at push because the manager was closed
 	SessionsReaped uint64 // sessions evicted by the idle-TTL sweep
+	SessionsClosed uint64 // sessions removed by explicit CloseSession
+
+	// Durability traffic (Config.Journal; zero when journaling is
+	// off). With journaling on for the whole run, after a drain:
+	//
+	//	JournalAppended + JournalDropped ==
+	//	    Estimates + ToDegraded + ToCoasting + ToStale +
+	//	    Recoveries + SessionsReaped + SessionsClosed
+	//
+	// JournalErrors counts asynchronous write/sync failures inside the
+	// journal itself — records that were appended (so they sit on the
+	// left of the identity) but may not have reached the disk.
+	JournalAppended uint64 // records accepted by the write-behind journal
+	JournalDropped  uint64 // records shed at append (queue full or journal closed)
+	JournalErrors   uint64 // asynchronous journal write/sync failures
 
 	// Degradation state machine traffic (see the Health type).
 	SuppressedStale uint64 // pipeline estimates discarded because the session was STALE
@@ -287,7 +323,20 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		RejectedClosed:  c.rejectedClosed.Value(),
 		DroppedClosed:   c.droppedClosed.Value(),
 		SessionsReaped:  c.reaped.Value(),
+		SessionsClosed:  c.closed.Value(),
+		JournalAppended: c.journalAppended.Value(),
+		JournalDropped:  c.journalDropped.Value(),
+		JournalErrors:   journalErrors(c.jw),
 	}
+}
+
+// journalErrors reads the configured journal's asynchronous failure
+// count; zero without a journal.
+func journalErrors(w *journal.Writer) uint64 {
+	if w == nil {
+		return 0
+	}
+	return w.Stats().Errors
 }
 
 // session is one driver's pipeline plus its degradation-state-machine
@@ -300,6 +349,14 @@ type session struct {
 
 	// health mirrors h for lock-free Manager.Health reads.
 	health atomic.Uint32
+
+	// clockBits mirrors now (as math.Float64bits) for the journal's
+	// close records, which are written from the CloseSession caller
+	// while the shard worker may still be advancing the clock. The
+	// mirror is maintained only when mirror is set (journaling on), so
+	// the uninstrumented hot path pays nothing for it.
+	clockBits atomic.Uint64
+	mirror    bool
 
 	h       Health
 	now     float64 // session clock: max admitted item timestamp
@@ -442,6 +499,7 @@ func New(cfg Config) *Manager {
 		reg = obs.NewRegistry()
 	}
 	m.counters = newCounters(reg)
+	m.counters.jw = cfg.Journal
 	m.sessOpen = reg.Gauge("vihot_serve_sessions_open", "currently open tracking sessions")
 	if cfg.Metrics != nil || cfg.Trace != nil {
 		m.obs = newManagerObs(cfg.Metrics, cfg.Trace)
@@ -541,7 +599,7 @@ func (m *Manager) Open(id string, profile *core.Profile, cfg core.PipelineConfig
 			mo.stage(id, stage, streamT, durNS)
 		})
 	}
-	sh.sessions[id] = &session{id: id, pl: pl}
+	sh.sessions[id] = &session{id: id, pl: pl, mirror: m.cfg.Journal != nil}
 	// Bookkeeping nests inside sh.mu (lock order: shard before
 	// manager, never the reverse) so the count and gauge move
 	// atomically with the registration — Close's purge can therefore
@@ -595,7 +653,7 @@ func (m *Manager) Profile(id string) (*core.Profile, bool) {
 func (m *Manager) CloseSession(id string) error {
 	sh := m.shardFor(id)
 	sh.mu.Lock()
-	_, ok := sh.sessions[id]
+	s, ok := sh.sessions[id]
 	delete(sh.sessions, id)
 	if ok {
 		m.mu.Lock()
@@ -607,6 +665,8 @@ func (m *Manager) CloseSession(id string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownSession, id)
 	}
+	m.counters.closed.Add(1)
+	m.journalClose(s)
 	return nil
 }
 
@@ -803,6 +863,9 @@ const maxForwardJumpS = 5.0
 func (s *session) advanceClock(t float64) {
 	if !s.haveNow || t > s.now {
 		s.now, s.haveNow = t, true
+		if s.mirror {
+			s.clockBits.Store(math.Float64bits(t))
+		}
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 	"vihot/internal/core"
 	"vihot/internal/csi"
 	"vihot/internal/imu"
+	"vihot/internal/journal"
 	"vihot/internal/obs"
 	"vihot/internal/profilestore"
 	"vihot/internal/serve"
@@ -221,6 +222,64 @@ const (
 // exactly); Close stops immediately, accounting the abandoned
 // backlog. Both are idempotent.
 func NewSessionManager(cfg SessionManagerConfig) *SessionManager { return serve.New(cfg) }
+
+// Durable journaling: the crash-recoverable estimate/health journal
+// of internal/journal, re-exported because
+// SessionManagerConfig.Journal takes the writer. The manager appends
+// every estimate, health transition, reap, and close; a restart
+// replays the file (tolerating a torn tail from a crash mid-write)
+// back to the terminal per-session state. See DESIGN.md §13 for the
+// record format, the write-behind group-commit contract, and the
+// fsync policy.
+type (
+	// JournalWriter is the write-behind appender sessions journal
+	// through; the caller closes it after the manager has drained.
+	JournalWriter = journal.Writer
+	// JournalConfig tunes the group commit (batch size, stream-time
+	// interval, queue bound) and the fsync policy.
+	JournalConfig = journal.Config
+	// JournalRecord is one decoded journal record.
+	JournalRecord = journal.Record
+	// JournalStats is a snapshot of a writer's append/commit counters.
+	JournalStats = journal.Stats
+	// JournalRecoverResult is the state a journal replays back to.
+	JournalRecoverResult = journal.RecoverResult
+	// JournalSessionState is one session's recovered terminal state.
+	JournalSessionState = journal.SessionState
+	// JournalSyncPolicy selects when the journal fsyncs.
+	JournalSyncPolicy = journal.SyncPolicy
+)
+
+// Journal fsync policies.
+const (
+	JournalSyncBatch  = journal.SyncBatch
+	JournalSyncNone   = journal.SyncNone
+	JournalSyncAlways = journal.SyncAlways
+)
+
+// NewJournalWriter builds a write-behind journal over an arbitrary
+// writer (syncing too, when it implements journal.Syncer).
+func NewJournalWriter(cfg JournalConfig) (*JournalWriter, error) { return journal.New(cfg) }
+
+// OpenJournalFile opens (creating or appending to) a journal file the
+// writer owns; pair with RepairJournalFile on start after a crash.
+func OpenJournalFile(path string, cfg JournalConfig) (*JournalWriter, error) {
+	return journal.OpenFile(path, cfg)
+}
+
+// RecoverJournalFile replays a journal file to its terminal state,
+// tolerating a truncated or torn tail (reported in the result's
+// diagnostics, never as an error). A missing file recovers empty.
+func RecoverJournalFile(path string) (*JournalRecoverResult, error) {
+	return journal.RecoverFile(path)
+}
+
+// RepairJournalFile recovers a journal file and, if it ends in a torn
+// record, truncates it back to the last valid record so appending can
+// resume at a record boundary.
+func RepairJournalFile(path string) (*JournalRecoverResult, error) {
+	return journal.RepairFile(path)
+}
 
 // Observability: the zero-dependency metrics/tracing layer of
 // internal/obs, re-exported because SessionManagerConfig.Metrics and
