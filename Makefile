@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build test race vet cover fuzz-smoke bench-obs bench-profilestore bench-journal
+.PHONY: verify build test race vet cover fuzz-smoke bench-obs bench-profilestore bench-journal bench-cluster
 
 # verify is the tier-1 gate: vet + build + full test suite + the race
 # runs that give the concurrency and fault-injection tests their teeth.
@@ -21,11 +21,11 @@ test:
 # The serving engine's stress/soak tests, the fault injector (now
 # including the crash-recovery soak), the metrics registry (scraped
 # concurrently with the hot path), the profile store's cold-key
-# storms, the scenario generator's concurrent replay, and the
-# write-behind journal's concurrent appenders only mean something
-# under the race detector.
+# storms, the scenario generator's concurrent replay, the write-behind
+# journal's concurrent appenders, and the cluster's partition/failover
+# chaos soak only mean something under the race detector.
 race:
-	$(GO) test -race ./internal/serve ./internal/faults ./internal/obs ./internal/profilestore ./internal/scenario ./internal/journal
+	$(GO) test -race ./internal/serve ./internal/faults ./internal/obs ./internal/profilestore ./internal/scenario ./internal/journal ./internal/cluster
 
 # Per-package statement coverage summary (the README records the
 # baseline). Writes the merged profile to COVER.out for drill-down
@@ -40,6 +40,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzWireDecode -fuzztime=10s ./internal/wifi
 	$(GO) test -fuzz=FuzzScenarioConfig -fuzztime=10s ./internal/scenario
 	$(GO) test -fuzz=FuzzJournalDecode -fuzztime=10s ./internal/journal
+	$(GO) test -fuzz=FuzzClusterDecode -fuzztime=10s ./internal/cluster
 
 # Observability overhead benchmark: serving throughput with obs off vs
 # metrics vs metrics+trace (DESIGN.md §9's overhead budget, measured).
@@ -57,3 +58,9 @@ bench-profilestore:
 # budget at the default batch, measured).
 bench-journal:
 	$(GO) run ./cmd/vihot-bench -journaljson BENCH_journal.json
+
+# Cluster routing benchmark: direct vs 1-node vs 4-node serving
+# throughput (DESIGN.md §14's ≤15% routing-overhead budget, measured)
+# plus drain-handoff latency percentiles over a loaded member.
+bench-cluster:
+	$(GO) run ./cmd/vihot-bench -clusterjson BENCH_cluster.json

@@ -1,0 +1,225 @@
+// Command vihot-cluster runs the distributed serving tier end to end:
+// a scenario-corpus workload replayed through an N-node
+// consistent-hash cluster, with optional mid-run node maintenance
+// (drain) and node crash (kill + stream-time failure detection), a
+// durable handoff journal, and a final cluster-wide ledger.
+//
+// Usage:
+//
+//	vihot-cluster [-nodes N] [-sessions N] [-scenario name[,name...]]
+//	              [-duration S] [-drain T] [-kill T]
+//	              [-journal cluster.vhj] [-v]
+//
+// -drain T retires the member owning the most sessions at stream time
+// T (orderly handoff: export, restore, graceful stop). -kill T
+// crashes a different loaded member at stream time T; the router
+// notices via heartbeat silence and fails its sessions over, with the
+// destinations COASTING until frames resume.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"vihot/internal/cluster"
+	"vihot/internal/core"
+	"vihot/internal/journal"
+	"vihot/internal/scenario"
+	"vihot/internal/serve"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 4, "cluster member count (1-255)")
+	sessions := flag.Int("sessions", 8, "sessions, apportioned round-robin across the scenario mix")
+	names := flag.String("scenario", scenario.Baseline,
+		fmt.Sprintf("comma-separated corpus scenarios (have %v)", scenario.CorpusNames()))
+	duration := flag.Float64("duration", 0, "override scenario duration seconds (0 = corpus defaults)")
+	drainT := flag.Float64("drain", 0, "drain the busiest member at this stream time (0 = never)")
+	killT := flag.Float64("kill", 0, "crash a loaded member at this stream time (0 = never)")
+	journalPath := flag.String("journal", "", "write the handoff journal to this file")
+	verbose := flag.Bool("v", false, "print every handoff event")
+	flag.Parse()
+
+	if err := run(*nodes, *sessions, *names, *duration, *drainT, *killT, *journalPath, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "vihot-cluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run(nodes, sessions int, names string, duration, drainT, killT float64, journalPath string, verbose bool) error {
+	// Render the workload: per-scenario profiles, per-session streams,
+	// one merged timeline ordered by stream time.
+	var cfgs []scenario.Config
+	for _, name := range strings.Split(names, ",") {
+		cfg, err := scenario.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		if duration > 0 {
+			cfg.DurationS = duration
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	profiles := make(map[string]*core.Profile)
+	keys := make(map[string]string)
+	var ids []string
+	var timeline []serve.Item
+	for i := 0; i < sessions; i++ {
+		cfg := cfgs[i%len(cfgs)]
+		if profiles[cfg.Name] == nil {
+			fmt.Printf("profiling %s ...\n", cfg.Name)
+			p, err := cfg.CollectProfile()
+			if err != nil {
+				return err
+			}
+			profiles[cfg.Name] = p
+		}
+		id := fmt.Sprintf("%s-%d", cfg.Name, i)
+		st, err := cfg.BuildStream(id, i)
+		if err != nil {
+			return err
+		}
+		ids = append(ids, id)
+		keys[id] = cfg.Name
+		timeline = append(timeline, st.Items...)
+	}
+	sort.SliceStable(timeline, func(i, j int) bool {
+		if ta, tb := itemTime(timeline[i]), itemTime(timeline[j]); ta != tb {
+			return ta < tb
+		}
+		return timeline[i].Session < timeline[j].Session
+	})
+
+	var jw *journal.Writer
+	if journalPath != "" {
+		f, err := os.Create(journalPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jw, err = journal.New(journal.Config{W: f})
+		if err != nil {
+			return err
+		}
+	}
+
+	members := make([]string, nodes)
+	for i := range members {
+		members[i] = fmt.Sprintf("node-%02d", i)
+	}
+	var events []cluster.HandoffEvent
+	c, err := cluster.New(cluster.Config{
+		Nodes:   members,
+		Journal: jw,
+		OnHandoff: func(ev cluster.HandoffEvent) {
+			events = append(events, ev)
+			if verbose {
+				kind := "drain"
+				if ev.Failover {
+					kind = "failover"
+				}
+				fmt.Printf("  handoff %-8s %-24s %s -> %s (t=%.2fs)\n", kind, ev.Session, ev.From, ev.To, ev.T)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	for _, id := range ids {
+		if err := c.Open(id, keys[id], profiles[keys[id]]); err != nil {
+			return err
+		}
+		owner, _ := c.Owner(id)
+		fmt.Printf("open %-24s -> %s\n", id, owner)
+	}
+
+	// The chaos targets are ring facts: drain hits the busiest member,
+	// kill hits the next-most-loaded other member.
+	load := map[string]int{}
+	for _, id := range ids {
+		owner, _ := c.Owner(id)
+		load[owner]++
+	}
+	ranked := append([]string(nil), members...)
+	sort.SliceStable(ranked, func(i, j int) bool { return load[ranked[i]] > load[ranked[j]] })
+	drainTarget, killTarget := ranked[0], ""
+	for _, n := range ranked[1:] {
+		if load[n] > 0 {
+			killTarget = n
+			break
+		}
+	}
+
+	// Replay, firing the scheduled faults as stream time passes them.
+	flush := func() { c.Flush() }
+	drained, killed := drainT <= 0, killT <= 0 || killTarget == ""
+	for i := 0; i < len(timeline); {
+		j := i + 256
+		if j > len(timeline) {
+			j = len(timeline)
+		}
+		c.PushBatch(timeline[i:j])
+		t := itemTime(timeline[j-1])
+		if !drained && t >= drainT {
+			drained = true
+			flush()
+			fmt.Printf("t=%.2fs draining %s (%d sessions)\n", t, drainTarget, load[drainTarget])
+			if _, err := c.DrainNode(drainTarget); err != nil {
+				return err
+			}
+		}
+		if !killed && t >= killT {
+			killed = true
+			flush()
+			fmt.Printf("t=%.2fs killing %s (%d sessions)\n", t, killTarget, load[killTarget])
+			if err := c.KillNode(killTarget); err != nil {
+				return err
+			}
+		}
+		i = j
+	}
+	flush()
+
+	st := c.Stats()
+	fmt.Printf("\ncluster: %d/%d nodes live, %d sessions, %d reassignments\n",
+		st.LiveNodes, st.Nodes, st.Sessions, st.Reassignments)
+	fmt.Printf("items:   routed %d = delivered %d + dropped %d (partition %d, node-down %d, unowned %d)\n",
+		st.Routed, st.Delivered, st.DroppedPartition+st.DroppedDown+st.DroppedUnowned,
+		st.DroppedPartition, st.DroppedDown, st.DroppedUnowned)
+	fmt.Printf("handoff: %d drain, %d failover, %d journal records (%d dropped)\n",
+		st.DrainHandoffs, st.FailoverHandoffs, st.JournalAppended, st.JournalDropped)
+	for _, id := range ids {
+		owner, _ := c.Owner(id)
+		h, _ := c.Health(id)
+		fmt.Printf("  %-24s on %-8s %v\n", id, owner, h)
+	}
+	if jw != nil {
+		if err := jw.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("journal: %s (%d handoff records)\n", journalPath, len(events))
+	}
+	return nil
+}
+
+// itemTime mirrors the router's stream-clock extraction.
+func itemTime(it serve.Item) float64 {
+	switch it.Kind {
+	case serve.KindFrame:
+		if it.Frame != nil {
+			return it.Frame.Time
+		}
+		return 0
+	case serve.KindIMU:
+		return it.IMU.Time
+	case serve.KindCamera:
+		return it.Camera.Time
+	default:
+		return it.Time
+	}
+}

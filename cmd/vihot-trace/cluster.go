@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"vihot/internal/journal"
+)
+
+// clusterCmd inspects a cluster coordinator's handoff journal (the
+// file vihot-cluster -journal writes): one KindExport record per
+// session transfer, drain and failover alike. It prints the transfer
+// log in order — which session moved, between which members, at what
+// stream time, and with what snapshot — plus the summary a recovery
+// would reconstruct.
+//
+// Export records carry member identities as indices into the
+// cluster's sorted static membership; pass the same membership via
+// -nodes to print names instead.
+func clusterCmd(args []string) {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	nodeList := fs.String("nodes", "", "comma-separated sorted membership, to name the node indices")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	path := fs.Arg(0)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var nodes []string
+	if *nodeList != "" {
+		nodes = strings.Split(*nodeList, ",")
+	}
+	if err := writeClusterReport(os.Stdout, path, blob, nodes); err != nil {
+		fatal(err)
+	}
+}
+
+// clusterNodeName renders one membership index.
+func clusterNodeName(idx uint8, nodes []string) string {
+	if int(idx) < len(nodes) {
+		return nodes[idx]
+	}
+	return fmt.Sprintf("#%d", idx)
+}
+
+// writeClusterReport renders a handoff journal. Factored off the
+// subcommand so the fixture round-trip test exercises the same
+// rendering the CLI ships.
+func writeClusterReport(w io.Writer, path string, blob []byte, nodes []string) error {
+	res, err := journal.Recover(bytes.NewReader(blob), int64(len(blob)))
+	if err != nil {
+		return err
+	}
+	drains, failovers, other := 0, 0, 0
+	r := journal.NewReader(bytes.NewReader(blob[:res.Diag.ValidBytes]))
+	var transfers []journal.Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if rec.Kind != journal.KindExport {
+			other++
+			continue
+		}
+		transfers = append(transfers, rec)
+		if rec.Flags&journal.ExportFailover != 0 {
+			failovers++
+		} else {
+			drains++
+		}
+	}
+
+	fmt.Fprintf(w, "journal:   %s\n", path)
+	fmt.Fprintf(w, "transfers: %d  drain=%d failover=%d", len(transfers), drains, failovers)
+	if other > 0 {
+		fmt.Fprintf(w, "  (+%d non-export records)", other)
+	}
+	fmt.Fprintln(w)
+	if res.HasSpan {
+		fmt.Fprintf(w, "span:      %.3f .. %.3f s stream time\n", res.FirstT, res.LastT)
+	}
+	shutdown := "unclean (no trailing shutdown record)"
+	if res.CleanShutdown {
+		shutdown = "clean"
+	}
+	fmt.Fprintf(w, "shutdown:  %s\n", shutdown)
+	fmt.Fprintf(w, "tail:      %d valid bytes", res.Diag.ValidBytes)
+	if res.Diag.Truncated {
+		fmt.Fprintf(w, ", torn — %d trailing bytes undecodable", res.Diag.TailBytes)
+	}
+	fmt.Fprintln(w)
+
+	if len(transfers) == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "\n%-22s %-8s %-20s %9s %9s %9s\n",
+		"session", "kind", "route", "clock-s", "last-yaw", "est-t-s")
+	for _, rec := range transfers {
+		kind := "drain"
+		if rec.Flags&journal.ExportFailover != 0 {
+			kind = "failover"
+		}
+		route := clusterNodeName(rec.From, nodes) + " -> " + clusterNodeName(rec.To, nodes)
+		clock := "-"
+		if rec.Flags&journal.ExportHasClock != 0 {
+			clock = fmt.Sprintf("%.3f", rec.T)
+		}
+		yaw, estT := "-", "-"
+		if rec.Flags&journal.ExportHasEstimate != 0 {
+			yaw = fmt.Sprintf("%.1f°", rec.Yaw)
+			estT = fmt.Sprintf("%.3f", rec.EstT)
+		}
+		fmt.Fprintf(w, "%-22s %-8s %-20s %9s %9s %9s\n",
+			rec.Session, kind, route, clock, yaw, estT)
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"vihot/internal/journal"
+)
+
+// fixtureClusterRecords is the committed handoff-journal fixture: a
+// coordinator's log of one maintenance drain (two sessions, full
+// snapshots from the source node) followed by one failover (snapshot
+// from the router's estimate cache, one session that had no estimate
+// yet), and the clean shutdown trailer.
+func fixtureClusterRecords() []journal.Record {
+	return []journal.Record{
+		{Kind: journal.KindExport, Session: "baseline-0", T: 4.05,
+			Yaw: 12.5, Position: 2, Source: 1, MatchDist: 0.033, Health: 0,
+			From: 1, To: 3, EstT: 4.01,
+			Flags: journal.ExportHasEstimate | journal.ExportHasClock},
+		{Kind: journal.KindExport, Session: "carfi-rider-3", T: 4.05,
+			Yaw: -8.25, Position: 1, Source: 1, MatchDist: 0.051, Health: 1,
+			From: 1, To: 0, EstT: 3.98,
+			Flags: journal.ExportHasEstimate | journal.ExportHasClock},
+		{Kind: journal.KindExport, Session: "carfi-rider-3", T: 8.0,
+			Yaw: -2.5, Position: 1, Source: 1, MatchDist: 0.040, Health: 0,
+			From: 0, To: 2, EstT: 8.0,
+			Flags: journal.ExportHasEstimate | journal.ExportHasClock | journal.ExportFailover},
+		{Kind: journal.KindExport, Session: "baseline-4", T: 0,
+			From: 0, To: 2,
+			Flags: journal.ExportFailover},
+		{Kind: journal.KindShutdown, T: 8.0},
+	}
+}
+
+// TestClusterFixtureRoundTrip pins the handoff-journal format against
+// the committed fixture, exactly as TestJournalFixtureRoundTrip pins
+// the serve journal: the fixture's records must encode to the
+// committed bytes, the committed bytes must decode back verbatim, and
+// the subcommand's report must describe the transfers they log.
+func TestClusterFixtureRoundTrip(t *testing.T) {
+	const path = "testdata/cluster.vhj"
+	var want []byte
+	for i := range fixtureClusterRecords() {
+		rec := fixtureClusterRecords()[i]
+		var err error
+		if want, err = journal.AppendRecord(want, &rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if *update {
+		if err := os.WriteFile(path, want, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("committed fixture is %d bytes, re-encoding its records gives %d — journal format drifted (rerun with -update only if the format change is intentional and release-noted)",
+			len(got), len(want))
+	}
+
+	r := journal.NewReader(bytes.NewReader(got))
+	for i, wantRec := range fixtureClusterRecords() {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if rec != wantRec {
+			t.Fatalf("record %d decoded as %+v, want %+v", i, rec, wantRec)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("after %d records: %v, want EOF", len(fixtureClusterRecords()), err)
+	}
+
+	// Recovery semantics: both failed-over sessions end handed off with
+	// the failover flag; the first drain is superseded for carfi-rider-3
+	// but baseline-0's drain stands.
+	res, err := journal.Recover(bytes.NewReader(got), int64(len(got)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CleanShutdown || res.Diag.Truncated {
+		t.Fatalf("fixture should recover clean: %+v", res.Diag)
+	}
+	b0 := res.Sessions["baseline-0"]
+	if b0 == nil || !b0.HandedOff || b0.Export.Flags&journal.ExportFailover != 0 {
+		t.Fatalf("baseline-0 = %+v", b0)
+	}
+	c3 := res.Sessions["carfi-rider-3"]
+	if c3 == nil || !c3.HandedOff || c3.Export.Flags&journal.ExportFailover == 0 || c3.Export.To != 2 {
+		t.Fatalf("carfi-rider-3 = %+v", c3)
+	}
+
+	// The report the CLI renders, with and without the membership names.
+	var out strings.Builder
+	if err := writeClusterReport(&out, path, got, []string{"car-east", "car-north", "car-south", "car-west"}); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, frag := range []string{
+		"transfers: 4  drain=2 failover=2", "(+1 non-export records)",
+		"shutdown:  clean",
+		"baseline-0", "car-north -> car-west", "12.5°",
+		"carfi-rider-3", "car-east -> car-south",
+		"baseline-4",
+	} {
+		if !strings.Contains(report, frag) {
+			t.Errorf("report missing %q:\n%s", frag, report)
+		}
+	}
+	// baseline-4 carried no snapshot: clock, yaw, and est-t all render
+	// as "-".
+	for _, line := range strings.Split(report, "\n") {
+		if strings.HasPrefix(line, "baseline-4") && strings.Count(line, "-") < 3 {
+			t.Errorf("baseline-4 should render an empty snapshot: %q", line)
+		}
+	}
+
+	out.Reset()
+	if err := writeClusterReport(&out, path, got, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "#1 -> #3") {
+		t.Errorf("unnamed membership should render indices:\n%s", out.String())
+	}
+}

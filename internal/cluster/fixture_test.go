@@ -1,0 +1,149 @@
+package cluster_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"vihot/internal/cabin"
+	"vihot/internal/core"
+	"vihot/internal/driver"
+	"vihot/internal/experiment"
+	"vihot/internal/imu"
+	"vihot/internal/serve"
+)
+
+// fixture is the shared cluster workload: one profile and five
+// sessions' item streams, plus the merged cluster-ingest timeline
+// (all sessions interleaved in stream-time order — what the router
+// actually sees).
+type fixture struct {
+	profile  *core.Profile
+	sessions []string
+	streams  map[string][]serve.Item
+	timeline []serve.Item
+}
+
+var (
+	fixOnce sync.Once
+	fix     *fixture
+	fixErr  error
+)
+
+const fixDurationS = 10.0
+
+func getFixture(t *testing.T) *fixture {
+	t.Helper()
+	fixOnce.Do(func() { fix, fixErr = buildFixture() })
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fix
+}
+
+func buildFixture() (*fixture, error) {
+	env, err := experiment.NewEnv(cabin.DefaultConfig(), 23)
+	if err != nil {
+		return nil, err
+	}
+	popt := experiment.DefaultProfileOptions()
+	popt.Positions = 4
+	popt.PerPositionS = 3
+	profile, _, err := env.CollectProfile(driver.DriverA(), popt)
+	if err != nil {
+		return nil, err
+	}
+
+	f := &fixture{profile: profile, streams: map[string][]serve.Item{}}
+	styles := []driver.Profile{driver.DriverA(), driver.DriverB(), driver.DriverC()}
+	for i := 0; i < 5; i++ {
+		id := fmt.Sprintf("driver-%02d", i)
+		items, err := renderStream(env, styles[i%len(styles)], id)
+		if err != nil {
+			return nil, err
+		}
+		f.sessions = append(f.sessions, id)
+		f.streams[id] = items
+		f.timeline = append(f.timeline, items...)
+	}
+	// Merge into the router's ingest order: stream time, then session
+	// for a total (deterministic) order at equal timestamps.
+	sort.SliceStable(f.timeline, func(i, j int) bool {
+		a, b := &f.timeline[i], &f.timeline[j]
+		if ta, tb := itemT(a), itemT(b); ta != tb {
+			return ta < tb
+		}
+		return a.Session < b.Session
+	})
+	return f, nil
+}
+
+// renderStream synthesizes one driver's interleaved CSI-phase + IMU
+// stream (no camera: the unit tests exercise routing, not fusion).
+func renderStream(env *experiment.Env, dp driver.Profile, id string) ([]serve.Item, error) {
+	sc := driver.DrivingScenario(env.RNG.Fork(), dp, fixDurationS, driver.GlanceOptions{
+		Steering:       true,
+		PositionJitter: 0.008,
+	})
+	phone := imu.NewPhoneIMU(env.RNG.Fork())
+	var items []serve.Item
+	nextIMU := 0.0
+	for _, t := range env.Timing.ArrivalTimes(env.RNG.Fork(), sc.Duration) {
+		for nextIMU <= t {
+			items = append(items, serve.Item{
+				Session: id, Kind: serve.KindIMU,
+				IMU: phone.Sample(nextIMU, sc.CarYawRateDPS(nextIMU), sc.SpeedMPS),
+			})
+			nextIMU += 0.01
+		}
+		phi, err := env.PhaseAt(sc.State(t))
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, serve.Item{Session: id, Kind: serve.KindPhase, Time: t, Phi: phi})
+	}
+	return items, nil
+}
+
+// itemT mirrors the router's notion of an item's stream time.
+func itemT(it *serve.Item) float64 {
+	switch it.Kind {
+	case serve.KindPhase:
+		return it.Time
+	case serve.KindIMU:
+		return it.IMU.Time
+	case serve.KindCamera:
+		return it.Camera.Time
+	case serve.KindFrame:
+		if it.Frame != nil {
+			return it.Frame.Time
+		}
+	}
+	return 0
+}
+
+// pushTimeline feeds items[lo:hi) of the fixture timeline in small
+// batches, the way a receiver-side pump would.
+func pushTimeline(c interface{ PushBatch([]serve.Item) }, items []serve.Item) {
+	const batch = 32
+	for len(items) > 0 {
+		n := batch
+		if n > len(items) {
+			n = len(items)
+		}
+		c.PushBatch(items[:n])
+		items = items[n:]
+	}
+}
+
+// splitAt returns the index of the first timeline item at or past
+// stream time t.
+func splitAt(items []serve.Item, t float64) int {
+	for i := range items {
+		if itemT(&items[i]) >= t {
+			return i
+		}
+	}
+	return len(items)
+}

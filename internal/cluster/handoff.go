@@ -1,0 +1,288 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"vihot/internal/journal"
+)
+
+// The handoff protocol (DESIGN.md §14). Two paths move a session:
+//
+// Drain (orderly): the source node is flushed, every session exported
+// through serve.ExportSessions (the quiesced snapshot: clock, health,
+// last estimate), each export journaled and sent as a MsgRestore to
+// the session's new owner under the shrunken ring. The source manager
+// then CloseDrains — its conservation identity closes exactly.
+//
+// Failover (detected): the dead node cannot be asked for anything, so
+// the carried estimate comes from the router's estimate-backflow
+// directory — usually at most EstimateEveryS stale, but arbitrarily
+// stale if the dead node died with a processing backlog or while its
+// pipelines were quarantined (steering events emit nothing). The
+// record's clock is therefore NOT the estimate's time but the
+// router's own stream clock at detection: the restored session must
+// resume at the stream position the fleet has actually reached, or
+// serve's far-future admission guard would reject the entire resumed
+// stream against a stale clock and the session could never recover.
+// The record is marked ExportFailover, and the node is fenced (hard
+// Close) before the ring is rebuilt, so a partitioned-but-alive
+// manager can never keep serving sessions the cluster has reassigned.
+//
+// Either way the destination restores through serve.RestoreSession
+// and the session re-enters service COASTING until its frames resume.
+
+// maybeHeartbeat runs the stream-time failure detector. Caller holds
+// mu; the clock has just advanced. Pings go out every HeartbeatS of
+// stream-time advance; a node whose last pong lags the clock by more
+// than HeartbeatMisses*HeartbeatS is declared dead and failed over.
+func (c *Cluster) maybeHeartbeat() {
+	if c.nextBeat == 0 {
+		// First clock observation anchors the schedule and the pong
+		// table: silence is measured from here, not from stream zero.
+		c.nextBeat = c.clock + c.cfg.HeartbeatS
+		c.dirMu.Lock()
+		for _, name := range c.names {
+			c.lastPong[name] = c.clock
+		}
+		c.dirMu.Unlock()
+		return
+	}
+	if c.clock < c.nextBeat {
+		return
+	}
+	c.nextBeat = c.clock + c.cfg.HeartbeatS
+	// Probe first (a reachable node's pong lands synchronously on the
+	// loopback transport, asynchronously on UDP), then judge.
+	for _, name := range c.names {
+		if c.live[name] {
+			_ = c.send(&Message{Kind: MsgPing, To: name, T: c.clock})
+		}
+	}
+	deathAfter := float64(c.cfg.HeartbeatMisses) * c.cfg.HeartbeatS
+	for _, name := range c.names {
+		if !c.live[name] {
+			continue
+		}
+		c.dirMu.Lock()
+		gap := c.clock - c.lastPong[name]
+		c.dirMu.Unlock()
+		if gap >= c.cfg.HeartbeatS {
+			c.metrics.heartbeatMisses.Add(1)
+		}
+		if gap > deathAfter {
+			c.failover(name)
+		}
+	}
+}
+
+// failover declares a node dead: fence it, rebuild the ring, and
+// reassign its sessions from the router's directory snapshots. Caller
+// holds mu.
+func (c *Cluster) failover(name string) {
+	node := c.nodes[name]
+	// Fence before reassigning: the manager is hard-closed so a
+	// partitioned-but-alive node can never race the new owner for its
+	// old sessions. Static membership means no rejoin — a fenced node
+	// stays out until the fleet restarts.
+	node.alive.Store(false)
+	node.mgr.Close()
+	c.live[name] = false
+	ring, err := c.ring.Without(name)
+	if err != nil {
+		return
+	}
+	c.ring = ring
+	c.metrics.reassignments.Add(1)
+	c.metrics.nodesLive.Set(float64(c.liveCount()))
+	c.metrics.ringPoints.Set(float64(ring.Points()))
+
+	for _, id := range c.sortedDirSessions(name) {
+		c.dirMu.Lock()
+		e := c.dir[id]
+		var snap dirEntry
+		if e != nil {
+			snap = *e
+		}
+		c.dirMu.Unlock()
+		if e == nil {
+			continue
+		}
+		dest := c.ring.Owner(id)
+		if dest == "" {
+			continue // last node died; sessions are simply lost
+		}
+		rec := journal.Record{
+			Kind:    journal.KindExport,
+			Session: id,
+			From:    c.idx[name],
+			To:      c.idx[dest],
+			Flags:   journal.ExportFailover,
+		}
+		// The restored clock is the detection-time stream clock, never
+		// the (possibly much older) estimate time: resumed items arrive
+		// at the stream position the router is at now, and seeding an
+		// older clock risks tripping the destination's far-future
+		// admission guard on every one of them.
+		if c.haveClock {
+			rec.T = c.clock
+			rec.Flags |= journal.ExportHasClock
+		} else if snap.hasEst {
+			rec.T = snap.est.Time
+			rec.Flags |= journal.ExportHasClock
+		}
+		if snap.hasEst {
+			rec.Flags |= journal.ExportHasEstimate
+			rec.EstT = snap.est.Time
+			rec.Yaw = snap.est.Yaw
+			rec.Position = snap.est.Position
+			rec.Source = snap.est.Source
+			rec.MatchDist = snap.est.MatchDist
+			rec.Health = snap.est.Health
+		}
+		c.completeHandoff(id, snap.key, name, dest, rec, true, 0)
+	}
+}
+
+// liveCount counts live members. Caller holds mu.
+func (c *Cluster) liveCount() int {
+	n := 0
+	for _, ok := range c.live {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// completeHandoff journals one export, restores it on the
+// destination, and updates the directory. Caller holds mu. A restore
+// the transport (or the fault filter) eats is not retried: the
+// directory still moves, so the session's items target the new owner
+// and surface there as DroppedUnknown — visible, not silent.
+func (c *Cluster) completeHandoff(id, key, from, dest string, rec journal.Record, failover bool, durNS int64) {
+	c.journalExport(rec)
+	_ = c.send(&Message{Kind: MsgRestore, To: dest, Session: id, Key: key, Export: rec})
+	c.dirMu.Lock()
+	if e := c.dir[id]; e != nil {
+		e.node = dest
+	}
+	c.dirMu.Unlock()
+	if failover {
+		c.metrics.handoffFailover.Add(1)
+	} else {
+		c.metrics.handoffDrain.Add(1)
+	}
+	if c.cfg.OnHandoff != nil {
+		c.cfg.OnHandoff(HandoffEvent{
+			Session: id, Key: key, From: from, To: dest,
+			T:        rec.T,
+			Failover: failover,
+			DurNS:    durNS,
+		})
+	}
+}
+
+// journalExport appends one handoff record to the coordinator journal.
+func (c *Cluster) journalExport(rec journal.Record) {
+	if c.cfg.Journal == nil {
+		return
+	}
+	if c.cfg.Journal.Append(rec) {
+		c.metrics.journalAppended.Add(1)
+	} else {
+		c.metrics.journalDropped.Add(1)
+	}
+}
+
+// DrainNode performs node maintenance: the member leaves the ring,
+// its sessions are exported (flushed, quiesced, journal-backed) and
+// restored onto their new owners, and the empty manager shuts down
+// gracefully. Returns the transfers in session order. The caller must
+// not push concurrently with a drain in deterministic mode; in
+// concurrent mode pushes serialize behind the router lock as usual.
+func (c *Cluster) DrainNode(name string) ([]HandoffEvent, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClusterClosed
+	}
+	node := c.nodes[name]
+	if node == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, name)
+	}
+	if !c.live[name] {
+		return nil, fmt.Errorf("%w: %q already down", ErrUnknownNode, name)
+	}
+	ring, err := c.ring.Without(name)
+	if err != nil {
+		return nil, err
+	}
+	// Leave the ring first: from here no new session can land on the
+	// draining node (pushes wait on mu, so no items race the export).
+	c.ring = ring
+	c.metrics.reassignments.Add(1)
+	c.metrics.ringPoints.Set(float64(ring.Points()))
+
+	recs := node.exportAll()
+	events := make([]HandoffEvent, 0, len(recs))
+	for _, rec := range recs {
+		var t0 time.Time
+		if c.cfg.MeasureHandoff {
+			t0 = time.Now()
+		}
+		id := rec.Session
+		c.dirMu.Lock()
+		e := c.dir[id]
+		key := ""
+		if e != nil {
+			key = e.key
+		}
+		c.dirMu.Unlock()
+		if e == nil {
+			// A session the node holds but the router never opened (or
+			// already closed): nothing to route to it, nothing to move.
+			continue
+		}
+		dest := c.ring.Owner(id)
+		if dest == "" {
+			continue
+		}
+		rec.From = c.idx[name]
+		rec.To = c.idx[dest]
+		node.forgetBackflow(id)
+		c.completeHandoff(id, key, name, dest, rec, false, 0)
+		var durNS int64
+		if c.cfg.MeasureHandoff {
+			// The restore lands synchronously on the loopback transport,
+			// so the stamp spans export-to-restored.
+			durNS = time.Since(t0).Nanoseconds()
+		}
+		events = append(events, HandoffEvent{Session: id, Key: key, From: name, To: dest, T: rec.T, DurNS: durNS})
+	}
+	// The node is empty (every session exported) — a graceful stop
+	// closes its books exactly.
+	node.alive.Store(false)
+	c.live[name] = false
+	node.mgr.CloseDrain()
+	c.metrics.nodesLive.Set(float64(c.liveCount()))
+	return events, nil
+}
+
+// KillNode simulates a crash: the member's manager hard-stops and its
+// endpoint refuses frames, but the router is not told — items for its
+// sessions drop (DroppedDown) until the stream-time failure detector
+// notices the silence and fails the sessions over. Tests and the
+// chaos soak use this; production nodes die by themselves.
+func (c *Cluster) KillNode(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	node := c.nodes[name]
+	if node == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, name)
+	}
+	// alive drops first so no frame can land between the two.
+	node.alive.Store(false)
+	node.mgr.Close()
+	return nil
+}

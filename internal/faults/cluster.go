@@ -1,0 +1,96 @@
+package faults
+
+import (
+	"sync"
+
+	"vihot/internal/cluster"
+	"vihot/internal/stats"
+)
+
+// Cluster-level chaos: the injector for the distributed serving
+// tier's fault filter (cluster.Config.Drop). Where the packet and CSI
+// injectors model one misbehaving sender, this one models the fabric
+// between router and nodes — partitions that cut a member off for a
+// window of stream time, and background frame loss.
+//
+// Like everything in the cluster, schedules run on stream time
+// (Message.T), so a seeded chaos run replays deterministically: same
+// config, same message order, same drops.
+
+// PartitionSpec cuts one member off from the router — both
+// directions, every message kind — for a window of stream time.
+type PartitionSpec struct {
+	// Node is the member name the partition isolates.
+	Node string
+	// Window is the [Start, End) stream-time interval of the cut.
+	Window Window
+}
+
+// ClusterConfig schedules cluster fabric faults.
+type ClusterConfig struct {
+	// Partitions are the scheduled cuts.
+	Partitions []PartitionSpec
+	// Loss is a background per-frame drop probability applied outside
+	// partitions (0 disables). Drawn from the seeded RNG, so a
+	// deterministic run replays the same losses.
+	Loss float64
+	// Seed feeds the loss RNG.
+	Seed int64
+}
+
+// ClusterChaosStats counts what the injector ate.
+type ClusterChaosStats struct {
+	PartitionDrops uint64
+	LossDrops      uint64
+}
+
+// ClusterChaos is the fault filter. Hook Drop into
+// cluster.Config.Drop; it is safe for concurrent calls.
+type ClusterChaos struct {
+	cfg ClusterConfig
+
+	mu    sync.Mutex
+	rng   *stats.RNG
+	stats ClusterChaosStats
+}
+
+// NewClusterChaos builds the injector.
+func NewClusterChaos(cfg ClusterConfig) *ClusterChaos {
+	return &ClusterChaos{cfg: cfg, rng: stats.NewRNG(cfg.Seed)}
+}
+
+// Drop reports whether the fabric eats this frame. A partitioned
+// member loses both directions: frames addressed to it (router→node)
+// and frames it sends (node→router, where To is the router's empty
+// name and From carries the member).
+func (c *ClusterChaos) Drop(m *cluster.Message) bool {
+	node := m.To
+	if node == "" {
+		node = m.From
+	}
+	for _, p := range c.cfg.Partitions {
+		if p.Node == node && p.Window.Contains(m.T) {
+			c.mu.Lock()
+			c.stats.PartitionDrops++
+			c.mu.Unlock()
+			return true
+		}
+	}
+	if c.cfg.Loss > 0 {
+		c.mu.Lock()
+		lost := c.rng.Bool(c.cfg.Loss)
+		if lost {
+			c.stats.LossDrops++
+		}
+		c.mu.Unlock()
+		return lost
+	}
+	return false
+}
+
+// Stats snapshots the drop counts.
+func (c *ClusterChaos) Stats() ClusterChaosStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,107 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestExportRecordRoundTrip pins the KindExport payload: every field
+// survives the frame, and the widest record the format allows still
+// fits the reader's payload cap.
+func TestExportRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Kind: KindExport, Session: "car-7", T: 12.25,
+			Yaw: -14.5, Position: 3, Source: 2, MatchDist: 0.041, Health: 2,
+			EstT: 12.20, From: 1, To: 3,
+			Flags: ExportHasEstimate | ExportHasClock},
+		// A failover export for a session that never produced an
+		// estimate: no estimate flag, estimate fields zero.
+		{Kind: KindExport, Session: "car-9", T: 4.0, Health: 2,
+			From: 0, To: 2, Flags: ExportHasClock | ExportFailover},
+		// A session exported before admitting anything at all.
+		{Kind: KindExport, Session: "car-0", From: 2, To: 0},
+	}
+	var framed []byte
+	for i := range recs {
+		out, err := AppendRecord(framed, &recs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		framed = out
+	}
+	jr := NewReader(bytes.NewReader(framed))
+	for i, want := range recs {
+		got, err := jr.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("record %d decoded as %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+// TestExportRecordValidation rejects the NaN hygiene violations the
+// rest of the format rejects: a non-finite export clock or estimate
+// time never reaches disk.
+func TestExportRecordValidation(t *testing.T) {
+	bad := []Record{
+		{Kind: KindExport, Session: "s", T: math.NaN()},
+		{Kind: KindExport, Session: "s", Yaw: math.Inf(1), Flags: ExportHasEstimate},
+		{Kind: KindExport, Session: "s", EstT: math.NaN()},
+	}
+	for i := range bad {
+		if _, err := AppendRecord(nil, &bad[i]); !errors.Is(err, ErrBadRecord) {
+			t.Errorf("record %d: err = %v, want ErrBadRecord", i, err)
+		}
+	}
+}
+
+// TestRecoverExport proves the recovery semantics of a handoff: the
+// exported session is closed on this node with the export record kept
+// (destination and reason included), and a later estimate under the
+// same ID — the restored session journaling again after a reopen —
+// clears the handed-off state.
+func TestRecoverExport(t *testing.T) {
+	recs := []Record{
+		estRec("alpha", 0.10, 5),
+		{Kind: KindExport, Session: "alpha", T: 0.90,
+			Yaw: 5, Source: 1, MatchDist: 0.02, Health: 1,
+			EstT: 0.10, From: 0, To: 2,
+			Flags: ExportHasEstimate | ExportHasClock},
+		{Kind: KindExport, Session: "beta", T: 0.95, Health: 2,
+			From: 0, To: 1, Flags: ExportHasClock | ExportFailover},
+		estRec("beta", 1.40, -2),
+	}
+	var framed []byte
+	for i := range recs {
+		out, err := AppendRecord(framed, &recs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		framed = out
+	}
+	res, err := Recover(bytes.NewReader(framed), int64(len(framed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[KindExport] != 2 {
+		t.Fatalf("export count = %d, want 2", res.Counts[KindExport])
+	}
+	a := res.Sessions["alpha"]
+	if a == nil || !a.Closed || !a.HandedOff || a.Reaped {
+		t.Fatalf("alpha = %+v, want closed+handed-off", a)
+	}
+	if a.Export.To != 2 || a.Export.Flags&ExportFailover != 0 || a.Health != 1 {
+		t.Fatalf("alpha export = %+v", a.Export)
+	}
+	b := res.Sessions["beta"]
+	if b == nil || b.Closed || b.HandedOff {
+		t.Fatalf("beta = %+v, want reopened (estimate after export)", b)
+	}
+	if live := res.Live(); len(live) != 1 || live[0] != "beta" {
+		t.Fatalf("live = %v, want [beta]", live)
+	}
+}

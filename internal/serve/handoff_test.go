@@ -1,0 +1,155 @@
+package serve_test
+
+import (
+	"errors"
+	"testing"
+
+	"vihot/internal/core"
+	"vihot/internal/journal"
+	"vihot/internal/serve"
+)
+
+// TestHandoffSnapshotRestoreRoundTrip is the handoff seam in
+// isolation, no cluster in the loop: export a live session from one
+// manager, restore it on another, and prove the snapshot carried the
+// session clock, health, last estimate, and profile identity — then
+// that the restored session recovers to HEALTHY once its stream
+// resumes.
+func TestHandoffSnapshotRestoreRoundTrip(t *testing.T) {
+	f := getFixture(t)
+	const id = "driver-a"
+	items := f.streams[id]
+	half := len(items) / 2
+
+	src := serve.New(serve.Config{Deterministic: true})
+	defer src.Close()
+	if err := src.Open(id, f.profile, core.DefaultPipelineConfig()); err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items[:half] {
+		src.Push(it)
+	}
+	src.Flush()
+
+	snap, err := src.ExportSession(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Kind != journal.KindExport || snap.Session != id {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.Flags&journal.ExportHasClock == 0 || snap.T <= 0 {
+		t.Fatalf("snapshot carries no clock: %+v", snap)
+	}
+	if snap.Flags&journal.ExportHasEstimate == 0 || snap.EstT <= 0 {
+		t.Fatalf("snapshot carries no estimate: %+v", snap)
+	}
+	if h, ok := src.Health(id); !ok || uint8(h) != snap.Health {
+		t.Fatalf("snapshot health %d, live session %v", snap.Health, h)
+	}
+
+	dst := serve.New(serve.Config{Deterministic: true})
+	defer dst.Close()
+	if err := dst.RestoreSession(id, f.profile, core.DefaultPipelineConfig(), snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restored session coasts until frames resume.
+	if h, ok := dst.Health(id); !ok || h != serve.Coasting {
+		t.Fatalf("restored health = %v (%v), want coasting", h, ok)
+	}
+	// Profile identity: the restore adopted the same shared instance.
+	if p, ok := dst.Profile(id); !ok || p != f.profile {
+		t.Fatalf("restored profile instance differs")
+	}
+	// Re-exporting reproduces the snapshot's clock and estimate: the
+	// transferable state survived the round trip bit for bit.
+	again, err := dst.ExportSession(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.T != snap.T || again.EstT != snap.EstT || again.Yaw != snap.Yaw ||
+		again.Position != snap.Position || again.Source != snap.Source ||
+		again.MatchDist != snap.MatchDist || again.Flags != snap.Flags {
+		t.Fatalf("re-export = %+v, want the restored snapshot %+v", again, snap)
+	}
+	if again.Health != uint8(serve.Coasting) {
+		t.Fatalf("re-export health = %d, want coasting", again.Health)
+	}
+
+	// Resume the stream: the standard recovery path (tracker reset,
+	// DEGRADED hold, then HEALTHY) brings the session all the way back.
+	for _, it := range items[half:] {
+		dst.Push(it)
+	}
+	dst.Flush()
+	if h, ok := dst.Health(id); !ok || h != serve.Healthy {
+		t.Fatalf("resumed health = %v, want healthy", h)
+	}
+	snapc := dst.Counters().Snapshot()
+	if snapc.TrackerResets == 0 || snapc.Recoveries == 0 || snapc.Estimates == 0 {
+		t.Fatalf("resume books: %+v", snapc)
+	}
+}
+
+// TestExportSessionsDeterministicOrder pins the drain ordering
+// guarantee: exports come out sorted by session ID regardless of
+// shard placement or map iteration.
+func TestExportSessionsDeterministicOrder(t *testing.T) {
+	f := getFixture(t)
+	m := serve.New(serve.Config{Shards: 4})
+	defer m.Close()
+	ids := []string{"zeta", "alpha", "mid-7", "beta"}
+	for _, id := range ids {
+		if err := m.Open(id, f.profile, core.DefaultPipelineConfig()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := m.ExportSessions()
+	if len(recs) != len(ids) {
+		t.Fatalf("exported %d sessions, want %d", len(recs), len(ids))
+	}
+	want := []string{"alpha", "beta", "mid-7", "zeta"}
+	for i, rec := range recs {
+		if rec.Session != want[i] {
+			t.Fatalf("export %d = %q, want %q", i, rec.Session, want[i])
+		}
+		// Never fed: no clock, no estimate, restores fresh.
+		if rec.Flags != 0 {
+			t.Fatalf("idle export %q flags = %d, want 0", rec.Session, rec.Flags)
+		}
+	}
+}
+
+// TestRestoreSessionErrors covers the refusal cases: wrong record
+// kind, duplicate ID, empty ID, unknown export source — and that a
+// clockless snapshot restores as a fresh (HEALTHY, not coasting)
+// session.
+func TestRestoreSessionErrors(t *testing.T) {
+	f := getFixture(t)
+	m := serve.New(serve.Config{Deterministic: true})
+	defer m.Close()
+
+	if _, err := m.ExportSession("ghost"); !errors.Is(err, serve.ErrUnknownSession) {
+		t.Fatalf("export ghost: %v", err)
+	}
+	if err := m.RestoreSession("", f.profile, core.DefaultPipelineConfig(),
+		journal.Record{Kind: journal.KindExport}); !errors.Is(err, serve.ErrNoSessionID) {
+		t.Fatalf("empty id: %v", err)
+	}
+	if err := m.RestoreSession("x", f.profile, core.DefaultPipelineConfig(),
+		journal.Record{Kind: journal.KindClose}); !errors.Is(err, journal.ErrBadRecord) {
+		t.Fatalf("wrong kind: %v", err)
+	}
+
+	fresh := journal.Record{Kind: journal.KindExport, Session: "x"}
+	if err := m.RestoreSession("x", f.profile, core.DefaultPipelineConfig(), fresh); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := m.Health("x"); h != serve.Healthy {
+		t.Fatalf("clockless restore health = %v, want healthy", h)
+	}
+	if err := m.RestoreSession("x", f.profile, core.DefaultPipelineConfig(), fresh); !errors.Is(err, serve.ErrDuplicateID) {
+		t.Fatalf("duplicate restore: %v", err)
+	}
+}

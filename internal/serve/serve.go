@@ -380,8 +380,8 @@ type session struct {
 	// reapRef anchors the idle-TTL sweep for a session that has never
 	// admitted an item (so has no clock of its own): the shard stream
 	// time at which a sweep first saw it. Worker-only, like the rest.
-	reapRef  float64
-	haveRef  bool
+	reapRef float64
+	haveRef bool
 }
 
 // shard is one worker's world: a bounded FIFO ring of items plus the
@@ -573,33 +573,42 @@ func (m *Manager) Open(id string, profile *core.Profile, cfg core.PipelineConfig
 	if err != nil {
 		return fmt.Errorf("serve: open %q: %w", id, err)
 	}
-	sh := m.shardFor(id)
+	return m.adopt(&session{id: id, pl: pl, mirror: m.cfg.Journal != nil})
+}
+
+// adopt registers a fully built session with its shard. It is the
+// single registration path — Open builds a fresh session, a cluster
+// RestoreSession builds a pre-seeded one — so every session enters
+// service through the same shutdown-atomic sequence.
+func (m *Manager) adopt(s *session) error {
+	sh := m.shardFor(s.id)
 	sh.mu.Lock()
 	// Close marks every shard closed under its own mutex, so checking
-	// here (not just m.closed above) makes registration atomic with
-	// shutdown: a session can never land on a shard whose worker has
-	// already been told to exit and so would never drain it.
+	// here (not just m.closed in the caller) makes registration atomic
+	// with shutdown: a session can never land on a shard whose worker
+	// has already been told to exit and so would never drain it.
 	if sh.closed {
 		sh.mu.Unlock()
 		return ErrClosed
 	}
-	if _, ok := sh.sessions[id]; ok {
+	if _, ok := sh.sessions[s.id]; ok {
 		sh.mu.Unlock()
-		return fmt.Errorf("%w: %q", ErrDuplicateID, id)
+		return fmt.Errorf("%w: %q", ErrDuplicateID, s.id)
 	}
 	// The pipeline's tracker adopts the shard's shared scratch before
 	// any worker touches it; results are unchanged (matcher state does
 	// not carry between calls).
-	pl.Tracker().SetMatcher(sh.matcher)
+	s.pl.Tracker().SetMatcher(sh.matcher)
 	if m.obs != nil {
 		// Stage observers run on the shard worker that owns the
 		// pipeline; histograms and the tracer absorb the concurrency.
 		mo := m.obs
-		pl.SetStageObserver(func(stage string, streamT float64, durNS int64) {
+		id := s.id
+		s.pl.SetStageObserver(func(stage string, streamT float64, durNS int64) {
 			mo.stage(id, stage, streamT, durNS)
 		})
 	}
-	sh.sessions[id] = &session{id: id, pl: pl, mirror: m.cfg.Journal != nil}
+	sh.sessions[s.id] = s
 	// Bookkeeping nests inside sh.mu (lock order: shard before
 	// manager, never the reverse) so the count and gauge move
 	// atomically with the registration — Close's purge can therefore
