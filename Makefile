@@ -3,14 +3,34 @@
 
 GO ?= go
 
-.PHONY: verify build test race vet cover fuzz-smoke bench-obs bench-profilestore bench-journal bench-cluster
+.PHONY: verify build test race vet lint-walltime cover fuzz-smoke bench-obs bench-profilestore bench-journal bench-cluster
 
-# verify is the tier-1 gate: vet + build + full test suite + the race
-# runs that give the concurrency and fault-injection tests their teeth.
-verify: vet build test race
+# verify is the tier-1 gate: vet + the walltime lint + build + full
+# test suite + the race runs that give the concurrency and
+# fault-injection tests their teeth.
+verify: vet lint-walltime build test race
 
 vet:
 	$(GO) vet ./...
+
+# The deterministic packages must never read wall clocks: replay,
+# golden traces, and the stream-time failure detector all depend on
+# stream time alone. The allowlisted files are the known observability
+# seams — stage-latency instrumentation that only runs when obs hooks
+# are installed (core/pipeline.go, core/tracker.go) and the opt-in
+# MeasureHandoff bench path (cluster/handoff.go). Anything else is a
+# determinism regression and fails the gate.
+WALLTIME_PKGS = internal/core internal/dtw internal/csi internal/dsp internal/scenario internal/cluster
+lint-walltime:
+	@found=`grep -rn 'time\.Now' $(WALLTIME_PKGS) --include='*.go' \
+		| grep -v '_test\.go' \
+		| grep -v -e '^internal/core/pipeline\.go:' \
+		          -e '^internal/core/tracker\.go:' \
+		          -e '^internal/cluster/handoff\.go:' || true`; \
+	if [ -n "$$found" ]; then \
+		echo "lint-walltime: wall-clock reads in deterministic packages:"; \
+		echo "$$found"; exit 1; \
+	fi; echo "lint-walltime: clean"
 
 build:
 	$(GO) build ./...
@@ -21,9 +41,10 @@ test:
 # The serving engine's stress/soak tests, the fault injector (now
 # including the crash-recovery soak), the metrics registry (scraped
 # concurrently with the hot path), the profile store's cold-key
-# storms, the scenario generator's concurrent replay, the write-behind
-# journal's concurrent appenders, and the cluster's partition/failover
-# chaos soak only mean something under the race detector.
+# storms and per-policy invalidate-vs-inflight-load races, the
+# scenario generator's concurrent replay, the write-behind journal's
+# concurrent appenders, and the cluster's partition/failover chaos
+# soak only mean something under the race detector.
 race:
 	$(GO) test -race ./internal/serve ./internal/faults ./internal/obs ./internal/profilestore ./internal/scenario ./internal/journal ./internal/cluster
 

@@ -27,6 +27,7 @@ import (
 	"vihot/internal/cluster"
 	"vihot/internal/core"
 	"vihot/internal/journal"
+	"vihot/internal/profilestore"
 	"vihot/internal/scenario"
 	"vihot/internal/serve"
 )
@@ -63,20 +64,13 @@ func run(nodes, sessions int, names string, duration, drainT, killT float64, jou
 		}
 		cfgs = append(cfgs, cfg)
 	}
-	profiles := make(map[string]*core.Profile)
+	cfgByName := make(map[string]scenario.Config)
 	keys := make(map[string]string)
 	var ids []string
 	var timeline []serve.Item
 	for i := 0; i < sessions; i++ {
 		cfg := cfgs[i%len(cfgs)]
-		if profiles[cfg.Name] == nil {
-			fmt.Printf("profiling %s ...\n", cfg.Name)
-			p, err := cfg.CollectProfile()
-			if err != nil {
-				return err
-			}
-			profiles[cfg.Name] = p
-		}
+		cfgByName[cfg.Name] = cfg
 		id := fmt.Sprintf("%s-%d", cfg.Name, i)
 		st, err := cfg.BuildStream(id, i)
 		if err != nil {
@@ -130,12 +124,30 @@ func run(nodes, sessions int, names string, duration, drainT, killT float64, jou
 	}
 	defer c.Close()
 
-	for _, id := range ids {
-		if err := c.Open(id, keys[id], profiles[keys[id]]); err != nil {
+	// Profiles resolve lazily through a loader-backed store: OpenMany's
+	// batch dedup guarantees one CollectProfile per scenario no matter
+	// how many sessions share it, and the cluster replicates each key to
+	// its members exactly once.
+	store := profilestore.New(profilestore.Config{
+		Loader: profilestore.LoaderFunc(func(name string) (*core.Profile, error) {
+			cfg, ok := cfgByName[name]
+			if !ok {
+				return nil, fmt.Errorf("unknown scenario %q", name)
+			}
+			fmt.Printf("profiling %s ...\n", name)
+			return cfg.CollectProfile()
+		}),
+	})
+	opens := make([]serve.KeyedOpen, len(ids))
+	for i, id := range ids {
+		opens[i] = serve.KeyedOpen{ID: id, Key: keys[id]}
+	}
+	for i, err := range c.OpenMany(opens, store) {
+		if err != nil {
 			return err
 		}
-		owner, _ := c.Owner(id)
-		fmt.Printf("open %-24s -> %s\n", id, owner)
+		owner, _ := c.Owner(ids[i])
+		fmt.Printf("open %-24s -> %s\n", ids[i], owner)
 	}
 
 	// The chaos targets are ring facts: drain hits the busiest member,

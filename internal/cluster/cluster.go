@@ -320,6 +320,52 @@ func (c *Cluster) Open(session, key string, p *core.Profile) error {
 	if c.closed {
 		return ErrClusterClosed
 	}
+	return c.openLocked(session, key, p)
+}
+
+// OpenMany admits a fleet in one pass: every distinct profile key
+// resolves through one profiles.GetMany (M loader calls for N
+// sessions, cold loads overlapping), then each session opens under a
+// single acquisition of the routing lock — replication still happens
+// once per key, ever. The returned slice aligns with opens; a broken
+// profile or bad open fails only its own slot.
+func (c *Cluster) OpenMany(opens []serve.KeyedOpen, profiles *profilestore.Store) []error {
+	errs := make([]error, len(opens))
+	if len(opens) == 0 {
+		return errs
+	}
+	// Resolve profiles before taking mu: loads may hit disk, and the
+	// routing lock gates the whole data plane.
+	keys := make([]string, len(opens))
+	for i, o := range opens {
+		keys[i] = o.Key
+	}
+	ps, perrs := profiles.GetMany(keys)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		for i := range errs {
+			errs[i] = ErrClusterClosed
+		}
+		return errs
+	}
+	for i, o := range opens {
+		if o.ID == "" || o.Key == "" {
+			errs[i] = fmt.Errorf("cluster: open needs session and key")
+			continue
+		}
+		if perrs[i] != nil {
+			errs[i] = fmt.Errorf("cluster: resolve profile %q for %q: %w", o.Key, o.ID, perrs[i])
+			continue
+		}
+		errs[i] = c.openLocked(o.ID, o.Key, ps[i])
+	}
+	return errs
+}
+
+// openLocked is the admission body shared by Open and OpenMany.
+// Caller holds mu and has checked closed.
+func (c *Cluster) openLocked(session, key string, p *core.Profile) error {
 	if !c.repl[key] {
 		var buf bytes.Buffer
 		if err := core.WriteProfile(&buf, p); err != nil {

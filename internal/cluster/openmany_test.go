@@ -1,0 +1,123 @@
+package cluster_test
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"vihot/internal/cluster"
+	"vihot/internal/core"
+	"vihot/internal/profilestore"
+	"vihot/internal/serve"
+)
+
+// TestClusterOpenMany is the fleet-admission acceptance test: opening
+// N sessions over M distinct profile keys resolves through exactly M
+// loader calls, every session lands on its ring owner, and the stream
+// then serves normally.
+func TestClusterOpenMany(t *testing.T) {
+	f := getFixture(t)
+	const distinct = 2
+	var calls atomic.Int64
+	store := profilestore.New(profilestore.Config{
+		Loader: profilestore.LoaderFunc(func(key string) (*core.Profile, error) {
+			calls.Add(1)
+			return f.profile, nil
+		}),
+	})
+	c, err := cluster.New(cluster.Config{
+		Nodes:         []string{"n0", "n1", "n2"},
+		Deterministic: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	opens := make([]serve.KeyedOpen, len(f.sessions))
+	for i, id := range f.sessions {
+		opens[i] = serve.KeyedOpen{ID: id, Key: fmt.Sprintf("cab-%d", i%distinct)}
+	}
+	for i, err := range c.OpenMany(opens, store) {
+		if err != nil {
+			t.Fatalf("open %d (%s): %v", i, opens[i].ID, err)
+		}
+	}
+	if n := calls.Load(); n != distinct {
+		t.Errorf("loader calls = %d, want exactly %d for %d sessions", n, distinct, len(opens))
+	}
+	if got := c.Sessions(); got != len(f.sessions) {
+		t.Fatalf("Sessions() = %d, want %d", got, len(f.sessions))
+	}
+
+	pushTimeline(c, f.timeline)
+	c.Flush()
+	st := c.Stats()
+	if st.Delivered != st.Routed || st.Routed != uint64(len(f.timeline)) {
+		t.Fatalf("unclean books after batch open: %+v", st)
+	}
+	for _, id := range f.sessions {
+		if h, ok := c.Health(id); !ok || h != serve.Healthy {
+			t.Fatalf("%s: health %v, want healthy", id, h)
+		}
+	}
+}
+
+// TestClusterOpenManyPerOpenErrors: bad slots fail alone — the rest
+// of the fleet admits and serves.
+func TestClusterOpenManyPerOpenErrors(t *testing.T) {
+	f := getFixture(t)
+	boom := errors.New("profile vault sealed")
+	store := profilestore.New(profilestore.Config{
+		Loader: profilestore.LoaderFunc(func(key string) (*core.Profile, error) {
+			if key == "bad" {
+				return nil, boom
+			}
+			return f.profile, nil
+		}),
+	})
+	c, err := cluster.New(cluster.Config{
+		Nodes:         []string{"n0", "n1"},
+		Deterministic: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	opens := []serve.KeyedOpen{
+		{ID: f.sessions[0], Key: "good"},
+		{ID: "", Key: "good"},
+		{ID: f.sessions[1], Key: ""},
+		{ID: f.sessions[2], Key: "bad"},
+		{ID: f.sessions[3], Key: "good"},
+	}
+	errs := c.OpenMany(opens, store)
+	if errs[0] != nil {
+		t.Errorf("slot 0: %v", errs[0])
+	}
+	if errs[1] == nil || errs[2] == nil {
+		t.Errorf("empty session/key accepted: %v / %v", errs[1], errs[2])
+	}
+	if !errors.Is(errs[3], boom) {
+		t.Errorf("slot 3 err = %v, want the loader's error", errs[3])
+	}
+	if errs[4] != nil {
+		t.Errorf("slot 4: %v", errs[4])
+	}
+	if got := c.Sessions(); got != 2 {
+		t.Errorf("Sessions() = %d, want 2", got)
+	}
+
+	// Empty batch is a no-op; a closed cluster refuses every slot.
+	if errs := c.OpenMany(nil, store); len(errs) != 0 {
+		t.Errorf("nil batch returned %d errors", len(errs))
+	}
+	c.Close()
+	for i, err := range c.OpenMany(opens[:1], store) {
+		if !errors.Is(err, cluster.ErrClusterClosed) {
+			t.Errorf("closed slot %d err = %v, want ErrClusterClosed", i, err)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"vihot/internal/envelope"
 )
@@ -198,17 +199,43 @@ func ValidateProfile(p *Profile) error {
 	return nil
 }
 
-// SaveProfile writes a profile to a file in the current format.
-func SaveProfile(path string, p *Profile) error {
-	f, err := os.Create(path)
+// SaveProfile writes a profile to a file in the current format,
+// atomically: the bytes land in a temp file in the same directory
+// (same filesystem, so the final step is a true rename), are fsynced,
+// and only then replace path. A crash — or a profile that fails
+// validation mid-write — never leaves a torn file at path: readers
+// see either the old complete profile or the new one.
+func SaveProfile(path string, p *Profile) (err error) {
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	f, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := WriteProfile(f, p); err != nil {
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	// CreateTemp uses 0600; match os.Create's umask-honoring default so
+	// the atomic path is a drop-in for the old one.
+	if err = f.Chmod(0o644); err != nil {
 		return err
 	}
-	return f.Sync()
+	if err = WriteProfile(f, p); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	// Close errors surface: on some filesystems close is where delayed
+	// write failures report, and renaming an unflushed temp over the
+	// real file would trade a torn write for a silent one.
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // LoadProfile reads a profile (either encoding) from a file.

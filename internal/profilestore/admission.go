@@ -1,0 +1,74 @@
+package profilestore
+
+// Doorkeeper admission: a small per-shard recency sketch that stands
+// between a freshly loaded profile and a full cache. Plain LRU (and
+// even LFU, for brand-new keys) lets a burst of one-shot keys — a
+// fleet scan, a misrouted rider churn — evict established hot driver
+// styles one insert at a time. The doorkeeper makes first-touch keys
+// prove themselves: the first load of an unknown key while the shard
+// is full is handed to the caller but NOT cached (only its 32-bit key
+// fingerprint is remembered); a second touch within the sketch's
+// memory admits it for real. Hot profiles therefore can only be
+// displaced by keys that came back — never by a key seen once.
+//
+// The sketch is a direct-mapped tag table: slot = fp & mask, holding
+// the full 32-bit fingerprint. Collisions overwrite, which is the
+// aging mechanism — a busy keyspace naturally forgets old one-shots.
+// False positives (two keys sharing slot AND tag) admit early, which
+// is harmless; false "negatives" cannot occur for a key whose tag is
+// still resident. While the shard has free capacity the doorkeeper is
+// bypassed entirely: there is nothing to protect, and a cold fleet
+// warms at full speed. Put also bypasses it — an explicit publish
+// (cluster replication, cache warming) is its own admission decision.
+type doorkeeper struct {
+	tags []uint32
+	mask uint32
+}
+
+// doorSlotsPerCap sizes the sketch: 4 tag slots per cache slot keeps
+// the collision rate low enough that a genuinely re-touched key is
+// still remembered by its second access under ~4× capacity of
+// interleaved churn.
+const doorSlotsPerCap = 4
+
+func newDoorkeeper(capacity int) *doorkeeper {
+	n := 1
+	for n < capacity*doorSlotsPerCap {
+		n <<= 1
+	}
+	return &doorkeeper{tags: make([]uint32, n), mask: uint32(n - 1)}
+}
+
+// fingerprint32 hashes a key for the sketch (FNV-1a 32, same family
+// as the shard router but kept separate so shard skew and sketch
+// collisions stay uncorrelated — the sketch mixes with a final
+// avalanche round).
+func fingerprint32(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	// One xorshift-multiply round so keys that share an FNV prefix
+	// don't also share sketch slots.
+	h ^= h >> 15
+	h *= 0x2c1b3c6d
+	h ^= h >> 12
+	if h == 0 {
+		h = 1 // 0 is the empty-slot sentinel
+	}
+	return h
+}
+
+// admit consults and updates the sketch for one insert attempt while
+// the shard is full. It reports whether the key has been seen
+// recently (admit) and records the key's tag either way.
+func (d *doorkeeper) admit(key string) bool {
+	fp := fingerprint32(key)
+	slot := fp & d.mask
+	if d.tags[slot] == fp {
+		return true
+	}
+	d.tags[slot] = fp
+	return false
+}

@@ -1,0 +1,194 @@
+package profilestore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"vihot/internal/core"
+)
+
+// TestGetManyFleetOpen is the batch acceptance test: N session keys
+// drawn from M distinct profiles cost exactly M loader calls, and
+// duplicate keys share one instance.
+func TestGetManyFleetOpen(t *testing.T) {
+	const (
+		sessions = 64
+		distinct = 4
+	)
+	cl := &countingLoader{t: t}
+	s := New(Config{Capacity: 16, Loader: cl})
+	keys := make([]string, sessions)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("style-%d", i%distinct)
+	}
+	ps, errs := s.GetMany(keys)
+	if len(ps) != sessions || len(errs) != sessions {
+		t.Fatalf("result lengths %d/%d, want %d", len(ps), len(errs), sessions)
+	}
+	for i := range keys {
+		if errs[i] != nil {
+			t.Fatalf("key %d (%s): %v", i, keys[i], errs[i])
+		}
+		if ps[i] == nil {
+			t.Fatalf("key %d (%s): nil profile", i, keys[i])
+		}
+		if ps[i] != ps[i%distinct] {
+			t.Errorf("key %d does not share its style's instance", i)
+		}
+	}
+	if calls := cl.calls.Load(); calls != distinct {
+		t.Errorf("loader calls = %d, want exactly %d", calls, distinct)
+	}
+	if st := s.Stats(); st.Loads != distinct || st.Misses != distinct {
+		t.Errorf("stats: %+v, want %d loads/misses", st, distinct)
+	}
+}
+
+// TestGetManyPerKeyErrors: one broken profile fails its own slot, not
+// the batch.
+func TestGetManyPerKeyErrors(t *testing.T) {
+	boom := errors.New("disk on fire")
+	cl := &countingLoader{t: t, fail: map[string]error{"bad": boom}}
+	s := New(Config{Loader: cl})
+	ps, errs := s.GetMany([]string{"good", "bad", "", "good", "bad"})
+	if errs[0] != nil || ps[0] == nil {
+		t.Errorf("good: %v", errs[0])
+	}
+	if !errors.Is(errs[1], boom) || ps[1] != nil {
+		t.Errorf("bad err = %v", errs[1])
+	}
+	if !errors.Is(errs[2], ErrEmptyKey) {
+		t.Errorf("empty key err = %v", errs[2])
+	}
+	if ps[3] != ps[0] || errs[3] != nil {
+		t.Error("duplicate good key did not share the resolution")
+	}
+	if !errors.Is(errs[4], boom) {
+		t.Errorf("duplicate bad key err = %v", errs[4])
+	}
+	if calls := cl.calls.Load(); calls != 2 {
+		t.Errorf("loader calls = %d, want 2 (good once, bad once)", calls)
+	}
+	// Errors are not negative-cached, batch or not.
+	delete(cl.fail, "bad")
+	if _, errs := s.GetMany([]string{"bad"}); errs[0] != nil {
+		t.Errorf("retry after transient failure: %v", errs[0])
+	}
+}
+
+// TestGetManyWithoutLoader: cold keys fail per-slot with ErrNoLoader,
+// cached keys still resolve.
+func TestGetManyWithoutLoader(t *testing.T) {
+	s := New(Config{})
+	warm := synthProfile(t, 1, 3)
+	if err := s.Put("warm", warm); err != nil {
+		t.Fatal(err)
+	}
+	ps, errs := s.GetMany([]string{"warm", "cold"})
+	if errs[0] != nil || ps[0] != warm {
+		t.Errorf("warm: %v, %v", ps[0], errs[0])
+	}
+	if !errors.Is(errs[1], ErrNoLoader) {
+		t.Errorf("cold err = %v, want ErrNoLoader", errs[1])
+	}
+}
+
+// TestGetManyJoinsInflightGet: a batch overlapping a concurrent Get's
+// in-flight load joins that flight instead of reloading.
+func TestGetManyJoinsInflightGet(t *testing.T) {
+	gl := newGatedLoader(t)
+	s := New(Config{Loader: gl})
+
+	var (
+		single     *core.Profile
+		singleDone = make(chan struct{})
+	)
+	go func() {
+		defer close(singleDone)
+		single, _ = s.Get("shared")
+	}()
+	<-gl.started // the Get owns the "shared" flight now
+
+	var (
+		ps        []*core.Profile
+		errs      []error
+		batchDone = make(chan struct{})
+	)
+	go func() {
+		defer close(batchDone)
+		ps, errs = s.GetMany([]string{"shared", "solo"})
+	}()
+	<-gl.started // the batch's own "solo" load started
+	gl.release <- struct{}{}
+	gl.release <- struct{}{}
+	<-singleDone
+	<-batchDone
+
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("batch errors: %v", errs)
+	}
+	if ps[0] != single {
+		t.Error("batch did not receive the in-flight Get's instance")
+	}
+	if n := gl.count("shared"); n != 1 {
+		t.Errorf("shared loaded %d times, want 1", n)
+	}
+	if n := gl.count("solo"); n != 1 {
+		t.Errorf("solo loaded %d times, want 1", n)
+	}
+}
+
+// TestGetManyConcurrentBatches storms overlapping batches from many
+// goroutines: still one load per distinct key, same instance
+// everywhere — the cold-storm guarantee, batched. Run under -race.
+func TestGetManyConcurrentBatches(t *testing.T) {
+	const (
+		batches  = 16
+		distinct = 8
+	)
+	cl := &countingLoader{t: t}
+	s := New(Config{Capacity: 32, Loader: cl})
+	keys := make([]string, distinct*2)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("style-%d", i%distinct)
+	}
+
+	var (
+		wg   sync.WaitGroup
+		gate = make(chan struct{})
+	)
+	results := make([][]*core.Profile, batches)
+	wg.Add(batches)
+	for b := 0; b < batches; b++ {
+		go func(b int) {
+			defer wg.Done()
+			<-gate
+			ps, errs := s.GetMany(keys)
+			for i, err := range errs {
+				if err != nil {
+					t.Errorf("batch %d key %d: %v", b, i, err)
+					return
+				}
+			}
+			results[b] = ps
+		}(b)
+	}
+	close(gate)
+	wg.Wait()
+
+	if calls := cl.calls.Load(); calls != distinct {
+		t.Errorf("loader calls = %d, want %d across %d concurrent batches", calls, distinct, batches)
+	}
+	for b := 1; b < batches; b++ {
+		for i := range keys {
+			if results[b] == nil {
+				break
+			}
+			if results[b][i] != results[0][i] {
+				t.Fatalf("batch %d key %d got a different instance", b, i)
+			}
+		}
+	}
+}

@@ -67,7 +67,10 @@ func (dl *DirLoader) Load(key string) (*core.Profile, error) {
 
 // Save writes a profile for key into the loader's directory in the
 // current format, creating the directory if needed — the write half
-// of the directory layout, used by profiling tools and tests.
+// of the directory layout, used by profiling tools and tests. The
+// write goes through core.SaveProfile's atomic temp+fsync+rename
+// path, so overwriting a profile a concurrent Load is reading (or
+// crashing mid-save) can never expose a torn file.
 func (dl *DirLoader) Save(key string, p *core.Profile) error {
 	path, err := dl.Path(key)
 	if err != nil {

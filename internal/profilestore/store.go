@@ -1,8 +1,8 @@
 // Package profilestore resolves driver profiles by key (driver or
-// cabin ID) through a sharded LRU cache of immutable, fingerprinted
-// *core.Profile instances — the profile lifecycle layer a fleet
-// server needs between "millions of drivers on disk" and "thousands
-// of open tracking sessions in RAM".
+// cabin ID) through a sharded, policy-pluggable cache of immutable,
+// fingerprinted *core.Profile instances — the profile lifecycle layer
+// a fleet server needs between "millions of drivers on disk" and
+// "thousands of open tracking sessions in RAM".
 //
 // # Sharing model
 //
@@ -15,6 +15,18 @@
 // GC, not the cache, owns lifetime), so evicting a hot driver can
 // never invalidate an open session.
 //
+// # Eviction policies and admission
+//
+// Config.Policy selects the per-shard eviction strategy: LRU (the
+// default, bit-identical to the store's original behavior), LFU
+// (frequency buckets; a one-shot key can never displace a profile
+// with hit history), or 2Q (FIFO probation plus a protected main
+// queue; scans churn probation only). Config.Admission additionally
+// arms a doorkeeper — a small recency sketch that refuses to cache a
+// first-touch key while the shard is full, so churny fleet workloads
+// (ride-share rider profiles, mixed cabins) cannot erode the hot set
+// one insert at a time. See policy.go and admission.go.
+//
 // # Concurrency
 //
 // Keys hash onto independent shards (FNV-1a, like serve's session
@@ -25,15 +37,20 @@
 // the first Get for a key starts the loader, concurrent Gets for the
 // same key park on that flight's done channel, and all of them
 // receive the one loaded instance — N racing opens cost one disk
-// read, never N.
+// read, never N. GetMany extends the same dedup across a batch: a
+// fleet open of N sessions over M distinct keys performs exactly M
+// loader calls, cold loads overlapping.
 //
 // # Metrics
 //
 // With Config.Metrics set the store exports
-// vihot_profilestore_{hits,misses,evictions,loads,load_errors}_total,
-// the vihot_profilestore_bytes / _profiles gauges, and a
-// vihot_profilestore_load_seconds latency histogram. Without it the
-// same counters back Stats() from a private registry.
+// vihot_profilestore_{hits,misses,evictions,loads,load_errors,
+// admission_rejected,doorkeeper_admits}_total, the
+// vihot_profilestore_bytes / _profiles gauges, and a
+// vihot_profilestore_load_seconds latency histogram — every series
+// labelled policy="lru"|"lfu"|"2q" so policies can be compared on one
+// dashboard. Without it the same counters back Stats() from a private
+// registry.
 package profilestore
 
 import (
@@ -76,11 +93,21 @@ type Config struct {
 	// Shards is the number of independent cache shards. Default 8.
 	Shards int
 	// Capacity is the maximum number of cached profiles across all
-	// shards; when a shard exceeds its slice the least-recently-used
-	// entry is evicted. Default 256. Capacity is advisory per shard
-	// (each shard holds up to ceil(Capacity/Shards) entries), so a
-	// pathological key distribution can cap slightly below Capacity.
+	// shards; when a shard exceeds its slice the policy's victim is
+	// evicted. Default 256. Capacity is advisory per shard (each shard
+	// holds up to ceil(Capacity/Shards) entries), so a pathological
+	// key distribution can cap slightly below Capacity.
 	Capacity int
+	// Policy selects the eviction strategy: PolicyLRU (default,
+	// behavior-identical to the pre-policy store), PolicyLFU, or
+	// Policy2Q. See the Policy docs for when each wins.
+	Policy Policy
+	// Admission arms the doorkeeper: while a shard is full, the first
+	// load of an unknown key is returned to the caller but not cached;
+	// only a key touched twice within the sketch's memory may evict an
+	// established profile. Put bypasses admission (an explicit publish
+	// is its own decision), as does 2Q's ghost-queue second chance.
+	Admission bool
 	// Loader resolves cache misses. Optional: a store without one is a
 	// pure cache fed by Put, and Get on a cold key fails ErrNoLoader.
 	Loader Loader
@@ -89,50 +116,60 @@ type Config struct {
 	Metrics *obs.Registry
 }
 
-// entry is one cached profile plus its intrusive LRU links.
-// prev/next are only touched under the owning shard's lock.
+// entry is one cached profile plus its intrusive policy links.
+// prev/next (and the per-policy fb/q fields) are only touched under
+// the owning shard's lock.
 type entry struct {
 	key        string
 	p          *core.Profile
 	fp         uint64
 	bytes      int64
 	prev, next *entry
+	fb         *freqBucket // LFU: owning frequency bucket
+	q          uint8       // 2Q: which queue holds the entry
 }
 
 // flight is one in-progress load that concurrent Gets for the same
-// key share.
+// key share. invalidated is guarded by the owning shard's mutex: an
+// Invalidate racing the load marks it so the result is delivered to
+// waiters but never cached.
 type flight struct {
-	done chan struct{}
-	p    *core.Profile
-	fp   uint64
-	err  error
+	done        chan struct{}
+	p           *core.Profile
+	fp          uint64
+	err         error
+	invalidated bool
 }
 
 // shard is an independent slice of the keyspace: a map for O(1)
-// probes, an intrusive doubly-linked LRU list (head = most recent),
-// and the in-flight load table.
+// probes, the policy's intrusive bookkeeping, the in-flight load
+// table, and (with Config.Admission) the doorkeeper sketch.
 type shard struct {
 	mu       sync.Mutex
 	items    map[string]*entry
-	head     *entry
-	tail     *entry
+	pol      policy
+	door     *doorkeeper
 	capacity int
 	inflight map[string]*flight
 }
 
 // Store is the concurrency-safe profile resolver. Build with New.
 type Store struct {
-	shards []*shard
-	loader Loader
+	shards    []*shard
+	loader    Loader
+	admission bool
+	policy    Policy
 
-	hits       *obs.Counter
-	misses     *obs.Counter
-	evictions  *obs.Counter
-	loads      *obs.Counter
-	loadErrors *obs.Counter
-	bytes      *obs.Gauge
-	profiles   *obs.Gauge
-	loadSec    *obs.Histogram
+	hits        *obs.Counter
+	misses      *obs.Counter
+	evictions   *obs.Counter
+	loads       *obs.Counter
+	loadErrors  *obs.Counter
+	admRejected *obs.Counter
+	doorAdmits  *obs.Counter
+	bytes       *obs.Gauge
+	profiles    *obs.Gauge
+	loadSec     *obs.Histogram
 }
 
 // New builds a Store.
@@ -153,34 +190,49 @@ func New(cfg Config) *Store {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	pl := []string{"policy", cfg.Policy.String()}
 	s := &Store{
-		loader: cfg.Loader,
+		loader:    cfg.Loader,
+		admission: cfg.Admission,
+		policy:    cfg.Policy,
 		hits: reg.Counter("vihot_profilestore_hits_total",
-			"profile lookups served from cache"),
+			"profile lookups served from cache", pl...),
 		misses: reg.Counter("vihot_profilestore_misses_total",
-			"profile lookups that missed the cache"),
+			"profile lookups that missed the cache", pl...),
 		evictions: reg.Counter("vihot_profilestore_evictions_total",
-			"profiles evicted by LRU pressure"),
+			"profiles evicted by cache pressure", pl...),
 		loads: reg.Counter("vihot_profilestore_loads_total",
-			"loader invocations (deduplicated across concurrent misses)"),
+			"loader invocations (deduplicated across concurrent misses)", pl...),
 		loadErrors: reg.Counter("vihot_profilestore_load_errors_total",
-			"loader invocations that failed"),
+			"loader invocations that failed", pl...),
+		admRejected: reg.Counter("vihot_profilestore_admission_rejected_total",
+			"loaded profiles returned to callers but refused caching by the doorkeeper", pl...),
+		doorAdmits: reg.Counter("vihot_profilestore_doorkeeper_admits_total",
+			"full-shard inserts admitted on a remembered second touch", pl...),
 		bytes: reg.Gauge("vihot_profilestore_bytes",
-			"approximate heap bytes of cached profile grids"),
+			"approximate heap bytes of cached profile grids", pl...),
 		profiles: reg.Gauge("vihot_profilestore_profiles",
-			"profiles currently cached"),
+			"profiles currently cached", pl...),
 		loadSec: reg.Histogram("vihot_profilestore_load_seconds",
-			"wall-clock latency of one loader invocation", obs.LatencyBuckets()),
+			"wall-clock latency of one loader invocation", obs.LatencyBuckets(), pl...),
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		s.shards = append(s.shards, &shard{
+		sh := &shard{
 			items:    make(map[string]*entry),
+			pol:      newPolicy(cfg.Policy, perShard),
 			capacity: perShard,
 			inflight: make(map[string]*flight),
-		})
+		}
+		if cfg.Admission {
+			sh.door = newDoorkeeper(perShard)
+		}
+		s.shards = append(s.shards, sh)
 	}
 	return s
 }
+
+// Policy reports the eviction policy the store was built with.
+func (s *Store) Policy() Policy { return s.policy }
 
 // shardFor routes a key to its shard (FNV-1a, allocation-free).
 func (s *Store) shardFor(key string) *shard {
@@ -190,40 +242,6 @@ func (s *Store) shardFor(key string) *shard {
 		h *= 16777619
 	}
 	return s.shards[h%uint32(len(s.shards))]
-}
-
-// moveToFront splices e to the head of the LRU list. Caller holds
-// sh.mu.
-func (sh *shard) moveToFront(e *entry) {
-	if sh.head == e {
-		return
-	}
-	sh.unlink(e)
-	e.next = sh.head
-	if sh.head != nil {
-		sh.head.prev = e
-	}
-	sh.head = e
-	if sh.tail == nil {
-		sh.tail = e
-	}
-}
-
-// unlink removes e from the LRU list. Caller holds sh.mu.
-func (sh *shard) unlink(e *entry) {
-	if e.prev != nil {
-		e.prev.next = e.next
-	}
-	if e.next != nil {
-		e.next.prev = e.prev
-	}
-	if sh.head == e {
-		sh.head = e.next
-	}
-	if sh.tail == e {
-		sh.tail = e.prev
-	}
-	e.prev, e.next = nil, nil
 }
 
 // profileBytes approximates a profile's heap footprint: the grids
@@ -252,35 +270,57 @@ func (s *Store) Resolve(key string) (*core.Profile, uint64, error) {
 	if key == "" {
 		return nil, 0, ErrEmptyKey
 	}
+	p, fp, f, owned, err := s.acquire(key)
+	if err != nil {
+		return nil, 0, err
+	}
+	if f == nil {
+		return p, fp, nil
+	}
+	if owned {
+		s.runLoad(key, f)
+	} else {
+		// Someone else is loading this key: park on their flight.
+		<-f.done
+	}
+	return f.p, f.fp, f.err
+}
+
+// acquire is the shared front half of Resolve and GetMany: under the
+// shard lock it returns a cache hit, or the flight to wait on (owned
+// = this caller must run the load), or the no-loader error.
+func (s *Store) acquire(key string) (*core.Profile, uint64, *flight, bool, error) {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
 	if e, ok := sh.items[key]; ok {
-		sh.moveToFront(e)
+		sh.pol.touched(e)
 		// Capture under the lock: a concurrent Put may replace e's
 		// instance the moment we release it.
 		p, fp := e.p, e.fp
 		sh.mu.Unlock()
 		s.hits.Add(1)
-		return p, fp, nil
+		return p, fp, nil, false, nil
 	}
 	s.misses.Add(1)
 	if f, ok := sh.inflight[key]; ok {
-		// Someone is already loading this key: park on their flight.
 		sh.mu.Unlock()
-		<-f.done
-		return f.p, f.fp, f.err
+		return nil, 0, f, false, nil
 	}
 	if s.loader == nil {
 		sh.mu.Unlock()
-		return nil, 0, fmt.Errorf("%w (key %q)", ErrNoLoader, key)
+		return nil, 0, nil, false, fmt.Errorf("%w (key %q)", ErrNoLoader, key)
 	}
 	f := &flight{done: make(chan struct{})}
 	sh.inflight[key] = f
 	sh.mu.Unlock()
+	return nil, 0, f, true, nil
+}
 
-	// The load runs outside the shard lock: a slow disk stalls only
-	// Gets for this key, and hits for other keys on the same shard
-	// proceed unhindered.
+// runLoad executes the loader for an owned flight and publishes the
+// result to the cache and every waiter. It runs outside the shard
+// lock: a slow disk stalls only Gets for this key, and hits for other
+// keys on the same shard proceed unhindered.
+func (s *Store) runLoad(key string, f *flight) {
 	start := time.Now()
 	p, err := s.loader.Load(key)
 	s.loadSec.Observe(time.Since(start).Seconds())
@@ -288,6 +328,7 @@ func (s *Store) Resolve(key string) (*core.Profile, uint64, error) {
 	if err == nil && p == nil {
 		err = fmt.Errorf("profilestore: loader returned nil profile for key %q", key)
 	}
+	sh := s.shardFor(key)
 	if err != nil {
 		s.loadErrors.Add(1)
 		f.err = fmt.Errorf("profilestore: load %q: %w", key, err)
@@ -295,22 +336,47 @@ func (s *Store) Resolve(key string) (*core.Profile, uint64, error) {
 		delete(sh.inflight, key) // errors are not cached: next Get retries
 		sh.mu.Unlock()
 		close(f.done)
-		return nil, 0, f.err
+		return
 	}
 	f.p, f.fp = p, p.Fingerprint()
 	sh.mu.Lock()
 	delete(sh.inflight, key)
-	s.insertLocked(sh, key, f.p, f.fp)
+	if !f.invalidated {
+		// An Invalidate that raced this load wins: waiters get the
+		// instance, but it is never cached — the next Get loads fresh.
+		s.admitLocked(sh, key, f.p, f.fp)
+	}
 	sh.mu.Unlock()
 	close(f.done)
-	return f.p, f.fp, nil
+}
+
+// admitLocked is the loader-fill insert: the doorkeeper may refuse a
+// first-touch key while the shard is full. Caller holds sh.mu.
+func (s *Store) admitLocked(sh *shard, key string, p *core.Profile, fp uint64) {
+	if s.admission {
+		if _, resident := sh.items[key]; !resident && len(sh.items) >= sh.capacity {
+			switch {
+			case sh.pol.remembers(key):
+				// 2Q ghost: the policy itself has second-touch proof.
+				s.doorAdmits.Add(1)
+			case sh.door.admit(key):
+				s.doorAdmits.Add(1)
+			default:
+				s.admRejected.Add(1)
+				return
+			}
+		}
+	}
+	s.insertLocked(sh, key, p, fp)
 }
 
 // Put publishes a profile under key, bypassing the loader — for
 // warming a cache at startup or registering a freshly built profile.
 // The store takes the instance as-is (no copy); the caller must treat
 // it as immutable from this point on. An existing entry for key is
-// replaced (sessions holding the old instance keep it).
+// replaced (sessions holding the old instance keep it). Put also
+// bypasses the admission filter: an explicit publish (cluster
+// replication, cache warming) is its own admission decision.
 func (s *Store) Put(key string, p *core.Profile) error {
 	if key == "" {
 		return ErrEmptyKey
@@ -327,23 +393,25 @@ func (s *Store) Put(key string, p *core.Profile) error {
 }
 
 // insertLocked adds or replaces the entry for key and evicts down to
-// capacity. Caller holds sh.mu.
+// capacity through the policy. Caller holds sh.mu.
 func (s *Store) insertLocked(sh *shard, key string, p *core.Profile, fp uint64) {
 	if e, ok := sh.items[key]; ok {
 		s.bytes.Add(float64(-e.bytes))
 		e.p, e.fp, e.bytes = p, fp, profileBytes(p)
 		s.bytes.Add(float64(e.bytes))
-		sh.moveToFront(e)
+		sh.pol.touched(e)
 		return
 	}
 	e := &entry{key: key, p: p, fp: fp, bytes: profileBytes(p)}
 	sh.items[key] = e
-	sh.moveToFront(e)
+	sh.pol.admitted(e)
 	s.bytes.Add(float64(e.bytes))
 	s.profiles.Add(1)
-	for len(sh.items) > sh.capacity && sh.tail != nil {
-		victim := sh.tail
-		sh.unlink(victim)
+	for len(sh.items) > sh.capacity {
+		victim := sh.pol.evict()
+		if victim == nil {
+			break
+		}
 		delete(sh.items, victim.key)
 		s.bytes.Add(float64(-victim.bytes))
 		s.profiles.Add(-1)
@@ -352,17 +420,23 @@ func (s *Store) insertLocked(sh *shard, key string, p *core.Profile, fp uint64) 
 }
 
 // Invalidate drops key from the cache (a re-profiled driver, say) and
-// reports whether it was present. Sessions already tracking against
-// the dropped instance are unaffected; the next Get loads fresh.
+// reports whether a cached entry was present. Sessions already
+// tracking against the dropped instance are unaffected; the next Get
+// loads fresh. A load in flight for key is marked: its waiters still
+// receive the instance they asked for, but the result is not cached,
+// so the invalidation can never be undone by a racing load.
 func (s *Store) Invalidate(key string) bool {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if f, ok := sh.inflight[key]; ok {
+		f.invalidated = true
+	}
 	e, ok := sh.items[key]
 	if !ok {
 		return false
 	}
-	sh.unlink(e)
+	sh.pol.removed(e)
 	delete(sh.items, key)
 	s.bytes.Add(float64(-e.bytes))
 	s.profiles.Add(-1)
@@ -384,24 +458,36 @@ func (s *Store) Len() int {
 // consistency note in internal/obs: monotone per field, not a
 // consistent cut).
 type Stats struct {
-	Hits       uint64
-	Misses     uint64
-	Evictions  uint64
-	Loads      uint64
-	LoadErrors uint64
-	Bytes      int64 // approximate cached grid bytes
-	Profiles   int   // cached profile count
+	Hits              uint64
+	Misses            uint64
+	Evictions         uint64
+	Loads             uint64
+	LoadErrors        uint64
+	AdmissionRejected uint64 // loads refused caching by the doorkeeper
+	DoorkeeperAdmits  uint64 // full-shard inserts admitted on second touch
+	Bytes             int64  // approximate cached grid bytes
+	Profiles          int    // cached profile count
+}
+
+// HitRate is hits/(hits+misses), 0 when no lookups happened.
+func (st Stats) HitRate() float64 {
+	if st.Hits+st.Misses == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(st.Hits+st.Misses)
 }
 
 // Stats returns the current counter values.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Hits:       s.hits.Value(),
-		Misses:     s.misses.Value(),
-		Evictions:  s.evictions.Value(),
-		Loads:      s.loads.Value(),
-		LoadErrors: s.loadErrors.Value(),
-		Bytes:      int64(s.bytes.Value()),
-		Profiles:   int(s.profiles.Value()),
+		Hits:              s.hits.Value(),
+		Misses:            s.misses.Value(),
+		Evictions:         s.evictions.Value(),
+		Loads:             s.loads.Value(),
+		LoadErrors:        s.loadErrors.Value(),
+		AdmissionRejected: s.admRejected.Value(),
+		DoorkeeperAdmits:  s.doorAdmits.Value(),
+		Bytes:             int64(s.bytes.Value()),
+		Profiles:          int(s.profiles.Value()),
 	}
 }

@@ -300,18 +300,33 @@ func TestStoreMetricsExposition(t *testing.T) {
 	}
 	text := buf.String()
 	for _, series := range []string{
-		"vihot_profilestore_hits_total 1",
-		"vihot_profilestore_misses_total 2",
-		"vihot_profilestore_evictions_total 1",
-		"vihot_profilestore_loads_total 2",
-		"vihot_profilestore_load_errors_total 0",
-		"vihot_profilestore_bytes",
-		"vihot_profilestore_profiles 1",
-		"vihot_profilestore_load_seconds_count 2",
+		`vihot_profilestore_hits_total{policy="lru"} 1`,
+		`vihot_profilestore_misses_total{policy="lru"} 2`,
+		`vihot_profilestore_evictions_total{policy="lru"} 1`,
+		`vihot_profilestore_loads_total{policy="lru"} 2`,
+		`vihot_profilestore_load_errors_total{policy="lru"} 0`,
+		`vihot_profilestore_admission_rejected_total{policy="lru"} 0`,
+		`vihot_profilestore_doorkeeper_admits_total{policy="lru"} 0`,
+		`vihot_profilestore_bytes{policy="lru"}`,
+		`vihot_profilestore_profiles{policy="lru"} 1`,
+		`vihot_profilestore_load_seconds_count{policy="lru"} 2`,
 	} {
 		if !strings.Contains(text, series) {
 			t.Errorf("exposition missing %q", series)
 		}
+	}
+	// Two policies share one registry without colliding: the label
+	// keeps the series distinct.
+	s2 := New(Config{Capacity: 1, Shards: 1, Policy: Policy2Q, Loader: cl, Metrics: reg})
+	if _, err := s2.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `vihot_profilestore_loads_total{policy="2q"} 1`) {
+		t.Error("exposition missing the 2q-labelled series")
 	}
 }
 
@@ -344,6 +359,56 @@ func TestDirLoader(t *testing.T) {
 	}
 	if _, err := dl.Load("mangled"); !errors.Is(err, core.ErrCorruptProfile) {
 		t.Errorf("corrupt file err = %v, want ErrCorruptProfile", err)
+	}
+}
+
+// TestDirLoaderOverwriteRoundTrip: re-profiling a driver replaces the
+// file under the exact dl.Path-validated name — atomically, with no
+// temp litter beside it — and the next Load sees the new profile.
+func TestDirLoaderOverwriteRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	dl := NewDirLoader(dir)
+	p1 := synthProfile(t, 2, 7)
+	p2 := synthProfile(t, 3, 8)
+
+	if err := dl.Save("alice", p1); err != nil {
+		t.Fatal(err)
+	}
+	path, err := dl.Path("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("saved profile not at dl.Path: %v", err)
+	}
+	if err := dl.Save("alice", p2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dl.Load("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint() != p2.Fingerprint() {
+		t.Error("overwrite did not replace the profile")
+	}
+	// Straight from the validated path too, not just through Load.
+	direct, err := core.LoadProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Fingerprint() != p2.Fingerprint() {
+		t.Error("dl.Path file does not hold the overwritten profile")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "alice"+ProfileExt {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Errorf("directory not clean after overwrite: %v", names)
 	}
 }
 

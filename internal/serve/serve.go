@@ -641,6 +641,53 @@ func (m *Manager) OpenByKey(id, key string, cfg core.PipelineConfig) error {
 	return m.Open(id, p, cfg)
 }
 
+// KeyedOpen names one session of a batch open: the session ID and the
+// profile key it tracks against.
+type KeyedOpen struct {
+	ID  string // session ID
+	Key string // profile key (driver/cabin ID)
+}
+
+// OpenSessionsByKey opens a fleet of sessions in one call: every
+// distinct profile key resolves through a single Profiles.GetMany —
+// so N sessions over M driver styles cost exactly M loader calls,
+// cold loads overlapping, duplicates shared — and each session then
+// opens over its shared immutable instance. The returned slice aligns
+// with opens: errs[i] is nil when opens[i] is serving. Per-session
+// failures (a broken profile, a duplicate ID) fail that session only.
+// The PR 4 cold-storm guarantee holds across calls too: batches and
+// concurrent OpenByKey storms for one key join one in-flight load.
+// Requires Config.Profiles.
+func (m *Manager) OpenSessionsByKey(opens []KeyedOpen, cfg core.PipelineConfig) []error {
+	errs := make([]error, len(opens))
+	if len(opens) == 0 {
+		return errs
+	}
+	if m.cfg.Profiles == nil {
+		for i := range errs {
+			errs[i] = ErrNoProfileStore
+		}
+		return errs
+	}
+	keys := make([]string, len(opens))
+	for i, o := range opens {
+		keys[i] = o.Key
+	}
+	ps, perrs := m.cfg.Profiles.GetMany(keys)
+	for i, o := range opens {
+		if o.ID == "" {
+			errs[i] = ErrNoSessionID
+			continue
+		}
+		if perrs[i] != nil {
+			errs[i] = fmt.Errorf("serve: open %q by key %q: %w", o.ID, o.Key, perrs[i])
+			continue
+		}
+		errs[i] = m.Open(o.ID, ps[i], cfg)
+	}
+	return errs
+}
+
 // Profile returns the profile instance a session tracks against and
 // whether the session exists. The pointer identifies the shared
 // instance (sessions opened via one store key return the very same

@@ -133,17 +133,21 @@ func LoadProfile(path string) (*Profile, error) { return core.LoadProfile(path) 
 // Profile lifecycle at fleet scale: profiles are immutable once built
 // (see core.Profile's contract), carry a 64-bit content fingerprint
 // (Profile.Fingerprint), and resolve by driver/cabin key through a
-// ProfileStore — a sharded LRU cache that deduplicates concurrent
-// cold loads and shares one instance across every session opened for
-// the same driver (SessionManagerConfig.Profiles +
-// SessionManager.OpenByKey).
+// ProfileStore — a sharded cache with pluggable eviction (LRU, LFU,
+// 2Q), optional doorkeeper admission, and singleflight deduplication
+// of concurrent cold loads, sharing one instance across every session
+// opened for the same driver (SessionManagerConfig.Profiles +
+// SessionManager.OpenByKey / OpenSessionsByKey, ProfileStore.GetMany
+// for batch resolution).
 type (
-	// ProfileStore resolves profiles by key through a sharded LRU
-	// cache with singleflight load deduplication.
+	// ProfileStore resolves profiles by key through a sharded cache
+	// with singleflight load deduplication.
 	ProfileStore = profilestore.Store
-	// ProfileStoreConfig tunes shard count, capacity, loader, and
-	// metrics registration.
+	// ProfileStoreConfig tunes shard count, capacity, eviction policy,
+	// admission control, loader, and metrics registration.
 	ProfileStoreConfig = profilestore.Config
+	// ProfilePolicy selects the store's eviction policy.
+	ProfilePolicy = profilestore.Policy
 	// ProfileLoader fetches a profile on a cache miss.
 	ProfileLoader = profilestore.Loader
 	// ProfileLoaderFunc adapts a function to ProfileLoader.
@@ -152,7 +156,28 @@ type (
 	ProfileStoreStats = profilestore.Stats
 	// ProfileDirLoader loads <dir>/<key>.profile files.
 	ProfileDirLoader = profilestore.DirLoader
+	// KeyedOpen names one session of a batch open: its session ID and
+	// profile key (SessionManager.OpenSessionsByKey).
+	KeyedOpen = serve.KeyedOpen
 )
+
+// Eviction policies for ProfileStoreConfig.Policy.
+const (
+	// ProfilePolicyLRU evicts the least recently used profile
+	// (default; the v1 store's exact behavior).
+	ProfilePolicyLRU = profilestore.PolicyLRU
+	// ProfilePolicyLFU evicts the least frequently used profile,
+	// least-recent among ties.
+	ProfilePolicyLFU = profilestore.PolicyLFU
+	// ProfilePolicy2Q runs the classic 2Q scheme: a FIFO probation
+	// queue, a protected main queue, and a ghost queue of recently
+	// evicted keys — scan-resistant without frequency counters.
+	ProfilePolicy2Q = profilestore.Policy2Q
+)
+
+// ParseProfilePolicy parses "lru", "lfu", or "2q" (also "twoq"); the
+// empty string selects the LRU default.
+func ParseProfilePolicy(s string) (ProfilePolicy, error) { return profilestore.ParsePolicy(s) }
 
 // NewProfileStore builds a profile store; see ProfileStoreConfig.
 func NewProfileStore(cfg ProfileStoreConfig) *ProfileStore { return profilestore.New(cfg) }
