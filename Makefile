@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build test race vet lint-walltime cover fuzz-smoke bench-obs bench-profilestore bench-journal bench-cluster
+.PHONY: verify build test race vet lint-walltime cover fuzz-smoke bench-obs bench-profilestore bench-journal bench-cluster bench-hotpath
 
 # verify is the tier-1 gate: vet + the walltime lint + build + full
 # test suite + the race runs that give the concurrency and
@@ -20,7 +20,7 @@ vet:
 # are installed (core/pipeline.go, core/tracker.go) and the opt-in
 # MeasureHandoff bench path (cluster/handoff.go). Anything else is a
 # determinism regression and fails the gate.
-WALLTIME_PKGS = internal/core internal/dtw internal/csi internal/dsp internal/scenario internal/cluster
+WALLTIME_PKGS = internal/core internal/dtw internal/csi internal/dsp internal/rf internal/scenario internal/cluster
 lint-walltime:
 	@found=`grep -rn 'time\.Now' $(WALLTIME_PKGS) --include='*.go' \
 		| grep -v '_test\.go' \
@@ -79,6 +79,13 @@ bench-profilestore:
 # budget at the default batch, measured).
 bench-journal:
 	$(GO) run ./cmd/vihot-bench -journaljson BENCH_journal.json
+
+# Serving hot-path benchmark: the session-manager scaling matrix plus
+# the multi-core ingest grid (GOMAXPROCS × shards × sessions through
+# SPSC producer lanes), with per-cell match-stage p95 and the
+# runtime's mutex-wait contention proxy (DESIGN.md §16).
+bench-hotpath:
+	$(GO) run ./cmd/vihot-bench -servejson BENCH_serve.json
 
 # Cluster routing benchmark: direct vs 1-node vs 4-node serving
 # throughput (DESIGN.md §14's ≤15% routing-overhead budget, measured)

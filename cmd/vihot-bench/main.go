@@ -175,6 +175,7 @@ type serveBaseline struct {
 	FramesPer    int                 `json:"frames_per_session"`
 	Note         string              `json:"note,omitempty"`
 	Results      []serveBenchCell    `json:"results"`
+	Multicore    []multicoreCell     `json:"multicore,omitempty"`
 	PooledIngest *pooledIngestResult `json:"pooled_ingest,omitempty"`
 }
 
@@ -234,7 +235,7 @@ func runServeBench(path string, seed int64) error {
 		FramesPer:  len(phases),
 	}
 	if base.NumCPU <= 1 {
-		base.Note = "single-CPU host: shard scaling cannot improve wall clock here; frames/s is a per-core throughput baseline"
+		base.Note = "single-CPU host: shard scaling cannot improve wall clock here; frames/s is a per-core throughput baseline, and the multicore grid's GOMAXPROCS axis records scheduler pressure, not parallelism"
 	}
 	for _, shards := range []int{1, 4, 16} {
 		for _, sessions := range []int{1, 16, 128} {
@@ -270,6 +271,11 @@ func runServeBench(path string, seed int64) error {
 				shards, sessions, cell.FramesPerS, cell.Estimates, cell.Dropped)
 		}
 	}
+	mc, err := runMulticoreGrid(profile, phases)
+	if err != nil {
+		return err
+	}
+	base.Multicore = mc
 	pi, err := runPooledIngest(env, profile)
 	if err != nil {
 		return err

@@ -1,0 +1,242 @@
+package main
+
+// The multi-core ingest grid for -servejson: GOMAXPROCS × shards ×
+// sessions cells driven through serve.Producer lanes (one SPSC ring
+// set per pusher goroutine), recorded next to the single-core matrix
+// in BENCH_serve.json so the perf trajectory captures both the kernel
+// speedups and the scaling behaviour of the lock-free ingest path.
+//
+// Each cell runs two passes:
+//
+//  1. An uninstrumented throughput pass. The drive is closed-loop
+//     (producers stall once the backlog reaches half a ring), so
+//     nothing sheds and frames/s is the steady-state rate the workers
+//     drained and processed the full per-session workload (shedding
+//     would skew the mix toward the cheap pre-window samples that
+//     never reach the DTW matcher).
+//     The pass also samples runtime/metrics'
+//     /sync/mutex/wait/total:seconds before and after: the delta is
+//     the contention proxy (total goroutine-seconds spent blocked on
+//     mutexes, which for this workload is shard-mutex + wake traffic).
+//  2. A short instrumented pass with a metrics registry attached, to
+//     read the match-stage p95 from vihot_pipeline_stage_seconds —
+//     the DTW subsequence scan is the serving hot path, so its p95 is
+//     the cell's hotpath_p95_s. Kept separate so the time.Now calls
+//     that instrumentation costs never pollute the throughput number.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vihot/internal/core"
+	"vihot/internal/dsp"
+	"vihot/internal/obs"
+	"vihot/internal/serve"
+)
+
+// multicoreCell is one (GOMAXPROCS, shards, sessions) measurement.
+type multicoreCell struct {
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Shards      int     `json:"shards"`
+	Sessions    int     `json:"sessions"`
+	Producers   int     `json:"producers"`
+	Pushed      int     `json:"pushed"`
+	Processed   uint64  `json:"processed"`
+	Dropped     uint64  `json:"dropped"`
+	Estimates   uint64  `json:"estimates"`
+	Seconds     float64 `json:"seconds"`
+	FramesPerS  float64 `json:"frames_per_s"` // Processed / Seconds
+	HotpathP95S float64 `json:"hotpath_p95_s"`
+	MutexWaitS  float64 `json:"mutex_wait_s"`
+}
+
+// mutexWaitSeconds reads the runtime's cumulative mutex-wait clock.
+func mutexWaitSeconds() float64 {
+	s := []metrics.Sample{{Name: "/sync/mutex/wait/total:seconds"}}
+	metrics.Read(s)
+	if s[0].Value.Kind() != metrics.KindFloat64 {
+		return 0
+	}
+	return s[0].Value.Float64()
+}
+
+// producerDrive partitions the session set round-robin across nProd
+// goroutines, each owning one serve.Producer (per-session order is
+// preserved because a session's items flow through exactly one lane),
+// and replays the phase series through them. Returns the wall time
+// from first push to drained Flush.
+//
+// The drive is closed-loop: producers share an atomic pushed counter
+// and stall (park) whenever pushed−processed exceeds backlogMax, so
+// the rings never overflow (no drop-newest shedding to skew the mix)
+// and the backlog stays cache-sized instead of ballooning into
+// GC-visible megabytes — exactly how a real receive loop behaves once
+// its socket buffer fills.
+func producerDrive(mgr *serve.Manager, ids []string, phases dsp.Series, nProd int) float64 {
+	if nProd > len(ids) {
+		nProd = len(ids)
+	}
+	const backlogMax = 8192 // < QueueLen: a single ring can absorb the whole backlog
+	var pushed atomic.Uint64
+	counters := mgr.Counters()
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < nProd; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := mgr.NewProducer()
+			var mine []string
+			for i := w; i < len(ids); i += nProd {
+				mine = append(mine, ids[i])
+			}
+			// Accumulate several phases per publish: a receive loop
+			// would batch at the datagram burst size, and per-phase
+			// slivers of sessions/producers items pay the publish
+			// and wake handshake too often to be representative.
+			const target = 1024
+			batch := make([]serve.Item, 0, target+len(mine))
+			flush := func() {
+				p.PushBatch(batch)
+				pushed.Add(uint64(len(batch)))
+				batch = batch[:0]
+				// "Consumed" must include sheds: a dropped item never
+				// becomes Processed, and stalling on processed alone
+				// would wait forever once anything drops. The subtraction
+				// is signed because consumed transiently exceeds the
+				// pushed counter (items publish before the Add above), and
+				// a uint64 underflow here reads as an enormous backlog —
+				// an unwakeable stall. Park rather than spin: on an
+				// oversubscribed host a spinning producer steals the
+				// cycles the workers need.
+				for {
+					snap := counters.Snapshot()
+					if int64(pushed.Load())-int64(snap.Processed+snap.DroppedStale) <= backlogMax {
+						break
+					}
+					time.Sleep(200 * time.Microsecond)
+				}
+			}
+			for _, s := range phases {
+				for _, id := range mine {
+					batch = append(batch, serve.Item{Session: id, Kind: serve.KindPhase, Time: s.T, Phi: s.V})
+				}
+				if len(batch) >= target {
+					flush()
+				}
+			}
+			flush()
+		}(w)
+	}
+	wg.Wait()
+	mgr.Flush()
+	return time.Since(t0).Seconds()
+}
+
+// runMulticoreCell measures one grid cell: throughput + contention
+// pass, then the short instrumented pass for the hot-path p95.
+func runMulticoreCell(profile *core.Profile, phases dsp.Series, gmp, shards, sessions int) (multicoreCell, error) {
+	prev := runtime.GOMAXPROCS(gmp)
+	defer runtime.GOMAXPROCS(prev)
+	runtime.GC() // don't let the previous cell's ring garbage bill this one
+
+	ids := make([]string, sessions)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("s%03d", i)
+	}
+	open := func(mgr *serve.Manager) error {
+		for _, id := range ids {
+			if err := mgr.Open(id, profile, core.DefaultPipelineConfig()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	cell := multicoreCell{
+		GOMAXPROCS: gmp, Shards: shards, Sessions: sessions,
+		Producers: gmp, Pushed: len(phases) * sessions,
+	}
+	if cell.Producers > sessions {
+		cell.Producers = sessions
+	}
+
+	// Pass 1: throughput and mutex-wait delta, uninstrumented. The
+	// closed-loop drive keeps the backlog under half a ring, so the
+	// rings stay small and cache-resident and nothing sheds. Best of
+	// two repetitions on fresh managers — the first doubles as the
+	// warmup — because a scheduler hiccup on a shared host easily
+	// costs 5% and the grid exists to track a trajectory, not noise.
+	for rep := 0; rep < 2; rep++ {
+		mgr := serve.New(serve.Config{Shards: shards, QueueLen: 16384})
+		if err := open(mgr); err != nil {
+			return cell, err
+		}
+		wait0 := mutexWaitSeconds()
+		secs := producerDrive(mgr, ids, phases, cell.Producers)
+		waitS := mutexWaitSeconds() - wait0
+		snap := mgr.Counters().Snapshot()
+		mgr.Close()
+		if fps := float64(snap.Processed) / secs; rep == 0 || fps > cell.FramesPerS {
+			cell.Seconds = secs
+			cell.MutexWaitS = waitS
+			cell.Processed = snap.Processed
+			cell.Dropped = snap.DroppedStale
+			cell.Estimates = snap.Estimates
+			cell.FramesPerS = fps
+		}
+	}
+
+	// Pass 2: hot-path p95 with metrics attached, over a shorter
+	// replay (latency distributions converge long before throughput).
+	short := phases
+	if len(short) > 250 {
+		short = short[:250]
+	}
+	reg := obs.NewRegistry()
+	mgr := serve.New(serve.Config{Shards: shards, QueueLen: 16384, Metrics: reg})
+	if err := open(mgr); err != nil {
+		return cell, err
+	}
+	producerDrive(mgr, ids, short, cell.Producers)
+	mgr.Close()
+	match := reg.Histogram("vihot_pipeline_stage_seconds",
+		"wall-clock latency of one pipeline stage", obs.LatencyBuckets(), "stage", core.StageMatch)
+	if p95 := match.Quantile(0.95); !math.IsNaN(p95) {
+		cell.HotpathP95S = p95
+	}
+	return cell, nil
+}
+
+// runMulticoreGrid sweeps GOMAXPROCS ∈ {1,2,4,8} × shards × sessions.
+// GOMAXPROCS values above runtime.NumCPU() still run — they measure
+// scheduler pressure rather than parallelism, which the baseline note
+// records — so the grid is comparable across hosts.
+func runMulticoreGrid(profile *core.Profile, phases dsp.Series) ([]multicoreCell, error) {
+	// 500 phases per session bounds the worst cell's transient ring
+	// memory (every ring holds the whole replay so nothing sheds).
+	if len(phases) > 500 {
+		phases = phases[:500]
+	}
+	var cells []multicoreCell
+	for _, gmp := range []int{1, 2, 4, 8} {
+		for _, shards := range []int{1, 4} {
+			for _, sessions := range []int{16, 128} {
+				cell, err := runMulticoreCell(profile, phases, gmp, shards, sessions)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, cell)
+				fmt.Printf("gomaxprocs=%-2d shards=%-2d sessions=%-4d  %8.0f frames/s  p95=%.0fµs  mutex-wait=%.3fs  (%d processed, %d dropped)\n",
+					gmp, shards, sessions, cell.FramesPerS, cell.HotpathP95S*1e6,
+					cell.MutexWaitS, cell.Processed, cell.Dropped)
+			}
+		}
+	}
+	return cells, nil
+}

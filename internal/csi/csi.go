@@ -15,6 +15,7 @@ import (
 	"errors"
 	"math"
 	"math/cmplx"
+	"sync"
 
 	"vihot/internal/stats"
 )
@@ -68,8 +69,9 @@ type Hardware struct {
 	NFFT int
 
 	rng    *stats.RNG
-	beta   float64 // current CFO phase offset
-	deltaT float64 // current SFO lag in sample periods
+	beta   float64      // current CFO phase offset
+	deltaT float64      // current SFO lag in sample periods
+	rot    []complex128 // per-subcarrier rotation scratch, reused per frame
 }
 
 // DefaultHardware returns a hardware model with offsets typical of
@@ -103,23 +105,66 @@ func NewHardware(rng *stats.RNG, cfoStd, sfoStd, noiseStd float64, nfft int) *Ha
 // (sample periods), exposed for tests and diagnostics.
 func (hw *Hardware) Offsets() (beta, deltaT float64) { return hw.beta, hw.deltaT }
 
+// sfoSlopes caches the per-subcarrier SFO phase slope
+// 2π·k/NFFT, keyed by NFFT. The tables are immutable once published,
+// so a lock-free sync.Map lets every Hardware instance in a fleet
+// simulation share one table per FFT size. Each entry holds the
+// left-associated expression 2π·k/NFFT exactly as the scalar loop
+// computed it, so multiplying by ΔT later reproduces the original
+// rounding bit-for-bit.
+var sfoSlopes sync.Map // int -> []float64
+
+// sfoSlopeTable returns (building on first use) the slope table for
+// one FFT size, extended to at least n subcarriers.
+func sfoSlopeTable(nfft, n int) []float64 {
+	if v, ok := sfoSlopes.Load(nfft); ok {
+		if t := v.([]float64); len(t) >= n {
+			return t
+		}
+	}
+	size := max(n, nfft)
+	t := make([]float64, size)
+	for k := range t {
+		t[k] = 2 * math.Pi * float64(k) / float64(nfft)
+	}
+	sfoSlopes.Store(nfft, t)
+	return t
+}
+
 // Corrupt applies Eq. (2) to a clean per-antenna channel response and
 // returns the Frame a CSI tool would report. clean is indexed
 // [antenna][subcarrier] and is not modified. Each call advances the
 // CFO/SFO random walks by one frame.
+//
+// Both RX chains share the oscillator, so the per-subcarrier rotation
+// e^{i(β + SFO_k)} is identical for every antenna: it is computed once
+// per subcarrier from the cached slope table and reused across
+// antennas, cutting the Rect (sincos) count from antennas×subcarriers
+// to subcarriers per frame. The RNG draw order is untouched, so the
+// noise stream — and with it every downstream estimate — is
+// bit-identical to the per-antenna scalar loop.
 func (hw *Hardware) Corrupt(t float64, clean [][]complex128) *Frame {
 	if hw.rng != nil {
 		hw.beta += hw.rng.Normal(0, hw.CFOWalkStd)
 		hw.deltaT += hw.rng.Normal(0, hw.SFOWalkStd)
 	}
 	f := &Frame{Time: t, H: make([][]complex128, len(clean))}
+	n := 0
+	for a := range clean {
+		n = max(n, len(clean[a]))
+	}
+	if cap(hw.rot) < n {
+		hw.rot = make([]complex128, n)
+	}
+	rot := hw.rot[:n]
+	slope := sfoSlopeTable(hw.NFFT, n)
+	for k := range rot {
+		rot[k] = cmplx.Rect(1, hw.beta+slope[k]*hw.deltaT)
+	}
 	for a := range clean {
 		row := make([]complex128, len(clean[a]))
 		for k := range clean[a] {
-			// SFO phase error grows linearly with subcarrier index.
-			sfo := 2 * math.Pi * float64(k) / float64(hw.NFFT) * hw.deltaT
-			rot := cmplx.Rect(1, hw.beta+sfo)
-			h := clean[a][k] * rot
+			h := clean[a][k] * rot[k]
 			if hw.rng != nil && hw.NoiseStd > 0 {
 				h += complex(hw.rng.Normal(0, hw.NoiseStd), hw.rng.Normal(0, hw.NoiseStd))
 			}
@@ -142,6 +187,16 @@ var (
 // suppress thermal noise. The average is circular (a resultant-vector
 // mean) because phases live on the circle; an arithmetic mean would
 // tear at the ±π seam.
+//
+// The loop is componentwise on purpose: the complex conjugate-multiply
+// and the normalization divide are expanded into real/imaginary
+// accumulation so each lane costs two fused dot products, one Hypot,
+// and two real divides — no runtime complex128div call, no cmplx
+// function-call boundaries. The magnitude stays math.Hypot (not a bare
+// sqrt of re²+im²) because bit-exactness with the scalar reference —
+// and through it the golden trace — outranks the last drop of
+// throughput; see DESIGN.md §16 and the equivalence proof in
+// sanitize_equiv_test.go.
 func Sanitize(f *Frame, a1, a2 int) (float64, error) {
 	if a1 < 0 || a2 < 0 || a1 >= len(f.H) || a2 >= len(f.H) || a1 == a2 {
 		return 0, ErrTooFewAntennas
@@ -150,23 +205,37 @@ func Sanitize(f *Frame, a1, a2 int) (float64, error) {
 	if n == 0 || len(f.H[a2]) != n {
 		return 0, ErrNoSubcarriers
 	}
-	var sum complex128
+	h1, h2 := f.H[a1], f.H[a2][:n]
+	var sumRe, sumIm float64
 	for k := 0; k < n; k++ {
-		// arg(H1·conj(H2)) is the phase difference φ1-φ2 on
-		// subcarrier k; summing unit phasors averages circularly.
-		// Non-finite measurements (a glitched or hostile frame) carry
-		// no phase information and would turn the whole mean into NaN,
-		// so they are skipped like zeros.
-		d := f.H[a1][k] * cmplx.Conj(f.H[a2][k])
-		if d == 0 || cmplx.IsNaN(d) || cmplx.IsInf(d) {
+		// d = H1·conj(H2), componentwise: arg(d) is the phase
+		// difference φ1-φ2 on subcarrier k; summing unit phasors
+		// averages circularly.
+		x, y := real(h1[k]), imag(h1[k])
+		u, v := real(h2[k]), imag(h2[k])
+		re := x*u + y*v
+		im := y*u - x*v
+		// One Hypot folds the three skip conditions of the scalar
+		// loop: mag is 0 iff d == 0, NaN iff d has a NaN and no Inf,
+		// and +Inf iff d has an Inf (or overflows, in which case the
+		// scalar loop added an exact ±0 phasor — observationally the
+		// same as skipping, since the accumulators never go negative
+		// zero). Non-finite measurements (a glitched or hostile frame)
+		// carry no phase information and would turn the whole mean
+		// into NaN, so they are skipped like zeros.
+		mag := math.Hypot(re, im)
+		if mag == 0 || math.IsNaN(mag) || math.IsInf(mag, 1) {
 			continue
 		}
-		sum += d / complex(cmplx.Abs(d), 0)
+		sumRe += re / mag
+		sumIm += im / mag
 	}
-	if sum == 0 || cmplx.IsNaN(sum) || cmplx.IsInf(sum) {
+	if (sumRe == 0 && sumIm == 0) ||
+		math.IsNaN(sumRe) || math.IsNaN(sumIm) ||
+		math.IsInf(sumRe, 0) || math.IsInf(sumIm, 0) {
 		return 0, ErrNoSubcarriers
 	}
-	return cmplx.Phase(sum), nil
+	return math.Atan2(sumIm, sumRe), nil
 }
 
 // Amplitude returns the mean CSI magnitude across subcarriers for one

@@ -1,0 +1,254 @@
+package csi
+
+// Equivalence suite for the componentwise sanitizer: the vectorizable
+// loop in Sanitize must return bit-identical phases (and identical
+// errors) to the scalar cmplx-based reference it replaced, across
+// well-formed frames, NaN/Inf-skip paths, and all-cancelling phasor
+// sets. Why bit-identical and not ≤1 ULP: on amd64 Go never contracts
+// float expressions into FMAs, the componentwise expansion of
+// H1·conj(H2) is the exact formula the compiler emits for complex
+// multiply, and runtime complex128div by a real denominator reduces to
+// the two componentwise divides (Smith's algorithm with ratio 0) —
+// differing only in the sign of zero contributions, which the
+// accumulators provably never expose (+0 + ±0 = +0).
+
+import (
+	"encoding/binary"
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"vihot/internal/stats"
+)
+
+// sanitizeReference is the pre-vectorization scalar sanitizer,
+// preserved verbatim as the behavioral oracle.
+func sanitizeReference(f *Frame, a1, a2 int) (float64, error) {
+	if a1 < 0 || a2 < 0 || a1 >= len(f.H) || a2 >= len(f.H) || a1 == a2 {
+		return 0, ErrTooFewAntennas
+	}
+	n := len(f.H[a1])
+	if n == 0 || len(f.H[a2]) != n {
+		return 0, ErrNoSubcarriers
+	}
+	var sum complex128
+	for k := 0; k < n; k++ {
+		d := f.H[a1][k] * cmplx.Conj(f.H[a2][k])
+		if d == 0 || cmplx.IsNaN(d) || cmplx.IsInf(d) {
+			continue
+		}
+		sum += d / complex(cmplx.Abs(d), 0)
+	}
+	if sum == 0 || cmplx.IsNaN(sum) || cmplx.IsInf(sum) {
+		return 0, ErrNoSubcarriers
+	}
+	return cmplx.Phase(sum), nil
+}
+
+// checkEquiv asserts Sanitize and the reference agree bit-for-bit,
+// including which error (if any) they return.
+func checkEquiv(t *testing.T, f *Frame, a1, a2 int) {
+	t.Helper()
+	got, gotErr := Sanitize(f, a1, a2)
+	want, wantErr := sanitizeReference(f, a1, a2)
+	if gotErr != wantErr {
+		t.Fatalf("a1=%d a2=%d: error %v, reference %v", a1, a2, gotErr, wantErr)
+	}
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("a1=%d a2=%d: phase %v (%#x) != reference %v (%#x)",
+			a1, a2, got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+}
+
+func TestSanitizeEquivalenceTable(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name string
+		h    [][]complex128
+	}{
+		{"clean 30-subcarrier", nil}, // filled below from the RNG
+		{"single subcarrier", [][]complex128{
+			{complex(0.3, -0.7)},
+			{complex(-1.1, 0.2)},
+		}},
+		{"NaN lanes skipped", [][]complex128{
+			{complex(nan, 0), complex(1, 2), complex(0, nan)},
+			{complex(1, 1), complex(3, -4), complex(2, 2)},
+		}},
+		{"Inf lanes skipped", [][]complex128{
+			{complex(inf, 0), complex(1, 2), complex(-inf, nan)},
+			{complex(1, 1), complex(3, -4), complex(2, 2)},
+		}},
+		{"zero lanes skipped", [][]complex128{
+			{0, complex(1, 2), 0},
+			{complex(1, 1), complex(3, -4), 0},
+		}},
+		{"all lanes zero", [][]complex128{
+			{0, 0, 0},
+			{complex(1, 1), complex(3, -4), complex(2, 2)},
+		}},
+		{"all lanes non-finite", [][]complex128{
+			{complex(nan, 0), complex(inf, 0)},
+			{complex(1, 1), complex(3, -4)},
+		}},
+		{"cancelling phasor pair", [][]complex128{
+			// H1·conj(H2) is (1,0) on lane 0 and (-1,0) on lane 1:
+			// the unit phasors sum to exactly zero.
+			{complex(1, 0), complex(-1, 0)},
+			{complex(1, 0), complex(1, 0)},
+		}},
+		{"four-way cancellation", [][]complex128{
+			{complex(1, 0), complex(-1, 0), complex(0, 1), complex(0, -1)},
+			{complex(1, 0), complex(1, 0), complex(1, 0), complex(1, 0)},
+		}},
+		{"magnitude overflow lane", [][]complex128{
+			// |d| overflows to +Inf from finite components; the
+			// reference adds an exact ±0 phasor, the rewrite skips —
+			// same sum either way.
+			{complex(1.5e308, 1.5e308), complex(1, 2)},
+			{complex(1, 0), complex(3, -4)},
+		}},
+		{"only overflow lanes", [][]complex128{
+			{complex(1.5e308, 1.5e308), complex(-1.6e308, 1.4e308)},
+			{complex(1, 0), complex(1, 0)},
+		}},
+		{"denormal components", [][]complex128{
+			{complex(5e-324, -5e-324), complex(1e-310, 2e-310)},
+			{complex(1e-310, 0), complex(3e-320, -4e-320)},
+		}},
+		{"near-seam phases", [][]complex128{
+			{complex(-1, 1e-9), complex(-1, -1e-9)},
+			{complex(1, 0), complex(1, 0)},
+		}},
+		{"mismatched row lengths", [][]complex128{
+			{complex(1, 2), complex(3, 4)},
+			{complex(1, 1)},
+		}},
+	}
+	rng := stats.NewRNG(11)
+	clean := make([][]complex128, 3)
+	for a := range clean {
+		clean[a] = make([]complex128, 30)
+		for k := range clean[a] {
+			clean[a][k] = complex(rng.Normal(0, 1), rng.Normal(0, 1))
+		}
+	}
+	cases[0].h = clean
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := &Frame{H: tc.h}
+			for a1 := -1; a1 <= len(tc.h); a1++ {
+				for a2 := -1; a2 <= len(tc.h); a2++ {
+					checkEquiv(t, f, a1, a2)
+				}
+			}
+		})
+	}
+}
+
+// TestSanitizeEquivalenceRandom sweeps seeded hardware-shaped frames
+// (the distribution the pipeline actually sees) through both
+// implementations.
+func TestSanitizeEquivalenceRandom(t *testing.T) {
+	rng := stats.NewRNG(23)
+	hw := DefaultHardware(rng)
+	for trial := 0; trial < 200; trial++ {
+		clean := make([][]complex128, 2+trial%2)
+		for a := range clean {
+			clean[a] = make([]complex128, 1+trial%40)
+			for k := range clean[a] {
+				clean[a][k] = cmplx.Rect(0.1+rng.Uniform(0, 2), rng.Uniform(-math.Pi, math.Pi))
+			}
+		}
+		f := hw.Corrupt(float64(trial), clean)
+		checkEquiv(t, f, 0, 1)
+		checkEquiv(t, f, 1, 0)
+	}
+}
+
+// FuzzSanitizeEquivalence drives both sanitizers with arbitrary frames
+// (raw float64 bit patterns, so NaN/Inf/denormals occur naturally) and
+// requires bit-identical results.
+func FuzzSanitizeEquivalence(f *testing.F) {
+	f.Add([]byte{2, 3, 1, 2, 3, 4, 5, 6, 7, 8}, 0, 1)
+	nan := binary.BigEndian.AppendUint64(nil, math.Float64bits(math.NaN()))
+	inf := binary.BigEndian.AppendUint64(nil, math.Float64bits(math.Inf(1)))
+	f.Add(append(append([]byte{2, 0, 0, 0, 0, 0, 0, 0, 0, 2, 2}, nan...), inf...), 0, 1)
+	big := binary.BigEndian.AppendUint64(nil, math.Float64bits(1.5e308))
+	f.Add(append([]byte{2, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0}, append(big, big...)...), 0, 1)
+
+	f.Fuzz(func(t *testing.T, data []byte, a1, a2 int) {
+		checkEquiv(t, frameFromBytes(data), a1, a2)
+	})
+}
+
+// TestCorruptRotationHoist pins the Corrupt fast path: the hoisted
+// per-subcarrier rotation table and the shared SFO slope cache must
+// reproduce the original per-antenna scalar loop bit-for-bit,
+// including the RNG draw order that both implementations consume.
+func TestCorruptRotationHoist(t *testing.T) {
+	reference := func(hw *Hardware, t0 float64, clean [][]complex128) *Frame {
+		if hw.rng != nil {
+			hw.beta += hw.rng.Normal(0, hw.CFOWalkStd)
+			hw.deltaT += hw.rng.Normal(0, hw.SFOWalkStd)
+		}
+		f := &Frame{Time: t0, H: make([][]complex128, len(clean))}
+		for a := range clean {
+			row := make([]complex128, len(clean[a]))
+			for k := range clean[a] {
+				sfo := 2 * math.Pi * float64(k) / float64(hw.NFFT) * hw.deltaT
+				rot := cmplx.Rect(1, hw.beta+sfo)
+				h := clean[a][k] * rot
+				if hw.rng != nil && hw.NoiseStd > 0 {
+					h += complex(hw.rng.Normal(0, hw.NoiseStd), hw.rng.Normal(0, hw.NoiseStd))
+				}
+				row[k] = h
+			}
+			f.H[a] = row
+		}
+		return f
+	}
+	for _, nfft := range []int{64, 128, 17} {
+		hwA := NewHardware(stats.NewRNG(5), 0.05, 0.002, 0.02, nfft)
+		hwB := NewHardware(stats.NewRNG(5), 0.05, 0.002, 0.02, nfft)
+		rng := stats.NewRNG(6)
+		for frame := 0; frame < 20; frame++ {
+			clean := make([][]complex128, 3)
+			for a := range clean {
+				clean[a] = make([]complex128, 30)
+				for k := range clean[a] {
+					clean[a][k] = complex(rng.Normal(0, 1), rng.Normal(0, 1))
+				}
+			}
+			got := hwA.Corrupt(float64(frame), clean)
+			want := reference(hwB, float64(frame), clean)
+			for a := range want.H {
+				for k := range want.H[a] {
+					g, w := got.H[a][k], want.H[a][k]
+					if math.Float64bits(real(g)) != math.Float64bits(real(w)) ||
+						math.Float64bits(imag(g)) != math.Float64bits(imag(w)) {
+						t.Fatalf("nfft=%d frame=%d H[%d][%d]: %v != reference %v", nfft, frame, a, k, g, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkSanitizeReference(b *testing.B) {
+	rng := stats.NewRNG(3)
+	clean := make([][]complex128, 2)
+	for a := range clean {
+		clean[a] = make([]complex128, 30)
+		for k := range clean[a] {
+			clean[a][k] = complex(rng.Normal(0, 1), rng.Normal(0, 1))
+		}
+	}
+	f := &Frame{H: clean}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sanitizeReference(f, 0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

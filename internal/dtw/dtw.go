@@ -7,7 +7,10 @@
 // The implementation uses the classic two-row dynamic program with an
 // optional Sakoe-Chiba band and early abandoning, and exposes a
 // Matcher that reuses its scratch rows so the tracker's hot loop runs
-// allocation-free.
+// allocation-free. The banded kernel touches only the O(w) band slice
+// of each row (plus one guard cell), so banded cost is O(n·w + m)
+// rather than O(n·m); see DESIGN.md §16 for the row-arena invariant
+// and the bit-exactness argument that gates this kernel.
 package dtw
 
 import (
@@ -22,12 +25,17 @@ var ErrEmptyInput = errors.New("dtw: empty input series")
 type Options struct {
 	// Window is the Sakoe-Chiba band half-width in samples. Cells with
 	// |i·m/n - j| > Window are excluded from the alignment. Zero or
-	// negative means no band (full DTW).
+	// negative means no band (full DTW). When the length ratio between
+	// the series exceeds Window+1 the band is widened to
+	// ⌈m/n⌉-1 so consecutive rows stay connected; otherwise a whole
+	// row would be unreachable and the distance silently +Inf.
 	Window int
 
-	// AbandonAbove enables early abandoning: if every reachable cell
-	// of a row exceeds this cumulative cost, the computation stops and
-	// returns +Inf. Zero or negative disables abandoning.
+	// AbandonAbove enables early abandoning: if the cheapest reachable
+	// cell of a row — plus the final cell's local cost, which every
+	// warping path still has to pay — exceeds this cumulative cost, the
+	// computation stops and returns +Inf. Zero or negative disables
+	// abandoning.
 	AbandonAbove float64
 
 	// Circular treats samples as angles in radians and uses the
@@ -44,16 +52,48 @@ type Options struct {
 }
 
 // localCost returns |a-b|, or the shortest angular distance when
-// circular.
+// circular. Phases coming out of atan2 live in [-π, π], so their
+// difference never exceeds 2π and the math.Mod reduction — expensive
+// in pure Go — is skipped on the hot path. The guarded slow path is
+// bit-identical: for d ≤ 2π, Mod(d, 2π) returns d unchanged (or 0 at
+// exactly 2π, which the seam fold below also produces).
 func localCost(a, b float64, circular bool) float64 {
 	d := math.Abs(a - b)
 	if circular {
-		d = math.Mod(d, 2*math.Pi)
+		if d > 2*math.Pi {
+			d = math.Mod(d, 2*math.Pi)
+		}
 		if d > math.Pi {
 			d = 2*math.Pi - d
 		}
 	}
 	return d
+}
+
+// effectiveWindow widens a Sakoe-Chiba half-width so the band stays
+// connected row to row. Consecutive band centers round(i·slope) move
+// by at most ⌈slope⌉ columns, and a cell in row i can reach row i-1
+// only within 2w+1 columns, so w ≥ ⌈slope⌉-1 guarantees every band
+// cell has a reachable predecessor (and that row 1 still contains
+// column 1). For every tracker configuration (slope ≤ 2, window 8)
+// the widening is a no-op, which is what keeps the golden trace
+// bit-identical.
+func effectiveWindow(window int, slope float64) int {
+	if minW := int(math.Ceil(slope)) - 1; window < minW {
+		return minW
+	}
+	return window
+}
+
+// bandRow returns the inclusive column range [lo, hi] of the
+// Sakoe-Chiba band on row i of an n×mm grid with slope = mm/n and
+// half-width w. Factored out so tests can prove the visited-cell
+// count scales with w, not mm.
+func bandRow(i int, slope float64, w, mm int) (lo, hi int) {
+	center := int(math.Round(float64(i) * slope))
+	lo = max(1, center-w)
+	hi = min(mm, center+w)
+	return lo, hi
 }
 
 // Matcher computes DTW distances while reusing internal scratch
@@ -72,6 +112,10 @@ func localCost(a, b float64, circular bool) float64 {
 //     long as all of them are driven by the same goroutine — that is
 //     how a serve worker amortizes scratch across its sessions (see
 //     core.Tracker.SetMatcher).
+//
+// The two scratch rows double as the banded cost arena: Distance
+// initializes only the cells the band visits, carrying a high-water
+// mark across rows so stale cells from earlier calls are never read.
 type Matcher struct {
 	prev, cur []float64
 	da, db    []float64 // derivative scratch
@@ -93,6 +137,12 @@ func NewMatcher(capHint int) *Matcher {
 // absolute difference as the local cost and the standard step pattern
 // {(i-1,j), (i,j-1), (i-1,j-1)}. With early abandoning enabled the
 // result may be +Inf, meaning "worse than the abandon threshold".
+//
+// The kernel clears and visits only the band slice [lo-1, hi] of each
+// row. Invariant: at the start of row i, prev is initialized (inf or a
+// cost) on [lo_{i-1}-1, hi_{i-1}]; because band edges are monotone
+// non-decreasing, row i only ever reads below that range's floor or —
+// after an explicit inf-fill of (hi_{i-1}, hi_i] — inside it.
 func (m *Matcher) Distance(a, b []float64, opt Options) (float64, error) {
 	if opt.Derivative {
 		if len(a) < 2 || len(b) < 2 {
@@ -112,30 +162,60 @@ func (m *Matcher) Distance(a, b []float64, opt Options) (float64, error) {
 	prev, cur := m.prev, m.cur
 
 	inf := math.Inf(1)
-	for j := 0; j <= mm; j++ {
-		prev[j] = inf
-	}
-	prev[0] = 0
+	circ := opt.Circular
 
 	// Effective band: scale the window onto the diagonal of an n×m
-	// grid so unequal lengths still align corner to corner.
-	band := opt.Window
-	useBand := band > 0
+	// grid so unequal lengths still align corner to corner, widened
+	// just enough that the band is connected (never empty) on every
+	// row.
+	useBand := opt.Window > 0
 	slope := float64(mm) / float64(n)
+	w := mm
+	if useBand {
+		w = effectiveWindow(opt.Window, slope)
+	}
+
+	// Early-abandon prescreen: every warping path pays the local cost
+	// of both corner cells (1,1) and (n,m), so their sum is a lower
+	// bound on the result. lastAdd also tightens the per-row check —
+	// any path leaving row i < n still has the final cell ahead of it.
+	abandon := opt.AbandonAbove
+	var lastAdd float64
+	if abandon > 0 {
+		c0 := localCost(a[0], b[0], circ)
+		if n > 1 || mm > 1 {
+			lastAdd = localCost(a[n-1], b[mm-1], circ)
+		}
+		if c0+lastAdd > abandon {
+			return inf, nil
+		}
+	}
+
+	// Row 0: only the prefix row 1 reads is initialized.
+	_, hi1 := bandRow(1, slope, w, mm)
+	prev[0] = 0
+	for j := 1; j <= hi1; j++ {
+		prev[j] = inf
+	}
+	prevHi := hi1
 
 	for i := 1; i <= n; i++ {
-		lo, hi := 1, mm
-		if useBand {
-			center := int(math.Round(float64(i) * slope))
-			lo = max(1, center-band)
-			hi = min(mm, center+band)
+		lo, hi := bandRow(i, slope, w, mm)
+		// Inf-fill the prev cells this row reads beyond the band the
+		// previous row actually wrote (band edges only ever grow).
+		for j := prevHi + 1; j <= hi; j++ {
+			prev[j] = inf
 		}
-		for j := 0; j <= mm; j++ {
+		prevHi = hi
+		// Clear only the band slice of cur, plus the guard cell lo-1
+		// that the j==lo step reads as its deletion predecessor.
+		for j := lo - 1; j <= hi; j++ {
 			cur[j] = inf
 		}
 		rowMin := inf
+		ai := a[i-1]
 		for j := lo; j <= hi; j++ {
-			c := localCost(a[i-1], b[j-1], opt.Circular)
+			c := localCost(ai, b[j-1], circ)
 			best := prev[j] // insertion
 			if prev[j-1] < best {
 				best = prev[j-1] // match
@@ -152,24 +232,42 @@ func (m *Matcher) Distance(a, b []float64, opt Options) (float64, error) {
 				rowMin = v
 			}
 		}
-		if opt.AbandonAbove > 0 && rowMin > opt.AbandonAbove {
-			return inf, nil
+		if abandon > 0 {
+			la := lastAdd
+			if i == n {
+				la = 0 // the final cell is already inside rowMin
+			}
+			if rowMin+la > abandon {
+				return inf, nil
+			}
 		}
 		prev, cur = cur, prev
 	}
 	return prev[mm], nil
 }
 
-// NormalizedDistance returns Distance divided by the sum of both
-// series lengths, making scores comparable across candidate-segment
+// NormalizedDistance returns Distance divided by the number of samples
+// actually aligned, making scores comparable across candidate-segment
 // lengths — required by Algorithm 1, which compares matches of
-// different lengths Lₙ ∈ [0.5W, 2W].
+// different lengths Lₙ ∈ [0.5W, 2W]. In Derivative mode the aligned
+// series are the first differences, one sample shorter each, and the
+// normalizer shrinks accordingly.
 func (m *Matcher) NormalizedDistance(a, b []float64, opt Options) (float64, error) {
 	d, err := m.Distance(a, b, opt)
 	if err != nil {
 		return 0, err
 	}
-	return d / float64(len(a)+len(b)), nil
+	return d / float64(alignedLen(len(a), len(b), opt)), nil
+}
+
+// alignedLen is the total number of samples Distance aligns for series
+// of the given raw lengths under opt — the normalizer shared by
+// NormalizedDistance and Subsequence's abandon-bound conversion.
+func alignedLen(na, nb int, opt Options) int {
+	if opt.Derivative {
+		return (na - 1) + (nb - 1)
+	}
+	return na + nb
 }
 
 // Distance is a convenience wrapper allocating a throwaway Matcher.

@@ -48,8 +48,9 @@ func (m *Matcher) Subsequence(query, profile []float64, lengths []int, stride in
 			o := opt
 			if !math.IsInf(best.Dist, 1) {
 				// Convert the normalized best into an unnormalized
-				// abandon bound for this candidate length.
-				bound := best.Dist * float64(len(query)+L)
+				// abandon bound for this candidate length, using the
+				// same normalizer NormalizedDistance divides by.
+				bound := best.Dist * float64(alignedLen(len(query), L, o))
 				if o.AbandonAbove <= 0 || bound < o.AbandonAbove {
 					o.AbandonAbove = bound
 				}

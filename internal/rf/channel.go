@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
 
 	"vihot/internal/geom"
 )
@@ -130,15 +131,61 @@ func CSI(paths []Path, c Channelization, k int) complex128 {
 	return h
 }
 
+// wavelengths caches the per-subcarrier λ table for each
+// channelization seen. Channelization is a small comparable value
+// type and simulations use a handful of them, so a lock-free sync.Map
+// of immutable slices serves every goroutine without recomputing the
+// divides per frame.
+var wavelengths sync.Map // Channelization -> []float64
+
+// wavelengthTable returns the cached λ_k table for c.
+func wavelengthTable(c Channelization) []float64 {
+	if v, ok := wavelengths.Load(c); ok {
+		return v.([]float64)
+	}
+	t := make([]float64, c.NSubcarriers)
+	for k := range t {
+		t[k] = c.Wavelength(k)
+	}
+	wavelengths.Store(c, t)
+	return t
+}
+
 // CSIAllSubcarriers fills dst (length NSubcarriers, grown as needed)
 // with the channel response on every subcarrier and returns it.
+//
+// This is the simulator's per-frame inner loop, so the per-path
+// geometry — polyline length (a sqrt chain) and amplitude — is hoisted
+// out of the subcarrier sweep and λ_k comes from the cached table; the
+// remaining loop is one sincos and one divide per path per subcarrier.
+// The hoisted values are the very same floats the per-subcarrier CSI
+// calls computed, so the output is bit-identical.
 func CSIAllSubcarriers(paths []Path, c Channelization, dst []complex128) []complex128 {
 	if cap(dst) < c.NSubcarriers {
 		dst = make([]complex128, c.NSubcarriers)
 	}
 	dst = dst[:c.NSubcarriers]
+	// Phase on subcarrier k is (2π·length)/λ_k: precompute the
+	// numerator per path, preserving path order (the coherent sum is
+	// order-sensitive in floating point).
+	var ampArr, numArr [16]float64
+	amps, nums := ampArr[:0], numArr[:0]
+	for _, p := range paths {
+		a := p.Amplitude()
+		if a == 0 {
+			continue
+		}
+		amps = append(amps, a)
+		nums = append(nums, 2*math.Pi*p.Length())
+	}
+	lambdas := wavelengthTable(c)
 	for k := range dst {
-		dst[k] = CSI(paths, c, k)
+		lambda := lambdas[k]
+		var h complex128
+		for i, a := range amps {
+			h += cmplx.Rect(a, nums[i]/lambda)
+		}
+		dst[k] = h
 	}
 	return dst
 }

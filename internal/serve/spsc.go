@@ -1,0 +1,342 @@
+package serve
+
+// The multi-core ingest path: per-shard single-producer/single-consumer
+// rings that let any number of independent producer goroutines feed the
+// shard workers without ever contending on the shard mutex per item.
+//
+// # Memory model
+//
+// Each spscRing has exactly one writer (the Producer's goroutine) and
+// exactly one reader (the shard worker), so the only synchronization
+// the data path needs is the release/acquire pairing of the two
+// cursors: the producer writes the slot, then publishes it by storing
+// tail; the consumer observes the new tail, which makes the slot write
+// visible, reads the slot, then releases it by storing head. Go's
+// sync/atomic operations are sequentially consistent, which is
+// strictly stronger than the release/acquire this requires — and the
+// extra strength is what the wake protocol leans on.
+//
+// # Wake protocol (no lost wakeups)
+//
+// A worker with work in hand never sleeps, so producers must only wake
+// a worker that is about to block. The shard carries a `sleeping`
+// flag:
+//
+//	worker:   sleeping.Store(true); read ring tails; Wait() if empty
+//	producer: tail.Store(t+1);      read sleeping;   lock+Broadcast if set
+//
+// This is Dekker's handshake. Under sequential consistency one of the
+// two sides must see the other's store: if the worker's tail read
+// missed the item, the producer's store of tail preceded it — and the
+// worker's sleeping.Store(true) preceded its tail read — so the
+// producer's later sleeping read must observe true and fire the wake.
+// The wake itself takes the shard mutex, which serializes it against
+// the worker's condition re-check before Wait, closing the
+// check-then-sleep window. One batch publish costs one tail store and
+// at most one wake check per shard, regardless of batch size.
+//
+// # Shutdown
+//
+// Close seals every ring (a producer mid-push is waited out via its
+// inPush flag, again a Dekker pair with sealed), then the worker
+// sweeps the remnants into DroppedClosed so the conservation identity
+// on CounterSnapshot holds for the SPSC path exactly as for the mutex
+// path. Pushes after the seal are refused and counted RejectedClosed.
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"vihot/internal/csi"
+)
+
+// spscRing is a bounded single-producer/single-consumer FIFO of Items
+// with a power-of-two buffer. The cursors are monotone; index = cursor
+// & mask. The pads keep the producer-side and consumer-side cursors on
+// separate cache lines so the two cores don't false-share.
+type spscRing struct {
+	buf  []Item
+	mask uint64
+
+	head atomic.Uint64 // consumer cursor: next slot to read
+	_    [56]byte
+	tail atomic.Uint64 // producer cursor: next slot to write
+	_    [56]byte
+
+	// sealed refuses further pushes once shutdown has swept (or will
+	// sweep) the ring; inPush marks a producer inside the
+	// check-then-publish window so the sweeper can wait it out.
+	sealed atomic.Bool
+	inPush atomic.Bool
+}
+
+// newSPSCRing rounds the capacity up to a power of two.
+func newSPSCRing(capacity int) *spscRing {
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return &spscRing{buf: make([]Item, c), mask: uint64(c - 1)}
+}
+
+// empty reports whether the ring has no published items. Callable from
+// any goroutine (both cursors are atomic).
+func (r *spscRing) empty() bool { return r.head.Load() == r.tail.Load() }
+
+// drain moves up to max items into out (consumer side only), zeroing
+// the vacated slots so the ring never pins a *csi.Frame.
+func (r *spscRing) drain(out []Item, max int) []Item {
+	h, t := r.head.Load(), r.tail.Load()
+	for n := 0; h < t && n < max; n++ {
+		j := h & r.mask
+		out = append(out, r.buf[j])
+		r.buf[j] = Item{}
+		h++
+	}
+	r.head.Store(h)
+	return out
+}
+
+// seal refuses future pushes and waits out a producer that already
+// passed its sealed check, so the sweep that follows sees every item
+// the ring will ever hold. Consumer/sweeper side only.
+func (r *spscRing) seal() {
+	r.sealed.Store(true)
+	for r.inPush.Load() {
+		runtime.Gosched()
+	}
+}
+
+// spscPending reports whether any registered producer ring has items.
+// Called with sh.mu held (it walks sh.prings) by the worker's sleep
+// check and Flush.
+func (sh *shard) spscPending() bool {
+	for _, r := range sh.prings {
+		if !r.empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// wakeWorker fires the cross-goroutine half of the Dekker handshake:
+// called after publishing, it wakes the shard worker iff the worker
+// has flagged itself as (about to be) asleep.
+func (sh *shard) wakeWorker() {
+	if sh.sleeping.Load() {
+		sh.mu.Lock()
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}
+}
+
+// Producer is a dedicated lock-free ingest lane: one SPSC ring per
+// shard, owned by exactly one pushing goroutine. Compared to
+// Push/PushBatch — which serialize all pushers on each shard's mutex —
+// a Producer's enqueue is two atomic loads and one atomic store, so N
+// producer goroutines on N cores scale without contending until the
+// workers themselves saturate.
+//
+// Rules:
+//
+//   - A Producer is NOT safe for concurrent use: exactly one goroutine
+//     may push through it at a time. Spawn one Producer per ingest
+//     goroutine (they are cheap: Shards rings of QueueLen items).
+//   - One session's items must flow through one Producer (or only
+//     through Push) to keep the per-session ordering guarantee; two
+//     lanes into the same shard are drained in arbitrary relative
+//     order.
+//   - When a Producer's ring is full the NEW item is dropped (counted
+//     exactly like a mutex-path shed: kind counter + DroppedStale).
+//     A single-writer ring cannot shed its oldest entry — that slot
+//     belongs to the consumer — so the freshest item pays instead;
+//     with CSI at hundreds of frames per second the difference is one
+//     sample of staleness, and the accounting identity is unchanged.
+//   - Producers live as long as the Manager; there is nothing to
+//     close. After Manager.Close every push is refused and counted
+//     RejectedClosed, like Push.
+//
+// In deterministic mode a Producer degrades to the synchronous Push
+// path, so replay tools can use one API for both modes.
+type Producer struct {
+	m     *Manager
+	rings []*spscRing // indexed by shard, nil in deterministic mode
+	group [][]Item    // batch regrouping scratch, indexed by shard
+}
+
+// NewProducer registers a new ingest lane with every shard. Safe to
+// call concurrently with pushes and Close; a producer created after
+// Close refuses every push.
+func (m *Manager) NewProducer() *Producer {
+	p := &Producer{m: m}
+	if m.cfg.Deterministic {
+		return p
+	}
+	p.rings = make([]*spscRing, len(m.shards))
+	p.group = make([][]Item, len(m.shards))
+	for i, sh := range m.shards {
+		r := newSPSCRing(m.cfg.QueueLen)
+		sh.mu.Lock()
+		if sh.closed {
+			// The worker is gone; nothing will ever sweep this ring.
+			r.sealed.Store(true)
+		} else {
+			sh.prings = append(sh.prings, r)
+		}
+		sh.mu.Unlock()
+		p.rings[i] = r
+	}
+	return p
+}
+
+// Push ingests one item through the producer's lane: identical
+// accounting and routing to Manager.Push, minus the shard mutex.
+func (p *Producer) Push(it Item) {
+	m := p.m
+	if it.Kind > KindCamera {
+		m.counters.rejectedKind.Add(1)
+		m.recycle(it.Frame)
+		return
+	}
+	if p.rings == nil {
+		m.Push(it)
+		return
+	}
+	if m.obs != nil {
+		it.enqNS = time.Now().UnixNano()
+	}
+	si := m.shardIdx(it.Session)
+	r := p.rings[si]
+	r.inPush.Store(true)
+	if r.sealed.Load() {
+		r.inPush.Store(false)
+		m.counters.rejectedClosed.Add(1)
+		m.recycle(it.Frame)
+		return
+	}
+	t, h := r.tail.Load(), r.head.Load()
+	if t-h == uint64(len(r.buf)) {
+		r.inPush.Store(false)
+		m.count(it)
+		m.counters.droppedStale.Add(1)
+		m.recycle(it.Frame)
+		return
+	}
+	r.buf[t&r.mask] = it
+	r.tail.Store(t + 1)
+	r.inPush.Store(false)
+	m.count(it)
+	m.shards[si].wakeWorker()
+}
+
+// PushBatch ingests a batch through the producer's lane with one
+// publish and at most one wake per destination shard — the cheapest
+// ingest path a per-core receive loop can use. Semantics match
+// Manager.PushBatch (per-shard order preserved, not atomic across
+// shards); overflow drops the batch tail that no longer fits.
+func (p *Producer) PushBatch(items []Item) {
+	m := p.m
+	if len(items) == 0 {
+		return
+	}
+	if p.rings == nil {
+		m.PushBatch(items)
+		return
+	}
+	items = m.rejectBadKinds(items)
+	if len(items) == 0 {
+		return
+	}
+	m.stampBatch(items)
+	if len(p.rings) == 1 {
+		p.pushSlice(0, items)
+		return
+	}
+	for si := range p.group {
+		p.group[si] = p.group[si][:0]
+	}
+	for i := range items {
+		si := m.shardIdx(items[i].Session)
+		p.group[si] = append(p.group[si], items[i])
+	}
+	for si := range p.group {
+		if len(p.group[si]) == 0 {
+			continue
+		}
+		p.pushSlice(si, p.group[si])
+		clearItems(p.group[si]) // don't pin frames in the scratch
+	}
+}
+
+// pushSlice publishes one shard's slice of a batch: write every slot
+// that fits, one tail store, one wake.
+func (p *Producer) pushSlice(si int, items []Item) {
+	m := p.m
+	r := p.rings[si]
+	r.inPush.Store(true)
+	if r.sealed.Load() {
+		r.inPush.Store(false)
+		m.counters.rejectedClosed.Add(uint64(len(items)))
+		for i := range items {
+			m.recycle(items[i].Frame)
+		}
+		return
+	}
+	t, h := r.tail.Load(), r.head.Load()
+	free := len(r.buf) - int(t-h)
+	acc := len(items)
+	if acc > free {
+		acc = free
+	}
+	for i := 0; i < acc; i++ {
+		r.buf[(t+uint64(i))&r.mask] = items[i]
+	}
+	r.tail.Store(t + uint64(acc))
+	r.inPush.Store(false)
+	for i := range items {
+		m.count(items[i])
+	}
+	if over := len(items) - acc; over > 0 {
+		m.counters.droppedStale.Add(uint64(over))
+		for i := acc; i < len(items); i++ {
+			m.recycle(items[i].Frame)
+		}
+	}
+	if acc > 0 {
+		m.shards[si].wakeWorker()
+	}
+}
+
+// clearItems zeroes a scratch slice so it releases its frame pointers.
+func clearItems(items []Item) {
+	for i := range items {
+		items[i] = Item{}
+	}
+}
+
+// sweepSPSC seals and empties every producer ring during a hard close,
+// charging the remnants to DroppedClosed and releasing pooled frames.
+// Called by the worker with sh.mu held; new rings can't register
+// concurrently (NewProducer checks sh.closed under the same mutex).
+func (m *Manager) sweepSPSC(sh *shard) {
+	var dropped uint64
+	for _, r := range sh.prings {
+		r.seal()
+		h, t := r.head.Load(), r.tail.Load()
+		for ; h < t; h++ {
+			j := h & r.mask
+			if sh.recycle {
+				if f := r.buf[j].Frame; f != nil {
+					csi.PutFrame(f)
+				}
+			}
+			r.buf[j] = Item{}
+			dropped++
+		}
+		r.head.Store(h)
+	}
+	if dropped > 0 {
+		m.counters.droppedClosed.Add(dropped)
+	}
+}

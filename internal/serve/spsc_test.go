@@ -1,0 +1,303 @@
+package serve
+
+// Tests for the lock-free Producer ingest lane: ring primitives,
+// estimate-equivalence with the mutex path, conservation under
+// concurrent producers, close races, and drop-newest accounting.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"vihot/internal/core"
+)
+
+func TestSPSCRingPrimitives(t *testing.T) {
+	r := newSPSCRing(5) // rounds up to 8
+	if len(r.buf) != 8 || r.mask != 7 {
+		t.Fatalf("capacity = %d mask = %d, want 8/7", len(r.buf), r.mask)
+	}
+	if !r.empty() {
+		t.Fatal("new ring not empty")
+	}
+	for i := 0; i < 8; i++ {
+		tl := r.tail.Load()
+		r.buf[tl&r.mask] = Item{Time: float64(i)}
+		r.tail.Store(tl + 1)
+	}
+	if r.empty() {
+		t.Fatal("full ring reports empty")
+	}
+	out := r.drain(nil, 3)
+	if len(out) != 3 || out[0].Time != 0 || out[2].Time != 2 {
+		t.Fatalf("drain(3) = %v", out)
+	}
+	out = r.drain(out[:0], 100)
+	if len(out) != 5 || out[0].Time != 3 || out[4].Time != 7 {
+		t.Fatalf("second drain = %v", out)
+	}
+	if !r.empty() {
+		t.Fatal("drained ring not empty")
+	}
+	// Drained slots must not pin items.
+	for i := range r.buf {
+		if r.buf[i] != (Item{}) {
+			t.Fatalf("slot %d not zeroed after drain", i)
+		}
+	}
+	r.seal()
+	if !r.sealed.Load() {
+		t.Fatal("seal did not stick")
+	}
+}
+
+// TestProducerEquivalentToPush: one session's stream pushed through a
+// Producer yields exactly the estimate sequence the deterministic
+// synchronous path yields — the SPSC lane reorders nothing within a
+// session.
+func TestProducerEquivalentToPush(t *testing.T) {
+	stream := make([]Item, 4000)
+	for i := range stream {
+		ts := float64(i) * 0.002
+		stream[i] = Item{Session: "car-1", Kind: KindPhase, Time: ts, Phi: math.Sin(ts * 6)}
+	}
+	run := func(det bool) []core.Estimate {
+		var mu sync.Mutex
+		var got []core.Estimate
+		m := New(Config{
+			Deterministic: det,
+			Shards:        3,
+			OnEstimate: func(_ string, est core.Estimate) {
+				mu.Lock()
+				got = append(got, est)
+				mu.Unlock()
+			},
+		})
+		defer m.Close()
+		if err := m.Open("car-1", testProfile(t), core.DefaultPipelineConfig()); err != nil {
+			t.Fatal(err)
+		}
+		p := m.NewProducer()
+		for i := 0; i < len(stream); i += 64 {
+			end := min(i+64, len(stream))
+			batch := append([]Item(nil), stream[i:end]...)
+			p.PushBatch(batch)
+		}
+		m.Flush()
+		return got
+	}
+	want := run(true)
+	got := run(false)
+	if len(want) == 0 {
+		t.Fatal("deterministic run produced no estimates")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("producer path delivered %d estimates, deterministic %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("estimate %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestProducerConcurrentConservation: many producer goroutines plus a
+// mutex-path pusher hammer one manager concurrently; after a drain the
+// conservation identity must hold exactly and every non-dropped item
+// must have been processed.
+func TestProducerConcurrentConservation(t *testing.T) {
+	m := New(Config{Shards: 4, QueueLen: 256})
+	const sessions = 8
+	for s := 0; s < sessions; s++ {
+		if err := m.Open(fmt.Sprintf("car-%d", s), testProfile(t), core.DefaultPipelineConfig()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const producers = 4
+	const perProducer = 3000
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := m.NewProducer()
+			batch := make([]Item, 0, 32)
+			for i := 0; i < perProducer; i++ {
+				ts := float64(i) * 0.002
+				batch = append(batch, Item{
+					Session: fmt.Sprintf("car-%d", (w*perProducer+i)%sessions),
+					Kind:    KindPhase, Time: ts, Phi: math.Sin(ts * 6),
+				})
+				if len(batch) == cap(batch) {
+					p.PushBatch(batch)
+					batch = batch[:0]
+				}
+			}
+			p.PushBatch(batch)
+		}(w)
+	}
+	// One legacy pusher sharing the same shards, plus an item with a
+	// corrupt kind and one for an unknown session, to exercise every
+	// accounting branch at once.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			ts := float64(i) * 0.002
+			m.Push(Item{Session: fmt.Sprintf("car-%d", i%sessions), Kind: KindPhase, Time: ts, Phi: math.Cos(ts * 5)})
+		}
+		m.Push(Item{Session: "car-0", Kind: ItemKind(200)})
+		m.Push(Item{Session: "ghost", Kind: KindPhase, Time: 1, Phi: 0})
+	}()
+	wg.Wait()
+	m.CloseDrain()
+	snap := m.Counters().Snapshot()
+	want := snap.Processed + snap.DroppedStale + snap.DroppedUnknown +
+		snap.DroppedClosed + snap.RejectedKind
+	if snap.Total() != want {
+		t.Fatalf("conservation violated: Total=%d, accounted=%d (%+v)", snap.Total(), want, snap)
+	}
+	if snap.PhasesIn == 0 || snap.Processed == 0 || snap.Estimates == 0 {
+		t.Fatalf("no traffic made it through: %+v", snap)
+	}
+	if snap.RejectedKind != 1 || snap.DroppedUnknown < 1 {
+		t.Fatalf("accounting branches unexercised: %+v", snap)
+	}
+}
+
+// TestProducerCloseRace: producers pushing full-speed while the
+// manager hard-closes must neither panic nor leak items from the
+// accounting — everything accepted is processed or counted dropped,
+// everything after the seal is RejectedClosed.
+func TestProducerCloseRace(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		m := New(Config{Shards: 2, QueueLen: 64})
+		if err := m.Open("car-0", testProfile(t), core.DefaultPipelineConfig()); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				p := m.NewProducer()
+				<-start
+				for i := 0; i < 500; i++ {
+					ts := float64(i) * 0.002
+					p.Push(Item{Session: "car-0", Kind: KindPhase, Time: ts, Phi: math.Sin(ts * 6)})
+				}
+			}(w)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			m.Close()
+		}()
+		close(start)
+		wg.Wait()
+		snap := m.Counters().Snapshot()
+		want := snap.Processed + snap.DroppedStale + snap.DroppedUnknown +
+			snap.DroppedClosed + snap.RejectedKind
+		if snap.Total() != want {
+			t.Fatalf("trial %d: conservation violated: Total=%d accounted=%d (%+v)",
+				trial, snap.Total(), want, snap)
+		}
+	}
+}
+
+// TestProducerFullRingDropsNewest pins the SPSC shed policy: a batch
+// larger than the ring keeps the head of the batch and counts the
+// overflow in DroppedStale (kind counters still see every item).
+func TestProducerFullRingDropsNewest(t *testing.T) {
+	m := New(Config{Shards: 1, QueueLen: 1})
+	defer m.Close()
+	p := m.NewProducer()
+	batch := make([]Item, 10)
+	for i := range batch {
+		batch[i] = Item{Session: "nobody", Kind: KindPhase, Time: float64(i), Phi: 0}
+	}
+	p.PushBatch(batch)
+	m.Flush()
+	snap := m.Counters().Snapshot()
+	if snap.PhasesIn != 10 {
+		t.Fatalf("PhasesIn = %d, want 10 (every item is counted in)", snap.PhasesIn)
+	}
+	if snap.DroppedStale < 9 {
+		t.Fatalf("DroppedStale = %d, want ≥9 with a 1-slot ring", snap.DroppedStale)
+	}
+	if got := snap.Processed + snap.DroppedStale + snap.DroppedUnknown; got != 10 {
+		t.Fatalf("conservation violated: %+v", snap)
+	}
+}
+
+// TestProducerAfterClose: a producer created on a closed manager (and
+// pushes racing past the seal) are refused and counted RejectedClosed,
+// exactly like the mutex path.
+func TestProducerAfterClose(t *testing.T) {
+	m := New(Config{Shards: 2})
+	m.Close()
+	p := m.NewProducer()
+	p.Push(Item{Session: "car-0", Kind: KindPhase, Time: 1, Phi: 0})
+	p.PushBatch([]Item{
+		{Session: "car-0", Kind: KindPhase, Time: 2, Phi: 0},
+		{Session: "car-1", Kind: KindPhase, Time: 3, Phi: 0},
+	})
+	snap := m.Counters().Snapshot()
+	if snap.RejectedClosed != 3 {
+		t.Fatalf("RejectedClosed = %d, want 3", snap.RejectedClosed)
+	}
+	if snap.Total() != 0 {
+		t.Fatalf("closed manager accepted accounting responsibility: %+v", snap)
+	}
+}
+
+// TestProducerDeterministicDelegates: in deterministic mode the
+// Producer degrades to the synchronous Push path, so replay tooling
+// can hold one API.
+func TestProducerDeterministicDelegates(t *testing.T) {
+	var got []core.Estimate
+	m := New(Config{Deterministic: true, OnEstimate: func(_ string, est core.Estimate) {
+		got = append(got, est)
+	}})
+	defer m.Close()
+	if err := m.Open("car-1", testProfile(t), core.DefaultPipelineConfig()); err != nil {
+		t.Fatal(err)
+	}
+	p := m.NewProducer()
+	for i := 0; i < 2000; i++ {
+		ts := float64(i) * 0.002
+		p.Push(Item{Session: "car-1", Kind: KindPhase, Time: ts, Phi: math.Sin(ts * 6)})
+	}
+	if len(got) == 0 {
+		t.Fatal("deterministic producer delivered no estimates")
+	}
+	snap := m.Counters().Snapshot()
+	if snap.PhasesIn != 2000 || snap.Processed != 2000 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+// TestProducerFlushSeesRingBacklog: Flush must not return while items
+// are still sitting unprocessed in a producer ring.
+func TestProducerFlushSeesRingBacklog(t *testing.T) {
+	m := New(Config{Shards: 2})
+	defer m.Close()
+	if err := m.Open("car-1", testProfile(t), core.DefaultPipelineConfig()); err != nil {
+		t.Fatal(err)
+	}
+	p := m.NewProducer()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		ts := float64(i) * 0.002
+		p.Push(Item{Session: "car-1", Kind: KindPhase, Time: ts, Phi: math.Sin(ts * 6)})
+	}
+	m.Flush()
+	snap := m.Counters().Snapshot()
+	if snap.Processed+snap.DroppedStale != n {
+		t.Fatalf("after Flush: processed=%d dropped=%d, want them to sum to %d",
+			snap.Processed, snap.DroppedStale, n)
+	}
+}
